@@ -1,0 +1,179 @@
+// Ablation benches beyond the paper's figures, isolating each design choice
+// DESIGN.md calls out:
+//  A1 locality destruction: SPNL on the same graph with crawl vs random ids.
+//  A2 in-neighbor estimator: Γ(v) (paper figures) vs Σ Γ(u) (Eq. 5 literal).
+//  A3 η decay policy: paper vs linear vs constant vs none.
+//  A4 parallel RCT on/off at several thread counts.
+//  A5 re-streaming passes (related-work extension).
+#include "common.hpp"
+#include "core/distributed_sim.hpp"
+#include "core/parallel_driver.hpp"
+#include "graph/reorder.hpp"
+#include "partition/restream.hpp"
+
+using namespace spnl;
+using namespace spnl::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const auto k = static_cast<PartitionId>(args.get_int("k", 32));
+  const PartitionConfig config{.num_partitions = k};
+  const Graph graph = load_dataset(dataset_by_name("uk2002"), scale);
+
+  print_header("A1: vertex numbering (topology locality) ablation");
+  {
+    const Graph shuffled = random_renumber(graph, 999);
+    const Graph restored = bfs_renumber(shuffled);
+    TablePrinter table({"numbering", "LDG ECR", "SPN ECR", "SPNL ECR", "Range ECR"});
+    const struct {
+      const char* name;
+      const Graph* g;
+    } variants[] = {{"crawl (original)", &graph},
+                    {"random (destroyed)", &shuffled},
+                    {"BFS (restored)", &restored}};
+    for (const auto& variant : variants) {
+      std::vector<std::string> row = {variant.name};
+      for (const char* p : {"LDG", "SPN", "SPNL", "Range"}) {
+        row.push_back(TablePrinter::fmt(run_one(*variant.g, p, config).quality.ecr, 4));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("Expected: random ids gut Range and SPNL's logical term; BFS "
+                "renumbering recovers much of it.\n");
+  }
+
+  print_header("A2: in-neighbor estimator (paper figures vs Eq. 5 as printed)");
+  {
+    TablePrinter table({"estimator", "SPN ECR", "SPNL ECR", "SPN PT", "SPNL PT"});
+    for (auto estimator : {InNeighborEstimator::kSelf, InNeighborEstimator::kNeighborSum}) {
+      const char* name =
+          estimator == InNeighborEstimator::kSelf ? "Gamma(v) [figs 2/4]" : "Sum Gamma(u) [eq 5]";
+      const Outcome spn = run_one(graph, "SPN", config, {.estimator = estimator});
+      const Outcome spnl = run_one(graph, "SPNL", config, {}, {.estimator = estimator});
+      table.add_row({name, TablePrinter::fmt(spn.quality.ecr, 4),
+                     TablePrinter::fmt(spnl.quality.ecr, 4), fmt_pt(spn.seconds),
+                     fmt_pt(spnl.seconds)});
+    }
+    table.print();
+  }
+
+  print_header("A3: eta decay policy");
+  {
+    TablePrinter table({"policy", "SPNL ECR", "dv"});
+    const struct {
+      const char* name;
+      EtaPolicy policy;
+    } policies[] = {{"paper (lt-pt)/lt", EtaPolicy::kPaper},
+                    {"linear global", EtaPolicy::kLinear},
+                    {"constant 0.5", EtaPolicy::kConstant},
+                    {"zero (=SPN)", EtaPolicy::kZero}};
+    for (const auto& p : policies) {
+      const Outcome outcome = run_one(graph, "SPNL", config, {}, {.eta_policy = p.policy});
+      table.add_row({p.name, TablePrinter::fmt(outcome.quality.ecr, 4),
+                     TablePrinter::fmt(outcome.quality.delta_v, 2)});
+    }
+    table.print();
+  }
+
+  print_header("A4: parallel dependency detection (RCT) on/off");
+  {
+    TablePrinter table({"M", "RCT", "ECR", "delayed", "PT"});
+    for (unsigned threads : {2u, 4u, 8u}) {
+      for (bool use_rct : {true, false}) {
+        InMemoryStream stream(graph);
+        ParallelOptions options;
+        options.num_threads = threads;
+        options.use_rct = use_rct;
+        const auto result = run_parallel(stream, config, options);
+        const auto metrics = evaluate_partition(graph, result.route, k);
+        table.add_row({TablePrinter::fmt(static_cast<int>(threads)),
+                       use_rct ? "on" : "off", TablePrinter::fmt(metrics.ecr, 4),
+                       TablePrinter::fmt(static_cast<std::size_t>(result.delayed_vertices)),
+                       fmt_pt(result.partition_seconds)});
+      }
+    }
+    table.print();
+  }
+
+  print_header("A6: window slide granularity (paper Sec. V-A design claim)");
+  {
+    // The paper rejects coarse shard-by-shard sliding for its boundary
+    // losses; fine-grained per-vertex sliding should win at every X.
+    TablePrinter table({"X", "fine ECR", "coarse ECR"});
+    for (std::uint32_t shards : {16u, 64u, 256u, 1024u}) {
+      const Outcome fine = run_one(
+          graph, "SPNL", config, {},
+          SpnlOptions{.num_shards = shards, .slide = SlideMode::kFine});
+      const Outcome coarse = run_one(
+          graph, "SPNL", config, {},
+          SpnlOptions{.num_shards = shards, .slide = SlideMode::kCoarse});
+      table.add_row({TablePrinter::fmt(static_cast<std::size_t>(shards)),
+                     TablePrinter::fmt(fine.quality.ecr, 4),
+                     TablePrinter::fmt(coarse.quality.ecr, 4)});
+    }
+    table.print();
+  }
+
+  print_header("A7: shared-memory vs distributed parallel streaming (Sec. III-C)");
+  {
+    // The paper argues for shared-memory parallelism because distributed
+    // designs ([33][34]) pay quality for independence. Simulated here:
+    // periodic-sync staleness vs fully independent chunks, against the
+    // centralized SPNL reference.
+    const Outcome centralized = run_one(graph, "SPNL", config);
+    TablePrinter table({"design", "workers", "ECR", "dv", "stale decisions"});
+    table.add_row({"centralized (ours)", "1",
+                   TablePrinter::fmt(centralized.quality.ecr, 4),
+                   TablePrinter::fmt(centralized.quality.delta_v, 2), "-"});
+    for (unsigned workers : {4u, 16u}) {
+      for (auto mode : {DistributedMode::kPeriodicSync, DistributedMode::kIndependent}) {
+        InMemoryStream stream(graph);
+        DistributedSimOptions options;
+        options.num_workers = workers;
+        options.mode = mode;
+        options.sync_interval = 1024;
+        const auto result =
+            distributed_stream_partition(stream, config, options);
+        const auto metrics = evaluate_partition(graph, result.route, k);
+        table.add_row({mode == DistributedMode::kPeriodicSync ? "periodic sync"
+                                                              : "independent chunks",
+                       TablePrinter::fmt(static_cast<int>(workers)),
+                       TablePrinter::fmt(metrics.ecr, 4),
+                       TablePrinter::fmt(metrics.delta_v, 2),
+                       TablePrinter::fmt(static_cast<std::size_t>(result.stale_decisions))});
+      }
+    }
+    table.print();
+  }
+
+  print_header("A5: re-streaming passes (related-work extension)");
+  {
+    // Re-streaming earns its keep on adversarial stream orders, where the
+    // single-pass heuristics have little prefix signal; on crawl order the
+    // first pass already sits near the locality floor.
+    const Graph shuffled = random_renumber(graph, 999);
+    TablePrinter table({"order", "passes", "seed", "ECR", "dv"});
+    const struct {
+      const char* name;
+      const Graph* g;
+    } orders[] = {{"crawl", &graph}, {"random", &shuffled}};
+    for (const auto& order : orders) {
+      for (int passes : {1, 3}) {
+        for (bool spnl_seed : {false, true}) {
+          InMemoryStream stream(*order.g);
+          const auto route = restream_partition(
+              stream, config, {.passes = passes, .seed_with_spnl = spnl_seed});
+          const auto metrics = evaluate_partition(*order.g, route, k);
+          table.add_row({order.name, TablePrinter::fmt(passes),
+                         spnl_seed ? "SPNL" : "LDG",
+                         TablePrinter::fmt(metrics.ecr, 4),
+                         TablePrinter::fmt(metrics.delta_v, 2)});
+        }
+      }
+    }
+    table.print();
+  }
+  return 0;
+}

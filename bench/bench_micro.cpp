@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark) for the hot inner structures:
+// Γ window operations, RCT operations, queue throughput, and single-vertex
+// placement cost of each streaming heuristic.
+#include <benchmark/benchmark.h>
+
+#include "core/gamma_table.hpp"
+#include "core/rct.hpp"
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/datasets.hpp"
+#include "partition/ldg.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spnl;
+
+void BM_GammaIncrement(benchmark::State& state) {
+  const VertexId n = 1 << 20;
+  GammaWindow gamma(n, 32, static_cast<std::uint32_t>(state.range(0)));
+  Rng rng(1);
+  VertexId head = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<VertexId>(head + rng.next_below(1024));
+    gamma.increment(static_cast<PartitionId>(u % 32), u < n ? u : n - 1);
+    if (++head >= n - 2048) {
+      head = 0;
+      state.PauseTiming();
+      gamma.advance_to(0);  // no-op; window never moves backwards
+      state.ResumeTiming();
+    }
+    gamma.advance_to(head);
+  }
+}
+BENCHMARK(BM_GammaIncrement)->Arg(1)->Arg(128)->Arg(4096);
+
+void BM_GammaRowRead(benchmark::State& state) {
+  const VertexId n = 1 << 20;
+  GammaWindow gamma(n, static_cast<PartitionId>(state.range(0)), 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gamma.row(5));
+  }
+}
+BENCHMARK(BM_GammaRowRead)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RctBumpAndPlace(benchmark::State& state) {
+  Rct rct(64);
+  std::vector<VertexId> out = {1, 2, 3, 4, 5, 6, 7, 8};
+  VertexId v = 100;
+  for (auto _ : state) {
+    rct.register_vertex(v);
+    for (VertexId u : out) rct.bump_if_present(u);
+    benchmark::DoNotOptimize(rct.should_delay(v));
+    rct.on_placed(v, out);
+    ++v;
+  }
+}
+BENCHMARK(BM_RctBumpAndPlace);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  BoundedQueue<OwnedVertexRecord> queue(1024);
+  for (auto _ : state) {
+    queue.push(OwnedVertexRecord{1, {2, 3, 4}});
+    benchmark::DoNotOptimize(queue.try_pop());
+  }
+}
+BENCHMARK(BM_QueuePushPop);
+
+template <typename Partitioner>
+void run_placement_bench(benchmark::State& state) {
+  const auto& spec = dataset_by_name("uk2002");
+  const Graph graph = load_dataset(spec, 0.2);
+  PartitionConfig config{.num_partitions = 32};
+  for (auto _ : state) {
+    Partitioner partitioner(graph.num_vertices(), graph.num_edges(), config);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      partitioner.place(v, graph.out_neighbors(v));
+    }
+    benchmark::DoNotOptimize(partitioner.route().data());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_vertices());
+}
+
+void BM_PlaceLdg(benchmark::State& state) { run_placement_bench<LdgPartitioner>(state); }
+void BM_PlaceSpn(benchmark::State& state) { run_placement_bench<SpnPartitioner>(state); }
+void BM_PlaceSpnl(benchmark::State& state) { run_placement_bench<SpnlPartitioner>(state); }
+BENCHMARK(BM_PlaceLdg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlaceSpn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlaceSpnl)->Unit(benchmark::kMillisecond);
+
+}  // namespace

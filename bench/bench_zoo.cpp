@@ -1,0 +1,62 @@
+// Baseline zoo bench: every streaming heuristic in the library on two
+// datasets — the full Stanton-Kliot family plus FENNEL, SPN, SPNL, the
+// window-selection (WSGP-style) variant and the buffered hybrid. One table
+// to rank them all on ECR / δv / PT.
+#include "common.hpp"
+#include "partition/buffered.hpp"
+#include "partition/stanton_kliot.hpp"
+#include "partition/window_stream.hpp"
+
+using namespace spnl;
+using namespace spnl::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const auto k = static_cast<PartitionId>(args.get_int("k", 32));
+  const PartitionConfig config{.num_partitions = k};
+
+  for (const char* dataset : {"uk2002", "stanford"}) {
+    const Graph graph = load_dataset(dataset_by_name(dataset), scale);
+    print_header((std::string("Streaming heuristic zoo (") + dataset + ", K=32)").c_str());
+    std::printf("%s\n\n", describe(graph, dataset).c_str());
+
+    TablePrinter table({"heuristic", "ECR", "dv", "de", "PT"});
+    auto add = [&](const std::string& name, const QualityMetrics& metrics,
+                   double seconds) {
+      table.add_row({name, TablePrinter::fmt(metrics.ecr, 4),
+                     TablePrinter::fmt(metrics.delta_v, 2),
+                     TablePrinter::fmt(metrics.delta_e, 2), fmt_pt(seconds)});
+    };
+
+    for (const char* name : {"Hash", "Range", "LDG", "FENNEL", "SPN", "SPNL"}) {
+      const Outcome outcome = run_one(graph, name, config);
+      add(name, outcome.quality, outcome.seconds);
+    }
+    for (SkHeuristic h : {SkHeuristic::kBalanced, SkHeuristic::kDeterministicGreedy,
+                          SkHeuristic::kExponentialGreedy, SkHeuristic::kTriangles}) {
+      SkPartitioner partitioner(graph.num_vertices(), graph.num_edges(), config, h,
+                                &graph);
+      InMemoryStream stream(graph);
+      const RunResult run = run_streaming(stream, partitioner);
+      add(partitioner.name(),
+          evaluate_partition(graph, run.route, k), run.partition_seconds);
+    }
+    {
+      InMemoryStream stream(graph);
+      const auto result =
+          window_stream_partition(stream, config, {.window_size = 2048});
+      add("WSGP-style", evaluate_partition(graph, result.route, k),
+          result.partition_seconds);
+    }
+    {
+      InMemoryStream stream(graph);
+      const auto result = buffered_partition(stream, config, {.buffer_size = 8192});
+      add("Buffered+SPNL", evaluate_partition(graph, result.route, k),
+          result.partition_seconds);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Shared helpers for the bench harness binaries. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md experiment
+// index) and prints paper-style rows; `--scale` shrinks or grows the
+// synthetic datasets (1.0 = the defaults in graph/datasets.cpp).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/datasets.hpp"
+#include "graph/graph.hpp"
+#include "graph/stats.hpp"
+#include "partition/driver.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioning.hpp"
+#include "partition/range_partitioner.hpp"
+#include "util/cli.hpp"
+#include "util/memory.hpp"
+#include "util/table_printer.hpp"
+
+namespace spnl::bench {
+
+/// Quality + cost of one partitioning run.
+struct Outcome {
+  std::string partitioner;
+  QualityMetrics quality;
+  std::vector<PartitionId> route;
+  double seconds = 0.0;
+  std::size_t bytes = 0;
+};
+
+using PartitionerFactory =
+    std::function<std::unique_ptr<StreamingPartitioner>(VertexId, EdgeId,
+                                                        const PartitionConfig&)>;
+
+inline PartitionerFactory make_factory(const std::string& name,
+                                       SpnOptions spn_options = {},
+                                       SpnlOptions spnl_options = {}) {
+  if (name == "LDG") {
+    return [](VertexId n, EdgeId m, const PartitionConfig& c) {
+      return std::make_unique<LdgPartitioner>(n, m, c);
+    };
+  }
+  if (name == "FENNEL") {
+    return [](VertexId n, EdgeId m, const PartitionConfig& c) {
+      return std::make_unique<FennelPartitioner>(n, m, c);
+    };
+  }
+  if (name == "Hash") {
+    return [](VertexId n, EdgeId m, const PartitionConfig& c) {
+      return std::make_unique<HashPartitioner>(n, m, c);
+    };
+  }
+  if (name == "Range") {
+    return [](VertexId n, EdgeId m, const PartitionConfig& c) {
+      return std::make_unique<RangePartitioner>(n, m, c);
+    };
+  }
+  if (name == "SPN") {
+    return [spn_options](VertexId n, EdgeId m, const PartitionConfig& c) {
+      return std::make_unique<SpnPartitioner>(n, m, c, spn_options);
+    };
+  }
+  if (name == "SPNL") {
+    return [spnl_options](VertexId n, EdgeId m, const PartitionConfig& c) {
+      return std::make_unique<SpnlPartitioner>(n, m, c, spnl_options);
+    };
+  }
+  std::fprintf(stderr, "unknown partitioner %s\n", name.c_str());
+  std::exit(1);
+}
+
+/// One sequential streaming run over the in-memory graph + evaluation.
+inline Outcome run_one(const Graph& graph, const std::string& name,
+                       const PartitionConfig& config, SpnOptions spn_options = {},
+                       SpnlOptions spnl_options = {}) {
+  auto factory = make_factory(name, spn_options, spnl_options);
+  auto partitioner = factory(graph.num_vertices(), graph.num_edges(), config);
+  InMemoryStream stream(graph);
+  RunResult run = run_streaming(stream, *partitioner);
+  Outcome outcome;
+  outcome.partitioner = name;
+  outcome.quality = evaluate_partition(graph, run.route, config.num_partitions);
+  outcome.route = std::move(run.route);
+  outcome.seconds = run.partition_seconds;
+  outcome.bytes = run.peak_partitioner_bytes;
+  return outcome;
+}
+
+inline std::string fmt_pt(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+inline void print_header(const char* what) {
+  std::printf("\n=== %s ===\n", what);
+}
+
+}  // namespace spnl::bench

@@ -1,0 +1,63 @@
+#include "cluster/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spnl {
+
+ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
+                                 const ClusterModel& model) {
+  if (job.traffic.size() != job.compute.size()) {
+    throw std::invalid_argument("simulate_cluster: inconsistent recording");
+  }
+  if (model.compute_rate <= 0.0 || model.bandwidth <= 0.0) {
+    throw std::invalid_argument("simulate_cluster: rates must be positive");
+  }
+  ClusterTimeline timeline;
+  timeline.supersteps.reserve(job.traffic.size());
+
+  std::vector<std::uint64_t> sends(k), receives(k);
+  for (std::size_t step = 0; step < job.traffic.size(); ++step) {
+    const auto& matrix = job.traffic[step];
+    if (matrix.size() != static_cast<std::size_t>(k) * k) {
+      throw std::invalid_argument("simulate_cluster: matrix dimension != k^2");
+    }
+    std::fill(sends.begin(), sends.end(), 0u);
+    std::fill(receives.begin(), receives.end(), 0u);
+    for (PartitionId from = 0; from < k; ++from) {
+      for (PartitionId to = 0; to < k; ++to) {
+        if (from == to) continue;  // local delivery: no network
+        const std::uint64_t count = matrix[static_cast<std::size_t>(from) * k + to];
+        sends[from] += count;
+        receives[to] += count;
+      }
+    }
+
+    SuperstepTiming timing;
+    std::uint64_t max_compute = 0;
+    for (PartitionId w = 0; w < k; ++w) {
+      max_compute = std::max(max_compute, job.compute[step][w]);
+    }
+    timing.compute_seconds = static_cast<double>(max_compute) / model.compute_rate;
+
+    std::uint64_t busiest_link = 0;
+    for (PartitionId w = 0; w < k; ++w) {
+      busiest_link = std::max({busiest_link, sends[w], receives[w]});
+    }
+    timing.network_seconds =
+        static_cast<double>(busiest_link) / model.bandwidth + model.barrier_latency;
+
+    timing.total_seconds =
+        model.overlap
+            ? std::max(timing.compute_seconds, timing.network_seconds)
+            : timing.compute_seconds + timing.network_seconds;
+
+    timeline.compute_seconds += timing.compute_seconds;
+    timeline.network_seconds += timing.network_seconds;
+    timeline.total_seconds += timing.total_seconds;
+    timeline.supersteps.push_back(timing);
+  }
+  return timeline;
+}
+
+}  // namespace spnl

@@ -1,0 +1,58 @@
+// Cluster cost simulator: converts a BSP job's per-superstep traffic
+// matrices into simulated wall-clock time under an explicit cluster model.
+//
+// This closes the paper's motivating loop quantitatively: ECR is a proxy
+// for network traffic; the simulator turns that traffic into time. The
+// model captures the first-order distributed-runtime effects:
+//  * compute: each worker processes its emitted messages at compute_rate;
+//    the phase ends at the slowest worker (BSP),
+//  * communication: each worker serializes its cross-worker sends over its
+//    uplink and its receives over its downlink at bandwidth message/s;
+//    the phase ends when the busiest link drains, plus a per-superstep
+//    barrier latency,
+//  * overlap: optionally overlap compute and communication phases
+//    (asynchronous send while computing), taking max instead of sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/bsp.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+struct ClusterModel {
+  /// Messages a worker can produce/apply per second.
+  double compute_rate = 50e6;
+  /// Cross-worker messages per second over one worker's up/down link.
+  double bandwidth = 2e6;
+  /// Per-superstep synchronization latency (barrier + RPC overhead), sec.
+  double barrier_latency = 2e-3;
+  /// Overlap compute with communication inside a superstep.
+  bool overlap = false;
+};
+
+struct SuperstepTiming {
+  double compute_seconds = 0.0;
+  double network_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct ClusterTimeline {
+  std::vector<SuperstepTiming> supersteps;
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;  ///< Σ per-superstep compute phases
+  double network_seconds = 0.0;  ///< Σ per-superstep network phases
+  double network_fraction() const {
+    return total_seconds == 0.0 ? 0.0 : network_seconds / total_seconds;
+  }
+};
+
+/// Simulates the job whose traffic the BSP engine recorded
+/// (BspOptions::record_traffic must have been set). k must match the
+/// matrices' dimension.
+ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
+                                 const ClusterModel& model = {});
+
+}  // namespace spnl

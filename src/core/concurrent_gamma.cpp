@@ -1,0 +1,51 @@
+#include "core/concurrent_gamma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spnl {
+
+ConcurrentGammaWindow::ConcurrentGammaWindow(VertexId num_vertices,
+                                             PartitionId num_partitions,
+                                             std::uint32_t num_shards)
+    : num_partitions_(num_partitions) {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("ConcurrentGammaWindow: K must be >= 1");
+  }
+  if (num_shards == 0) {
+    throw std::invalid_argument("ConcurrentGammaWindow: X must be >= 1");
+  }
+  const VertexId n = std::max<VertexId>(num_vertices, 1);
+  window_size_ = (n + num_shards - 1) / num_shards;
+  const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;
+  counters_ = std::make_unique<std::atomic<std::uint32_t>[]>(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    counters_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentGammaWindow::advance_to(VertexId head) {
+  // Cheap racy pre-check; the mutex serializes actual movement.
+  if (head <= base_.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(advance_mutex_);
+  VertexId base = base_.load(std::memory_order_relaxed);
+  if (head <= base) return;
+  const VertexId steps = head - base;
+  if (steps >= window_size_) {
+    const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;
+    for (std::size_t i = 0; i < total; ++i) {
+      counters_[i].store(0, std::memory_order_relaxed);
+    }
+  } else {
+    for (VertexId id = base; id < head; ++id) {
+      auto* slot = counters_.get() +
+                   static_cast<std::size_t>(slot_of(id)) * num_partitions_;
+      for (PartitionId p = 0; p < num_partitions_; ++p) {
+        slot[p].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  base_.store(head, std::memory_order_relaxed);
+}
+
+}  // namespace spnl

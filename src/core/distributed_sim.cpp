@@ -1,0 +1,134 @@
+#include "core/distributed_sim.hpp"
+
+#include <stdexcept>
+
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// A worker's private view: a (possibly stale) snapshot of the global route
+/// and loads, plus its own placements since the last sync.
+struct WorkerView {
+  std::vector<PartitionId> route;     // snapshot + own updates
+  std::vector<VertexId> loads;        // snapshot + own updates
+  std::vector<OwnedVertexRecord> slice;
+  std::size_t cursor = 0;
+};
+
+PartitionId score_and_pick(const WorkerView& view, const OwnedVertexRecord& record,
+                           PartitionId k, double capacity, const RangeTable& logical,
+                           bool use_spnl) {
+  std::vector<double> scores(k, 0.0);
+  for (VertexId u : record.out) {
+    if (u < view.route.size() && view.route[u] != kUnassigned) {
+      scores[view.route[u]] += 1.0;
+    } else if (use_spnl && u < logical.num_vertices()) {
+      scores[logical.partition_of(u)] += 0.5;
+    }
+  }
+  PartitionId best = kUnassigned;
+  double best_score = 0.0;
+  for (PartitionId p = 0; p < k; ++p) {
+    if (static_cast<double>(view.loads[p]) >= capacity) continue;
+    const double score = scores[p] * (1.0 - view.loads[p] / capacity);
+    if (best == kUnassigned || score > best_score ||
+        (score == best_score && view.loads[p] < view.loads[best])) {
+      best = p;
+      best_score = score;
+    }
+  }
+  if (best == kUnassigned) {
+    best = 0;
+    for (PartitionId p = 1; p < k; ++p) {
+      if (view.loads[p] < view.loads[best]) best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DistributedSimResult distributed_stream_partition(
+    AdjacencyStream& stream, const PartitionConfig& config,
+    const DistributedSimOptions& options) {
+  if (options.num_workers == 0) {
+    throw std::invalid_argument("distributed_stream_partition: need >= 1 worker");
+  }
+  if (options.mode == DistributedMode::kPeriodicSync && options.sync_interval == 0) {
+    throw std::invalid_argument("distributed_stream_partition: sync_interval >= 1");
+  }
+  const VertexId n = stream.num_vertices();
+  const EdgeId m = stream.num_edges();
+  const PartitionId k = config.num_partitions;
+  const double capacity = partition_capacity(n, m, config);
+  const RangeTable logical(n, k);
+  const unsigned W = options.num_workers;
+
+  // Slice the stream into W contiguous chunks (the decomposition of [34]).
+  std::vector<WorkerView> workers(W);
+  {
+    std::vector<OwnedVertexRecord> all;
+    all.reserve(n);
+    while (auto record = stream.next()) all.push_back(OwnedVertexRecord::from(*record));
+    const std::size_t per_worker = (all.size() + W - 1) / W;
+    for (unsigned w = 0; w < W; ++w) {
+      const std::size_t begin = std::min(all.size(), w * per_worker);
+      const std::size_t end = std::min(all.size(), begin + per_worker);
+      workers[w].slice.assign(std::make_move_iterator(all.begin() + begin),
+                              std::make_move_iterator(all.begin() + end));
+    }
+  }
+
+  DistributedSimResult result;
+  result.route.assign(n, kUnassigned);
+  std::vector<VertexId> global_loads(k, 0);
+
+  auto snapshot = [&](WorkerView& view) {
+    view.route = result.route;
+    view.loads = global_loads;
+  };
+  for (auto& view : workers) snapshot(view);
+
+  // Fresh (oracle) view used only to count stale-influenced decisions.
+  WorkerView oracle;
+
+  // Round-robin: one placement per worker per round — the deterministic
+  // stand-in for "all workers run concurrently".
+  VertexId since_sync = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (unsigned w = 0; w < W; ++w) {
+      WorkerView& view = workers[w];
+      if (view.cursor >= view.slice.size()) continue;
+      progress = true;
+      const OwnedVertexRecord& record = view.slice[view.cursor++];
+      const PartitionId pid = score_and_pick(view, record, k, capacity, logical,
+                                             options.use_spnl_scoring);
+      // What would a perfectly fresh view have decided?
+      oracle.route = result.route;
+      oracle.loads = global_loads;
+      if (score_and_pick(oracle, record, k, capacity, logical,
+                         options.use_spnl_scoring) != pid) {
+        ++result.stale_decisions;
+      }
+
+      // Commit globally; the worker's own view also learns its placement.
+      result.route[record.id] = pid;
+      ++global_loads[pid];
+      view.route[record.id] = pid;
+      ++view.loads[pid];
+
+      if (options.mode == DistributedMode::kPeriodicSync &&
+          ++since_sync >= options.sync_interval) {
+        for (auto& other : workers) snapshot(other);
+        since_sync = 0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spnl

@@ -1,0 +1,52 @@
+// Deterministic simulation of DISTRIBUTED streaming partitioning — the
+// related-work designs the paper contrasts its shared-memory parallelism
+// against (Sec. III-C: Shi et al.'s distributed FENNEL [33], Hua et al.'s
+// independent quasi-streaming [34]): W workers partition disjoint slices of
+// the stream using heuristic state that is NOT centrally maintained.
+//
+// Two sharing disciplines are modeled:
+//  * kIndependent — chunked: worker w sees only its own placements (plus
+//    the initial empty state); results are merged at the end. This is the
+//    [34]-style decomposition whose quality "heavily degrades".
+//  * kPeriodicSync — workers proceed round-robin and refresh their snapshot
+//    of the global route/loads every sync_interval placements, modeling
+//    broadcast updates over a network (staleness in between).
+//
+// The simulation is single-threaded and deterministic (round-robin worker
+// schedule): it isolates the QUALITY effect of distributed state, which is
+// the paper's argument; wall-clock behavior is out of scope here.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/adjacency_stream.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+enum class DistributedMode {
+  kIndependent,
+  kPeriodicSync,
+};
+
+struct DistributedSimOptions {
+  unsigned num_workers = 4;
+  DistributedMode mode = DistributedMode::kPeriodicSync;
+  /// Placements between snapshot refreshes (kPeriodicSync).
+  VertexId sync_interval = 1024;
+  /// Score with the LDG rule (false) or the SPNL rule (true).
+  bool use_spnl_scoring = true;
+};
+
+struct DistributedSimResult {
+  std::vector<PartitionId> route;
+  /// Placements decided against stale state that a fresh view would have
+  /// decided differently (a staleness-impact indicator).
+  std::uint64_t stale_decisions = 0;
+};
+
+DistributedSimResult distributed_stream_partition(AdjacencyStream& stream,
+                                                  const PartitionConfig& config,
+                                                  const DistributedSimOptions& options);
+
+}  // namespace spnl

@@ -1,0 +1,63 @@
+#include "core/gamma_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/memory.hpp"
+
+namespace spnl {
+
+GammaWindow::GammaWindow(VertexId num_vertices, PartitionId num_partitions,
+                         std::uint32_t num_shards, SlideMode mode)
+    : num_vertices_(num_vertices),
+      num_partitions_(num_partitions),
+      num_shards_(num_shards),
+      mode_(mode) {
+  if (num_partitions == 0) throw std::invalid_argument("GammaWindow: K must be >= 1");
+  if (num_shards == 0) throw std::invalid_argument("GammaWindow: X must be >= 1");
+  const VertexId n = std::max<VertexId>(num_vertices, 1);
+  window_size_ = (n + num_shards - 1) / num_shards;  // ceil(n/X)
+  if (window_size_ == 0) window_size_ = 1;
+  counters_.assign(static_cast<std::size_t>(window_size_) * num_partitions_, 0);
+}
+
+std::uint32_t GammaWindow::recommended_shards(VertexId num_vertices, PartitionId k,
+                                              double alpha, double beta) {
+  const double by_parts = alpha * k;
+  const double by_size = static_cast<double>(num_vertices) / (beta * k);
+  const double x = std::min(by_parts, by_size);
+  return static_cast<std::uint32_t>(std::max(1.0, std::floor(x)));
+}
+
+void GammaWindow::advance_to(VertexId head) {
+  if (mode_ == SlideMode::kCoarse) {
+    // Shard-by-shard: the window only moves when the head crosses into the
+    // next shard, and then jumps to that shard's start. Mid-shard arrivals
+    // keep the stale window — including after the jump discarded part of
+    // the shard's future rows (the paper's "sharp sliding" accuracy loss).
+    head = head / window_size_ * window_size_;
+  }
+  if (head <= base_) return;
+  const VertexId steps = head - base_;
+  if (steps >= window_size_) {
+    // The whole window is retired: one bulk clear.
+    std::fill(counters_.begin(), counters_.end(), 0u);
+    base_ = head;
+    return;
+  }
+  for (VertexId id = base_; id < head; ++id) {
+    // Slot of the retiring id `id` is reused by future id `id + W`: zero it.
+    auto* slot = counters_.data() +
+                 static_cast<std::size_t>(slot_of(id)) * num_partitions_;
+    std::fill(slot, slot + num_partitions_, 0u);
+  }
+  base_ = head;
+}
+
+std::size_t GammaWindow::memory_footprint_bytes() const {
+  return vector_bytes(counters_);
+}
+
+}  // namespace spnl

@@ -1,0 +1,98 @@
+// Γ expectation tables with the fine-grained sliding window (paper Sec. IV-B
+// and V-A).
+//
+// Γ_i(u) counts how many vertices already placed into partition P_i have an
+// out-edge to u — i.e. exactly |V_i^pt ∩ N_in(u)|, the placed-in-neighbor
+// count of u. A full table costs O(K|V|). Because already-placed vertices
+// never need their counter again and streaming is in id order, only a window
+// of W = ceil(|V|/X) upcoming ids [base, base+W) keeps counters; the window
+// slides one vertex at a time (fine-grained, Fig. 5) over a rotating array.
+// X = 1 degenerates to the exact full table.
+//
+// Layout is slot-major (W rows of K counters): reading all K counters of one
+// vertex — the hot operation when scoring an arrival — is one contiguous
+// cache run, and retiring a slot is one contiguous clear.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace spnl {
+
+/// Sliding granularity (Sec. V-A): the paper rejects coarse shard-by-shard
+/// sliding because the sharp jump loses boundary-vertex expectations; the
+/// coarse mode is kept for the ablation that reproduces this claim.
+enum class SlideMode {
+  kFine,    ///< slide one vertex at a time (the paper's design)
+  kCoarse,  ///< jump a whole shard when the head leaves the current shard
+};
+
+class GammaWindow {
+ public:
+  /// num_shards is the paper's X >= 1. The window size is ceil(n/X),
+  /// clamped to at least 1.
+  GammaWindow(VertexId num_vertices, PartitionId num_partitions,
+              std::uint32_t num_shards, SlideMode mode = SlideMode::kFine);
+
+  /// The paper's recommended shard count X = min{αK, |V|/(βK)} with α=4,
+  /// β=10^4 (Sec. VI-B), clamped to >= 1.
+  static std::uint32_t recommended_shards(VertexId num_vertices, PartitionId k,
+                                          double alpha = 4.0, double beta = 1e4);
+
+  /// Slide the window forward for the arriving vertex `head`. Fine mode
+  /// starts the window exactly at `head`; coarse mode keeps the window
+  /// aligned to shard boundaries and jumps a whole shard at a time (so
+  /// `head`'s own row can be discarded mid-shard — the accuracy loss the
+  /// paper describes). Counters of retired ids are discarded; slots that
+  /// wrap around to future ids are zeroed. Never moves backwards.
+  void advance_to(VertexId head);
+
+  /// Γ_p(u) += 1 if u is inside the window; silently dropped otherwise —
+  /// exactly the accuracy/memory trade-off of Fig. 5.
+  void increment(PartitionId p, VertexId u) {
+    if (contains(u)) ++counters_[slot_of(u) * num_partitions_ + p];
+  }
+
+  /// Γ_p(u), 0 if outside the window.
+  std::uint32_t get(PartitionId p, VertexId u) const {
+    return contains(u) ? counters_[slot_of(u) * num_partitions_ + p] : 0;
+  }
+
+  /// All K counters of u as a contiguous span; empty span if outside the
+  /// window (callers treat it as all-zeros).
+  std::span<const std::uint32_t> row(VertexId u) const {
+    if (!contains(u)) return {};
+    return {counters_.data() + static_cast<std::size_t>(slot_of(u)) * num_partitions_,
+            num_partitions_};
+  }
+
+  bool contains(VertexId u) const {
+    return u >= base_ &&
+           static_cast<std::uint64_t>(u) <
+               static_cast<std::uint64_t>(base_) + window_size_;
+  }
+
+  VertexId base() const { return base_; }
+  VertexId window_size() const { return window_size_; }
+  std::uint32_t num_shards() const { return num_shards_; }
+  SlideMode slide_mode() const { return mode_; }
+
+  std::size_t memory_footprint_bytes() const;
+
+ private:
+  VertexId slot_of(VertexId u) const { return u % window_size_; }
+
+  VertexId num_vertices_;
+  PartitionId num_partitions_;
+  std::uint32_t num_shards_;
+  SlideMode mode_;
+  VertexId window_size_;
+  VertexId base_ = 0;
+  std::vector<std::uint32_t> counters_;  // window_size_ x num_partitions_
+};
+
+}  // namespace spnl

@@ -1,0 +1,305 @@
+#include "core/parallel_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/concurrent_gamma.hpp"
+#include "core/rct.hpp"
+#include "partition/range_partitioner.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// Tracks the contiguous prefix of placed vertex ids. The Γ window base
+/// follows this low-watermark so a delayed vertex's row survives its delay.
+class WatermarkTracker {
+ public:
+  explicit WatermarkTracker(std::size_t span)
+      : ring_(std::max<std::size_t>(span, 1), false) {}
+
+  /// Mark id placed; returns the new watermark (first unplaced id).
+  VertexId mark_done(VertexId id) {
+    std::lock_guard lock(mutex_);
+    const std::size_t slot = id % ring_.size();
+    ring_[slot] = true;
+    while (ring_[watermark_ % ring_.size()]) {
+      ring_[watermark_ % ring_.size()] = false;
+      ++watermark_;
+    }
+    return watermark_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<bool> ring_;
+  VertexId watermark_ = 0;
+};
+
+struct SharedState {
+  SharedState(VertexId n, EdgeId m, const PartitionConfig& config,
+              const ParallelOptions& options, std::uint32_t shards)
+      : config(config),
+        num_vertices(n),
+        capacity(partition_capacity(n, m, config)),
+        route(n),
+        vertex_counts(config.num_partitions),
+        edge_counts(config.num_partitions),
+        logical_counts(config.num_partitions),
+        gamma(n, config.num_partitions, shards),
+        logical(n, config.num_partitions),
+        options(options) {
+    for (auto& r : route) r.store(kUnassigned, std::memory_order_relaxed);
+    for (PartitionId i = 0; i < config.num_partitions; ++i) {
+      vertex_counts[i].store(0, std::memory_order_relaxed);
+      edge_counts[i].store(0, std::memory_order_relaxed);
+      logical_counts[i].store(options.use_locality ? logical.range_size(i) : 0,
+                              std::memory_order_relaxed);
+    }
+  }
+
+  double load(PartitionId i) const {
+    // kBoth degrades to the vertex constraint in the parallel driver (the
+    // paper's primary constraint; racy dual-capacity checks are not worth
+    // the extra synchronization).
+    return config.balance == BalanceMode::kEdge
+               ? static_cast<double>(edge_counts[i].load(std::memory_order_relaxed))
+               : static_cast<double>(vertex_counts[i].load(std::memory_order_relaxed));
+  }
+
+  const PartitionConfig config;
+  const VertexId num_vertices;
+  const double capacity;
+  std::vector<std::atomic<PartitionId>> route;
+  std::vector<std::atomic<std::uint64_t>> vertex_counts;
+  std::vector<std::atomic<std::uint64_t>> edge_counts;
+  std::vector<std::atomic<std::uint64_t>> logical_counts;
+  ConcurrentGammaWindow gamma;
+  RangeTable logical;
+  const ParallelOptions options;
+  std::atomic<std::uint64_t> placed_total{0};
+  std::atomic<std::uint64_t> delayed{0};
+  std::atomic<std::uint64_t> forced{0};
+};
+
+class Worker {
+ public:
+  Worker(SharedState& state, Rct* rct, WatermarkTracker& watermark)
+      : state_(state), rct_(rct), watermark_(watermark) {}
+
+  /// Score + pick; bumps RCT counters of in-flight out-neighbors along the
+  /// out-list traversal (the "no additional runtime cost" counting of the
+  /// paper).
+  PartitionId choose(const OwnedVertexRecord& record, bool bump_rct) {
+    const PartitionId k = state_.config.num_partitions;
+    const double lambda = state_.options.spnl.lambda;
+    physical_.assign(k, 0.0);
+    logical_.assign(k, 0.0);
+    scores_.assign(k, 0.0);
+
+    for (VertexId u : record.out) {
+      if (bump_rct && rct_ != nullptr && u != record.id) rct_->bump_if_present(u);
+      if (u >= state_.route.size()) continue;
+      const PartitionId placed = state_.route[u].load(std::memory_order_relaxed);
+      if (placed != kUnassigned) {
+        physical_[placed] += 1.0;
+      } else if (state_.options.use_locality) {
+        logical_[state_.logical.partition_of(u)] += 1.0;
+      }
+    }
+
+    const double placed_total =
+        static_cast<double>(state_.placed_total.load(std::memory_order_relaxed));
+    for (PartitionId i = 0; i < k; ++i) {
+      double e = 0.0;
+      if (state_.options.use_locality) {
+        switch (state_.options.spnl.eta_policy) {
+          case EtaPolicy::kPaper: {
+            const double lt = static_cast<double>(
+                state_.logical_counts[i].load(std::memory_order_relaxed));
+            const double pt = static_cast<double>(
+                state_.vertex_counts[i].load(std::memory_order_relaxed));
+            e = lt > 0.0 ? std::max(0.0, (lt - pt) / lt) : 0.0;
+            break;
+          }
+          case EtaPolicy::kLinear:
+            e = state_.num_vertices == 0 ? 0.0
+                                         : 1.0 - placed_total / state_.num_vertices;
+            break;
+          case EtaPolicy::kConstant:
+            e = state_.options.spnl.eta0;
+            break;
+          case EtaPolicy::kZero:
+            e = 0.0;
+            break;
+        }
+      }
+      scores_[i] = lambda * ((1.0 - e) * physical_[i] + e * logical_[i]);
+    }
+
+    if (state_.options.spnl.estimator == InNeighborEstimator::kSelf) {
+      for (PartitionId i = 0; i < k; ++i) {
+        scores_[i] += (1.0 - lambda) * state_.gamma.get(i, record.id);
+      }
+    } else {
+      for (VertexId u : record.out) {
+        for (PartitionId i = 0; i < k; ++i) {
+          scores_[i] += (1.0 - lambda) * state_.gamma.get(i, u);
+        }
+      }
+    }
+
+    PartitionId best = kUnassigned;
+    double best_score = 0.0, best_load = 0.0;
+    for (PartitionId i = 0; i < k; ++i) {
+      const double load = state_.load(i);
+      if (load >= state_.capacity) continue;
+      const double score = scores_[i] * (1.0 - load / state_.capacity);
+      if (best == kUnassigned || score > best_score ||
+          (score == best_score && load < best_load)) {
+        best = i;
+        best_score = score;
+        best_load = load;
+      }
+    }
+    if (best == kUnassigned) {
+      best = 0;
+      for (PartitionId i = 1; i < k; ++i) {
+        if (state_.load(i) < state_.load(best)) best = i;
+      }
+    }
+    return best;
+  }
+
+  void commit(const OwnedVertexRecord& record, PartitionId pid) {
+    state_.route[record.id].store(pid, std::memory_order_relaxed);
+    state_.vertex_counts[pid].fetch_add(1, std::memory_order_relaxed);
+    state_.edge_counts[pid].fetch_add(record.out.size(), std::memory_order_relaxed);
+    state_.placed_total.fetch_add(1, std::memory_order_relaxed);
+    if (state_.options.use_locality) {
+      const PartitionId lp = state_.logical.partition_of(record.id);
+      state_.logical_counts[lp].fetch_sub(1, std::memory_order_relaxed);
+    }
+    for (VertexId u : record.out) state_.gamma.increment(pid, u);
+    state_.gamma.advance_to(watermark_.mark_done(record.id));
+  }
+
+  /// Place a record and everything its placement releases from the RCT.
+  void place_chain(OwnedVertexRecord record) {
+    std::vector<OwnedVertexRecord> stack;
+    stack.push_back(std::move(record));
+    while (!stack.empty()) {
+      OwnedVertexRecord current = std::move(stack.back());
+      stack.pop_back();
+      const PartitionId pid = choose(current, /*bump_rct=*/false);
+      commit(current, pid);
+      if (rct_ != nullptr) {
+        auto released = rct_->on_placed(current.id, current.out);
+        for (auto& r : released) stack.push_back(std::move(r));
+      }
+    }
+  }
+
+  void process(OwnedVertexRecord record) {
+    if (rct_ == nullptr) {
+      const PartitionId pid = choose(record, false);
+      commit(record, pid);
+      return;
+    }
+    const bool tracked = rct_->register_vertex(record.id);
+    const PartitionId pid = choose(record, /*bump_rct=*/true);
+    if (tracked && rct_->should_delay(record.id)) {
+      // park() only consumes the record on success.
+      if (rct_->park(std::move(record))) {
+        state_.delayed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Parked set full: place immediately with the score already computed.
+    }
+    commit(record, pid);
+    auto released = rct_->on_placed(record.id, record.out);
+    for (auto& r : released) place_chain(std::move(r));
+  }
+
+ private:
+  SharedState& state_;
+  Rct* rct_;
+  WatermarkTracker& watermark_;
+  std::vector<double> physical_, logical_, scores_;
+};
+
+}  // namespace
+
+ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& config,
+                               const ParallelOptions& options) {
+  if (options.num_threads == 0) {
+    throw std::invalid_argument("run_parallel: need at least one worker");
+  }
+  const VertexId n = stream.num_vertices();
+  const EdgeId m = stream.num_edges();
+  const std::uint32_t shards =
+      options.spnl.num_shards == 0
+          ? GammaWindow::recommended_shards(n, config.num_partitions)
+          : options.spnl.num_shards;
+
+  SharedState state(n, m, config, options, shards);
+  const auto rct_capacity = static_cast<std::size_t>(
+      std::ceil(options.epsilon * options.num_threads));
+  Rct rct(rct_capacity);
+  Rct* rct_ptr = options.use_rct ? &rct : nullptr;
+  // The watermark ring must span the maximum in-flight id spread.
+  WatermarkTracker watermark(options.queue_capacity + rct_capacity +
+                             options.num_threads + 16);
+  BoundedQueue<OwnedVertexRecord> queue(options.queue_capacity);
+
+  Timer timer;
+  std::thread producer([&] {
+    while (auto record = stream.next()) {
+      queue.push(OwnedVertexRecord::from(*record));
+    }
+    queue.close();
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.num_threads);
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    workers.emplace_back([&] {
+      Worker worker(state, rct_ptr, watermark);
+      while (auto record = queue.pop()) worker.process(std::move(*record));
+    });
+  }
+  producer.join();
+  for (auto& w : workers) w.join();
+
+  // Cyclically-parked leftovers: force-place in id order.
+  if (options.use_rct) {
+    Worker finisher(state, rct_ptr, watermark);
+    auto rest = rct.drain_parked();
+    state.forced.fetch_add(rest.size(), std::memory_order_relaxed);
+    for (auto& record : rest) {
+      const PartitionId pid = finisher.choose(record, false);
+      finisher.commit(record, pid);
+    }
+  }
+
+  ParallelRunResult result;
+  result.partition_seconds = timer.seconds();
+  result.route.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.route[v] = state.route[v].load(std::memory_order_relaxed);
+  }
+  result.peak_partitioner_bytes =
+      state.gamma.memory_footprint_bytes() + n * sizeof(PartitionId) +
+      3 * config.num_partitions * sizeof(std::uint64_t);
+  result.delayed_vertices = state.delayed.load();
+  result.forced_vertices = state.forced.load();
+  return result;
+}
+
+}  // namespace spnl

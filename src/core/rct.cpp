@@ -1,0 +1,128 @@
+#include "core/rct.hpp"
+
+#include <algorithm>
+
+namespace spnl {
+
+Rct::Rct(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  entries_.reserve(capacity_ * 2);
+}
+
+bool Rct::register_vertex(VertexId v) {
+  std::lock_guard lock(mutex_);
+  if (entries_.size() >= capacity_) return false;
+  return entries_.emplace(v, Entry{}).second;
+}
+
+void Rct::bump_if_present(VertexId u) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(u);
+  if (it == entries_.end()) return;
+  if (it->second.counter == 0) ++nonzero_count_;
+  ++it->second.counter;
+  ++nonzero_sum_;
+}
+
+std::uint32_t Rct::count(VertexId v) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(v);
+  return it == entries_.end() ? 0 : it->second.counter;
+}
+
+double Rct::mean_nonzero_count() const {
+  std::lock_guard lock(mutex_);
+  return nonzero_count_ == 0
+             ? 0.0
+             : static_cast<double>(nonzero_sum_) / nonzero_count_;
+}
+
+bool Rct::should_delay(VertexId v) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(v);
+  if (it == entries_.end() || it->second.counter == 0) return false;
+  const double mean = nonzero_count_ == 0
+                          ? 0.0
+                          : static_cast<double>(nonzero_sum_) / nonzero_count_;
+  return static_cast<double>(it->second.counter) >= std::max(1.0, mean);
+}
+
+bool Rct::park(OwnedVertexRecord&& record) {
+  std::lock_guard lock(mutex_);
+  if (parked_.size() >= capacity_) return false;
+  auto it = entries_.find(record.id);
+  if (it == entries_.end()) return false;  // untracked vertices cannot park
+  if (it->second.parked) return false;     // double-park would lose a record
+  it->second.parked = true;
+  parked_.emplace(record.id, std::move(record));
+  return true;
+}
+
+std::vector<OwnedVertexRecord> Rct::release_ready_locked() {
+  std::vector<OwnedVertexRecord> ready;
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    auto entry = entries_.find(it->first);
+    if (entry != entries_.end() && entry->second.counter == 0) {
+      entry->second.parked = false;
+      ready.push_back(std::move(it->second));
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ready;
+}
+
+std::vector<OwnedVertexRecord> Rct::on_placed(VertexId v,
+                                              std::span<const VertexId> out) {
+  std::lock_guard lock(mutex_);
+  if (auto self = entries_.find(v); self != entries_.end()) {
+    if (self->second.counter > 0) {
+      nonzero_sum_ -= self->second.counter;
+      --nonzero_count_;
+    }
+    // If the caller force-placed a still-parked vertex, drop the orphaned
+    // parked record too.
+    if (self->second.parked) parked_.erase(v);
+    entries_.erase(self);
+  }
+  bool released_any = false;
+  for (VertexId u : out) {
+    auto it = entries_.find(u);
+    if (it == entries_.end() || it->second.counter == 0) continue;
+    --it->second.counter;
+    --nonzero_sum_;
+    if (it->second.counter == 0) {
+      --nonzero_count_;
+      if (it->second.parked) released_any = true;
+    }
+  }
+  if (!released_any) return {};
+  return release_ready_locked();
+}
+
+std::vector<OwnedVertexRecord> Rct::drain_parked() {
+  std::lock_guard lock(mutex_);
+  std::vector<OwnedVertexRecord> rest;
+  rest.reserve(parked_.size());
+  for (auto& [id, record] : parked_) {
+    auto entry = entries_.find(id);
+    if (entry != entries_.end()) entry->second.parked = false;
+    rest.push_back(std::move(record));
+  }
+  parked_.clear();
+  std::sort(rest.begin(), rest.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  return rest;
+}
+
+std::size_t Rct::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t Rct::parked_size() const {
+  std::lock_guard lock(mutex_);
+  return parked_.size();
+}
+
+}  // namespace spnl

@@ -1,0 +1,89 @@
+// RCT — hash-based Reversed-Counting Table for dependency detection among
+// concurrently streamed vertices (paper Sec. V-B, Fig. 6).
+//
+// Every in-flight vertex (taken from the producer-consumer queue, not yet
+// placed) is registered with a dependency counter. While a worker traverses
+// N_out(v) to compute v's distribution score — a traversal it performs
+// anyway — it bumps the counter of every out-neighbor that is itself in
+// flight: those neighbors would see a richer Γ row if v were placed first.
+// A vertex whose own counter exceeds the threshold (the mean of the non-zero
+// counters, the paper's default) is parked; placing a vertex decrements its
+// in-flight out-neighbors' counters and releases parked vertices that reach
+// zero. Capacity is ε·M entries (M = worker count): when the table is full,
+// registration fails and the vertex simply proceeds untracked.
+//
+// All operations are internally synchronized (single mutex; the table is
+// tiny and operations are O(1) hash lookups).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+class Rct {
+ public:
+  explicit Rct(std::size_t capacity);
+
+  /// Track v as in-flight. Returns false (vertex proceeds untracked) when
+  /// the table is full or v is somehow already present.
+  bool register_vertex(VertexId v);
+
+  /// Bump u's counter if u is in flight; no-op otherwise. O(1).
+  void bump_if_present(VertexId u);
+
+  /// v's own dependency counter (0 if untracked).
+  std::uint32_t count(VertexId v) const;
+
+  /// Mean of the non-zero counters; 0 when all counters are zero. This is
+  /// the paper's default delay threshold.
+  double mean_nonzero_count() const;
+
+  /// True if v should be delayed: tracked, counter non-zero, and counter
+  /// strictly greater than the mean-of-non-zero threshold is NOT required —
+  /// the paper delays "heavy" conflicts, so we use counter >= max(1, mean).
+  bool should_delay(VertexId v) const;
+
+  /// Park the (tracked) record until its counter drains. Returns false if
+  /// the parked set is at capacity or the vertex is untracked — in that case
+  /// the record is NOT consumed (only moved from on success) and the caller
+  /// must place it immediately.
+  bool park(OwnedVertexRecord&& record);
+
+  /// Finalize v: untrack it and decrement in-flight out-neighbors' counters.
+  /// Parked records whose counter reached zero are returned for immediate
+  /// placement by the caller.
+  std::vector<OwnedVertexRecord> on_placed(VertexId v, std::span<const VertexId> out);
+
+  /// End of stream: hand back whatever is still parked (sorted by id so the
+  /// forced tail is placed in stream order).
+  std::vector<OwnedVertexRecord> drain_parked();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::size_t parked_size() const;
+
+ private:
+  struct Entry {
+    std::uint32_t counter = 0;
+    bool parked = false;
+  };
+
+  std::vector<OwnedVertexRecord> release_ready_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<VertexId, Entry> entries_;
+  std::unordered_map<VertexId, OwnedVertexRecord> parked_;
+  std::uint64_t nonzero_sum_ = 0;
+  std::uint32_t nonzero_count_ = 0;
+};
+
+}  // namespace spnl

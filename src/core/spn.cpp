@@ -1,0 +1,71 @@
+#include "core/spn.hpp"
+
+#include <stdexcept>
+
+namespace spnl {
+
+namespace {
+std::uint32_t resolve_shards(std::uint32_t requested, VertexId n, PartitionId k) {
+  return requested == 0 ? GammaWindow::recommended_shards(n, k) : requested;
+}
+}  // namespace
+
+SpnPartitioner::SpnPartitioner(VertexId num_vertices, EdgeId num_edges,
+                               const PartitionConfig& config, SpnOptions options)
+    : GreedyStreamingBase(num_vertices, num_edges, config),
+      options_(options),
+      gamma_(num_vertices, config.num_partitions,
+             resolve_shards(options.num_shards, num_vertices, config.num_partitions),
+             options.slide) {
+  if (options_.lambda < 0.0 || options_.lambda > 1.0) {
+    throw std::invalid_argument("SPN: lambda must be in [0,1]");
+  }
+}
+
+PartitionId SpnPartitioner::place(VertexId v, std::span<const VertexId> out) {
+  const PartitionId k = num_partitions();
+  const double lambda = options_.lambda;
+
+  // Fine-grained slide: the window now starts at the arriving vertex, so its
+  // own Γ row is still live for the in-neighbor estimate below.
+  gamma_.advance_to(v);
+
+  // Out-neighbor term: distribution of already placed out-neighbors.
+  scores_.assign(k, 0.0);
+  for (VertexId u : out) {
+    if (u < route_.size() && route_[u] != kUnassigned) {
+      scores_[route_[u]] += lambda;
+    }
+  }
+
+  // In-neighbor expectation term.
+  if (options_.estimator == InNeighborEstimator::kSelf) {
+    const auto row = gamma_.row(v);
+    for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+      scores_[i] += (1.0 - lambda) * row[i];
+    }
+  } else {
+    for (VertexId u : out) {
+      const auto row = gamma_.row(u);
+      for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+        scores_[i] += (1.0 - lambda) * row[i];
+      }
+    }
+  }
+
+  for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
+  const PartitionId pid = pick_best(scores_);
+  commit(v, out, pid);
+
+  // Algorithm 1, lines 5-7: placing v raises P_pid's expectation for every
+  // out-neighbor of v (counts for retired/out-of-window ids are dropped).
+  for (VertexId u : out) gamma_.increment(pid, u);
+  return pid;
+}
+
+std::size_t SpnPartitioner::memory_footprint_bytes() const {
+  return GreedyStreamingBase::memory_footprint_bytes() +
+         gamma_.memory_footprint_bytes();
+}
+
+}  // namespace spnl

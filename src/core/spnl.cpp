@@ -1,0 +1,111 @@
+#include "core/spnl.hpp"
+
+#include <stdexcept>
+
+#include "util/memory.hpp"
+
+namespace spnl {
+
+namespace {
+std::uint32_t resolve_shards(std::uint32_t requested, VertexId n, PartitionId k) {
+  return requested == 0 ? GammaWindow::recommended_shards(n, k) : requested;
+}
+}  // namespace
+
+SpnlPartitioner::SpnlPartitioner(VertexId num_vertices, EdgeId num_edges,
+                                 const PartitionConfig& config, SpnlOptions options)
+    : GreedyStreamingBase(num_vertices, num_edges, config),
+      options_(options),
+      gamma_(num_vertices, config.num_partitions,
+             resolve_shards(options.num_shards, num_vertices, config.num_partitions),
+             options.slide),
+      logical_(num_vertices, config.num_partitions),
+      logical_counts_(config.num_partitions, 0) {
+  if (options_.lambda < 0.0 || options_.lambda > 1.0) {
+    throw std::invalid_argument("SPNL: lambda must be in [0,1]");
+  }
+  for (PartitionId i = 0; i < config.num_partitions; ++i) {
+    logical_counts_[i] = logical_.range_size(i);
+  }
+}
+
+double SpnlPartitioner::eta(PartitionId i) const {
+  switch (options_.eta_policy) {
+    case EtaPolicy::kPaper: {
+      const double lt = logical_counts_[i];
+      if (lt <= 0.0) return 0.0;
+      const double e = (lt - static_cast<double>(vertex_count(i))) / lt;
+      return e > 0.0 ? e : 0.0;
+    }
+    case EtaPolicy::kLinear:
+      return num_vertices_ == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(placed_total_) / num_vertices_;
+    case EtaPolicy::kConstant:
+      return options_.eta0;
+    case EtaPolicy::kZero:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
+  const PartitionId k = num_partitions();
+  const double lambda = options_.lambda;
+
+  gamma_.advance_to(v);
+
+  // Out-neighbor term, split into physical and logical contributions
+  // (Eq. 6 weights the two intersection sizes separately).
+  scores_.assign(k, 0.0);
+  static thread_local std::vector<double> physical, logical;
+  physical.assign(k, 0.0);
+  logical.assign(k, 0.0);
+  for (VertexId u : out) {
+    if (u >= route_.size()) continue;
+    if (route_[u] != kUnassigned) {
+      physical[route_[u]] += 1.0;
+    } else {
+      logical[logical_.partition_of(u)] += 1.0;
+    }
+  }
+  for (PartitionId i = 0; i < k; ++i) {
+    const double e = eta(i);
+    scores_[i] = lambda * ((1.0 - e) * physical[i] + e * logical[i]);
+  }
+
+  // In-neighbor expectation term (see spn.hpp for the Eq. 5 fidelity note).
+  if (options_.estimator == InNeighborEstimator::kSelf) {
+    const auto row = gamma_.row(v);
+    for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+      scores_[i] += (1.0 - lambda) * row[i];
+    }
+  } else {
+    for (VertexId u : out) {
+      const auto row = gamma_.row(u);
+      for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+        scores_[i] += (1.0 - lambda) * row[i];
+      }
+    }
+  }
+
+  for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
+  const PartitionId pid = pick_best(scores_);
+  commit(v, out, pid);
+
+  // v leaves its logical partition the moment it is physically placed.
+  const PartitionId lp = logical_.partition_of(v);
+  if (logical_counts_[lp] > 0) --logical_counts_[lp];
+  ++placed_total_;
+
+  for (VertexId u : out) gamma_.increment(pid, u);
+  return pid;
+}
+
+std::size_t SpnlPartitioner::memory_footprint_bytes() const {
+  return GreedyStreamingBase::memory_footprint_bytes() +
+         gamma_.memory_footprint_bytes() + vector_bytes(logical_counts_) +
+         2 * sizeof(VertexId) * num_partitions();  // the O(2K) range bounds
+}
+
+}  // namespace spnl

@@ -1,0 +1,275 @@
+#include "dynamic/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+#include "util/memory.hpp"
+
+namespace spnl {
+
+namespace {
+PartitionId clamp_partition(PartitionId p, PartitionId k) {
+  return p < k ? p : k - 1;
+}
+}  // namespace
+
+IncrementalPartitioner::IncrementalPartitioner(const Graph& graph,
+                                               std::vector<PartitionId> route,
+                                               const PartitionConfig& config,
+                                               IncrementalOptions options)
+    : config_(config),
+      options_(options),
+      route_(std::move(route)),
+      loads_(config.num_partitions, 0),
+      logical_(options.expected_vertices > 0 ? options.expected_vertices
+                                             : graph.num_vertices(),
+               config.num_partitions) {
+  if (config_.balance != BalanceMode::kVertex) {
+    throw std::invalid_argument(
+        "IncrementalPartitioner: only vertex balance is supported");
+  }
+  if (route_.size() != graph.num_vertices()) {
+    throw std::invalid_argument("IncrementalPartitioner: route size != |V|");
+  }
+  const VertexId n = graph.num_vertices();
+  out_adj_.resize(n);
+  in_adj_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (route_[v] >= config_.num_partitions) {
+      throw std::invalid_argument("IncrementalPartitioner: bad partition id");
+    }
+    ++loads_[route_[v]];
+    ++num_vertices_;
+    const auto out = graph.out_neighbors(v);
+    out_adj_[v].assign(out.begin(), out.end());
+    for (VertexId u : out) {
+      if (route_[u] != route_[v]) ++cut_edges_;
+      ++num_edges_;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : out_adj_[v]) in_adj_[u].push_back(v);
+  }
+  const VertexId expected = options_.expected_vertices > 0
+                                ? options_.expected_vertices
+                                : graph.num_vertices();
+  capacity_ = partition_capacity(std::max(num_vertices_, expected), num_edges_,
+                                 config_);
+}
+
+IncrementalPartitioner::IncrementalPartitioner(const PartitionConfig& config,
+                                               VertexId expected_vertices,
+                                               EdgeId expected_edges,
+                                               IncrementalOptions options)
+    : config_(config),
+      options_(options),
+      loads_(config.num_partitions, 0),
+      logical_(std::max<VertexId>(expected_vertices, 1), config.num_partitions) {
+  if (config_.balance != BalanceMode::kVertex) {
+    throw std::invalid_argument(
+        "IncrementalPartitioner: only vertex balance is supported");
+  }
+  capacity_ = partition_capacity(std::max<VertexId>(expected_vertices, 1),
+                                 expected_edges, config_);
+}
+
+void IncrementalPartitioner::ensure_vertex(VertexId v) {
+  if (v >= route_.size()) {
+    route_.resize(v + 1, kUnassigned);
+    out_adj_.resize(v + 1);
+    in_adj_.resize(v + 1);
+  }
+  if (route_[v] != kUnassigned) return;
+  // Auto-registration (an edge referenced an unseen vertex): place with the
+  // information at hand — the logical prior and the capacity penalty.
+  add_vertex(v, {});
+}
+
+PartitionId IncrementalPartitioner::add_vertex(VertexId v,
+                                               std::span<const VertexId> out) {
+  if (v >= route_.size()) {
+    route_.resize(v + 1, kUnassigned);
+    out_adj_.resize(v + 1);
+    in_adj_.resize(v + 1);
+  }
+  if (route_[v] != kUnassigned) {
+    // Already auto-registered: keep its partition, ingest the adjacency.
+    for (VertexId u : out) add_edge(v, u);
+    return route_[v];
+  }
+
+  const PartitionId k = config_.num_partitions;
+  std::vector<double> scores(k, 0.0);
+  for (VertexId u : out) {
+    if (u < route_.size() && route_[u] != kUnassigned) {
+      scores[route_[u]] += 1.0;
+    } else if (options_.logical_weight > 0.0 && u < logical_.num_vertices()) {
+      scores[clamp_partition(logical_.partition_of(u), k)] += options_.logical_weight;
+    }
+  }
+  // Note: in_adj_[v] is necessarily empty here — any earlier edge (u, v)
+  // auto-registered v before appending to in_adj_, so a fresh vertex cannot
+  // have recorded in-edges. (Their cut contribution was accounted by
+  // add_edge at insertion time.)
+
+  // Grow capacity as the graph outgrows the initial estimate.
+  ++num_vertices_;
+  capacity_ = std::max(
+      capacity_, partition_capacity(num_vertices_, num_edges_, config_));
+
+  PartitionId best = kUnassigned;
+  double best_score = 0.0;
+  for (PartitionId p = 0; p < k; ++p) {
+    if (static_cast<double>(loads_[p]) >= capacity_) continue;
+    const double score = scores[p] * (1.0 - loads_[p] / capacity_);
+    if (best == kUnassigned || score > best_score ||
+        (score == best_score && loads_[p] < loads_[best])) {
+      best = p;
+      best_score = score;
+    }
+  }
+  if (best == kUnassigned) {
+    best = 0;
+    for (PartitionId p = 1; p < k; ++p) {
+      if (loads_[p] < loads_[best]) best = p;
+    }
+  }
+
+  route_[v] = best;
+  ++loads_[best];
+  for (VertexId u : out) add_edge(v, u);
+  mark_dirty(v);
+  return best;
+}
+
+void IncrementalPartitioner::add_edge(VertexId from, VertexId to) {
+  ensure_vertex(from);
+  ensure_vertex(to);
+  out_adj_[from].push_back(to);
+  in_adj_[to].push_back(from);
+  ++num_edges_;
+  if (route_[from] != route_[to]) ++cut_edges_;
+  mark_dirty(from);
+  mark_dirty(to);
+}
+
+bool IncrementalPartitioner::remove_edge(VertexId from, VertexId to) {
+  if (from >= out_adj_.size() || to >= in_adj_.size()) return false;
+  auto& out = out_adj_[from];
+  auto it = std::find(out.begin(), out.end(), to);
+  if (it == out.end()) return false;
+  out.erase(it);
+  auto& in = in_adj_[to];
+  in.erase(std::find(in.begin(), in.end(), from));
+  --num_edges_;
+  if (route_[from] != route_[to]) --cut_edges_;
+  mark_dirty(from);
+  mark_dirty(to);
+  return true;
+}
+
+std::int64_t IncrementalPartitioner::move_gain(VertexId v, PartitionId p) const {
+  // Gain = (edges made local) - (edges made remote), over both directions.
+  std::int64_t local_now = 0, local_then = 0;
+  const PartitionId current = route_[v];
+  for (VertexId u : out_adj_[v]) {
+    if (u == v) continue;
+    if (route_[u] == current) ++local_now;
+    if (route_[u] == p) ++local_then;
+  }
+  for (VertexId u : in_adj_[v]) {
+    if (u == v) continue;
+    if (route_[u] == current) ++local_now;
+    if (route_[u] == p) ++local_then;
+  }
+  return local_then - local_now;
+}
+
+PartitionId IncrementalPartitioner::best_target(VertexId v, std::int64_t& gain) const {
+  const PartitionId current = route_[v];
+  PartitionId best = current;
+  gain = 0;
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    if (p == current) continue;
+    if (static_cast<double>(loads_[p]) + 1.0 > capacity_) continue;
+    const std::int64_t g = move_gain(v, p);
+    if (g > gain) {
+      gain = g;
+      best = p;
+    }
+  }
+  return best;
+}
+
+void IncrementalPartitioner::apply_move(VertexId v, PartitionId to) {
+  const PartitionId from = route_[v];
+  std::int64_t cut_delta = 0;
+  for (VertexId u : out_adj_[v]) {
+    if (u == v) continue;
+    if (route_[u] == from) ++cut_delta;
+    if (route_[u] == to) --cut_delta;
+  }
+  for (VertexId u : in_adj_[v]) {
+    if (u == v) continue;
+    if (route_[u] == from) ++cut_delta;
+    if (route_[u] == to) --cut_delta;
+  }
+  cut_edges_ = static_cast<EdgeId>(static_cast<std::int64_t>(cut_edges_) + cut_delta);
+  --loads_[from];
+  ++loads_[to];
+  route_[v] = to;
+  for (VertexId u : out_adj_[v]) mark_dirty(u);
+  for (VertexId u : in_adj_[v]) mark_dirty(u);
+}
+
+void IncrementalPartitioner::mark_dirty(VertexId v) { dirty_.insert(v); }
+
+RefineStats IncrementalPartitioner::refine(std::uint64_t max_moves) {
+  RefineStats stats;
+  while (stats.moves < max_moves && !dirty_.empty()) {
+    // Snapshot the dirty set, order by current best gain, apply greedily
+    // (gains are re-validated right before each move).
+    std::vector<std::pair<std::int64_t, VertexId>> candidates;
+    candidates.reserve(dirty_.size());
+    for (VertexId v : dirty_) {
+      std::int64_t gain = 0;
+      best_target(v, gain);
+      candidates.emplace_back(gain, v);
+    }
+    dirty_.clear();
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                return a.first > b.first || (a.first == b.first && a.second < b.second);
+              });
+    bool moved_any = false;
+    for (const auto& [stale_gain, v] : candidates) {
+      if (stale_gain <= 0 || stats.moves >= max_moves) break;
+      std::int64_t gain = 0;
+      const PartitionId target = best_target(v, gain);
+      if (gain <= 0 || target == route_[v]) continue;
+      apply_move(v, target);
+      ++stats.moves;
+      stats.cut_improvement += gain;
+      moved_any = true;
+    }
+    if (!moved_any) break;
+  }
+  return stats;
+}
+
+double IncrementalPartitioner::delta_v() const {
+  if (num_vertices_ == 0) return 0.0;
+  const std::uint64_t max_load = *std::max_element(loads_.begin(), loads_.end());
+  return static_cast<double>(max_load) * config_.num_partitions / num_vertices_;
+}
+
+std::size_t IncrementalPartitioner::memory_footprint_bytes() const {
+  std::size_t bytes = vector_bytes(route_) + vector_bytes(loads_) +
+                      dirty_.size() * sizeof(VertexId) * 2;
+  for (const auto& list : out_adj_) bytes += vector_bytes(list);
+  for (const auto& list : in_adj_) bytes += vector_bytes(list);
+  return bytes;
+}
+
+}  // namespace spnl

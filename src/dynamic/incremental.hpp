@@ -1,0 +1,109 @@
+// Incremental partition maintenance for evolving graphs.
+//
+// The paper's introduction motivates cheap partitioning with "real graphs
+// are frequently updated": after the initial streaming pass, updates keep
+// arriving. This module maintains a live partitioning under
+//  * vertex arrivals (placed SPNL-style: physical neighbor agreement in both
+//    directions + the logical range prior, capacity-penalized),
+//  * edge insertions and deletions between existing vertices,
+// and offers bounded local refinement: dirty vertices (touched by updates)
+// are re-evaluated best-gain-first, with moves capped per call so the cost
+// of staying good is predictable.
+//
+// The structure kept is deliberately streaming-grade: the dynamic adjacency
+// (needed to evaluate moves), per-partition loads and the route table —
+// O(|V| + |E|) total, no Γ windows (updates are not id-ordered).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "partition/partitioning.hpp"
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+
+struct IncrementalOptions {
+  /// Weight of the logical range prior for unplaced out-neighbors of an
+  /// arriving vertex (0 disables it; the SPNL transplant).
+  double logical_weight = 0.5;
+  /// Expected final vertex count (sizes the logical table; grows if
+  /// exceeded). 0 = start from the initial route size.
+  VertexId expected_vertices = 0;
+};
+
+struct RefineStats {
+  std::uint64_t moves = 0;
+  std::int64_t cut_improvement = 0;  ///< drop in directed cut edges
+};
+
+class IncrementalPartitioner {
+ public:
+  /// Starts from an existing partitioning (e.g. a streaming run). The graph
+  /// edges are ingested as the initial adjacency; route must cover the
+  /// graph's vertices.
+  IncrementalPartitioner(const class Graph& graph, std::vector<PartitionId> route,
+                         const PartitionConfig& config,
+                         IncrementalOptions options = {});
+
+  /// Starts empty (all placement decisions are incremental).
+  IncrementalPartitioner(const PartitionConfig& config, VertexId expected_vertices,
+                         EdgeId expected_edges, IncrementalOptions options = {});
+
+  /// Place a new vertex with its (initial) out-adjacency. Ids may arrive in
+  /// any order but must be new. Returns the chosen partition.
+  PartitionId add_vertex(VertexId v, std::span<const VertexId> out);
+
+  /// Insert/remove a directed edge between existing vertices. Unknown
+  /// endpoints are auto-registered as isolated vertices first.
+  void add_edge(VertexId from, VertexId to);
+  /// Returns false if the edge was not present.
+  bool remove_edge(VertexId from, VertexId to);
+
+  /// Bounded local refinement: re-evaluates dirty vertices (and, for moved
+  /// ones, their neighbors) best-gain-first, performing at most max_moves
+  /// strictly-improving moves under the capacity constraint.
+  RefineStats refine(std::uint64_t max_moves);
+
+  /// Current number of cut edges (maintained incrementally, O(1)).
+  EdgeId cut_edges() const { return cut_edges_; }
+  double ecr() const {
+    return num_edges_ == 0 ? 0.0
+                           : static_cast<double>(cut_edges_) / num_edges_;
+  }
+  double delta_v() const;
+
+  const std::vector<PartitionId>& route() const { return route_; }
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return num_edges_; }
+  PartitionId partition_of(VertexId v) const { return route_[v]; }
+  std::size_t dirty_count() const { return dirty_.size(); }
+
+  std::size_t memory_footprint_bytes() const;
+
+ private:
+  void ensure_vertex(VertexId v);
+  /// Gain (cut-edge reduction) of moving v to p, and load feasibility.
+  std::int64_t move_gain(VertexId v, PartitionId p) const;
+  PartitionId best_target(VertexId v, std::int64_t& gain) const;
+  void apply_move(VertexId v, PartitionId to);
+  void mark_dirty(VertexId v);
+
+  PartitionConfig config_;
+  IncrementalOptions options_;
+  double capacity_ = 0.0;
+
+  std::vector<PartitionId> route_;
+  std::vector<std::vector<VertexId>> out_adj_;
+  std::vector<std::vector<VertexId>> in_adj_;
+  std::vector<std::uint64_t> loads_;  // vertex counts per partition
+  RangeTable logical_;
+  VertexId num_vertices_ = 0;  // placed vertices
+  EdgeId num_edges_ = 0;
+  EdgeId cut_edges_ = 0;
+  std::unordered_set<VertexId> dirty_;
+};
+
+}  // namespace spnl

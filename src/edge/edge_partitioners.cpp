@@ -1,0 +1,175 @@
+#include "edge/edge_partitioners.hpp"
+
+#include <algorithm>
+
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+
+namespace spnl {
+
+HashEdgePartitioner::HashEdgePartitioner(VertexId num_vertices, EdgeId num_edges,
+                                         const PartitionConfig& config,
+                                         std::uint64_t seed)
+    : EdgePartitioner(num_vertices, num_edges, config), seed_(seed) {}
+
+PartitionId HashEdgePartitioner::place_edge(VertexId from, VertexId to) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  const auto p = static_cast<PartitionId>(mix64(seed_ ^ key) % num_partitions());
+  commit_edge(from, to, p);
+  return p;
+}
+
+Grid2dPartitioner::Grid2dPartitioner(VertexId num_vertices, EdgeId num_edges,
+                                     const PartitionConfig& config,
+                                     std::uint64_t seed)
+    : EdgePartitioner(num_vertices, num_edges, config), seed_(seed) {
+  side_ = 1;
+  while (side_ * side_ < config.num_partitions) ++side_;
+}
+
+PartitionId Grid2dPartitioner::place_edge(VertexId from, VertexId to) {
+  const auto row = static_cast<PartitionId>(mix64(seed_ ^ from) % side_);
+  const auto col = static_cast<PartitionId>(mix64(seed_ ^ to) % side_);
+  // Fold the square grid into K cells (K may not be a perfect square).
+  const PartitionId p =
+      static_cast<PartitionId>((row * side_ + col) % num_partitions());
+  commit_edge(from, to, p);
+  return p;
+}
+
+DbhPartitioner::DbhPartitioner(VertexId num_vertices, EdgeId num_edges,
+                               const PartitionConfig& config, std::uint64_t seed)
+    : EdgePartitioner(num_vertices, num_edges, config),
+      seed_(seed),
+      partial_degree_(num_vertices, 0) {}
+
+PartitionId DbhPartitioner::place_edge(VertexId from, VertexId to) {
+  ++partial_degree_[from];
+  ++partial_degree_[to];
+  // Hash on the LOWER-degree endpoint: the hub endpoint then spreads across
+  // partitions (hubs are replicated anyway) while the tail endpoint's edges
+  // stay together.
+  const VertexId anchor =
+      partial_degree_[from] <= partial_degree_[to] ? from : to;
+  const auto p = static_cast<PartitionId>(mix64(seed_ ^ anchor) % num_partitions());
+  commit_edge(from, to, p);
+  return p;
+}
+
+std::size_t DbhPartitioner::memory_footprint_bytes() const {
+  return EdgePartitioner::memory_footprint_bytes() + vector_bytes(partial_degree_);
+}
+
+GreedyEdgePartitioner::GreedyEdgePartitioner(VertexId num_vertices, EdgeId num_edges,
+                                             const PartitionConfig& config)
+    : EdgePartitioner(num_vertices, num_edges, config) {}
+
+PartitionId GreedyEdgePartitioner::place_edge(VertexId from, VertexId to) {
+  // PowerGraph rules, with the hard capacity as a filter:
+  //  1. some partition holds both endpoints -> least loaded of those;
+  //  2. some partition holds one endpoint -> least loaded of those;
+  //  3. otherwise least loaded overall.
+  const std::uint64_t both = replicas_.mask(from) & replicas_.mask(to);
+  const std::uint64_t either = replicas_.mask(from) | replicas_.mask(to);
+  for (std::uint64_t candidates : {both, either}) {
+    PartitionId best = kUnassigned;
+    for (PartitionId p = 0; p < num_partitions(); ++p) {
+      if (!((candidates >> p) & 1ULL) || edge_full(p)) continue;
+      if (best == kUnassigned || edge_counts_[p] < edge_counts_[best]) best = p;
+    }
+    if (best != kUnassigned) {
+      commit_edge(from, to, best);
+      return best;
+    }
+  }
+  const PartitionId p = least_loaded();
+  commit_edge(from, to, p);
+  return p;
+}
+
+HdrfPartitioner::HdrfPartitioner(VertexId num_vertices, EdgeId num_edges,
+                                 const PartitionConfig& config, HdrfOptions options)
+    : EdgePartitioner(num_vertices, num_edges, config),
+      options_(options),
+      partial_degree_(num_vertices, 0),
+      scores_(config.num_partitions, 0.0) {}
+
+double HdrfPartitioner::replica_score(VertexId v, VertexId other,
+                                      PartitionId p) const {
+  if (!replicas_.has_replica(v, p)) return 0.0;
+  // Normalized partial degree: favor keeping the LOW degree endpoint whole
+  // (1 + 1 - theta where theta is v's share of the pair's degree).
+  const double dv = partial_degree_[v];
+  const double du = partial_degree_[other];
+  const double theta = dv / (dv + du);
+  return 1.0 + (1.0 - theta);
+}
+
+double HdrfPartitioner::balance_score(PartitionId p) const {
+  EdgeId max_load = 0, min_load = edge_counts_[0];
+  for (EdgeId load : edge_counts_) {
+    max_load = std::max(max_load, load);
+    min_load = std::min(min_load, load);
+  }
+  const double spread = static_cast<double>(max_load) - min_load + 1.0;
+  return options_.mu * (max_load - static_cast<double>(edge_counts_[p])) / spread;
+}
+
+PartitionId HdrfPartitioner::place_edge(VertexId from, VertexId to) {
+  ++partial_degree_[from];
+  ++partial_degree_[to];
+  PartitionId best = kUnassigned;
+  double best_score = 0.0;
+  for (PartitionId p = 0; p < num_partitions(); ++p) {
+    if (edge_full(p)) continue;
+    const double score = replica_score(from, to, p) + replica_score(to, from, p) +
+                         balance_score(p);
+    if (best == kUnassigned || score > best_score ||
+        (score == best_score && edge_counts_[p] < edge_counts_[best])) {
+      best = p;
+      best_score = score;
+    }
+  }
+  if (best == kUnassigned) best = least_loaded();
+  commit_edge(from, to, best);
+  return best;
+}
+
+std::size_t HdrfPartitioner::memory_footprint_bytes() const {
+  return EdgePartitioner::memory_footprint_bytes() + vector_bytes(partial_degree_) +
+         vector_bytes(scores_);
+}
+
+HdrfLPartitioner::HdrfLPartitioner(VertexId num_vertices, EdgeId num_edges,
+                                   const PartitionConfig& config, HdrfOptions options)
+    : HdrfPartitioner(num_vertices, num_edges, config, options),
+      logical_(num_vertices, config.num_partitions) {}
+
+PartitionId HdrfLPartitioner::place_edge(VertexId from, VertexId to) {
+  ++partial_degree_[from];
+  ++partial_degree_[to];
+  // The SPNL transplant: a logical range prior nudges each edge toward the
+  // partition its endpoints' id range maps to, concentrating replicas in
+  // contiguous ranges on crawl-numbered graphs.
+  const PartitionId logical_from = logical_.partition_of(from);
+  const PartitionId logical_to = logical_.partition_of(to);
+  PartitionId best = kUnassigned;
+  double best_score = 0.0;
+  for (PartitionId p = 0; p < num_partitions(); ++p) {
+    if (edge_full(p)) continue;
+    double score = replica_score(from, to, p) + replica_score(to, from, p) +
+                   balance_score(p);
+    if (p == logical_from) score += options_.locality_weight;
+    if (p == logical_to) score += options_.locality_weight;
+    if (best == kUnassigned || score > best_score ||
+        (score == best_score && edge_counts_[p] < edge_counts_[best])) {
+      best = p;
+      best_score = score;
+    }
+  }
+  if (best == kUnassigned) best = least_loaded();
+  commit_edge(from, to, best);
+  return best;
+}
+
+}  // namespace spnl

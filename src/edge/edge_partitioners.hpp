@@ -1,0 +1,113 @@
+// The concrete streaming edge partitioners.
+//
+//  * HashEdgePartitioner — hash of the edge pair; the RF upper baseline.
+//  * DbhPartitioner — Degree-Based Hashing (Xie et al., NeurIPS'14): hash on
+//    the endpoint with the smaller (partial, streaming) degree, so hubs are
+//    the ones replicated.
+//  * GreedyEdgePartitioner — the PowerGraph placement rule: prefer
+//    partitions already holding both endpoints, then one, then least loaded.
+//  * HdrfPartitioner — HDRF (Petroni et al., CIKM'15): greedy scored by
+//    normalized partial degrees so the highest-degree endpoint gets cut,
+//    plus a load-balance term weighted by mu.
+//  * HdrfLPartitioner — HDRF + topology Locality: the paper's future-work
+//    transplant. Adds a logical range prior (the SPNL idea) to the HDRF
+//    score so edges whose endpoints logically belong to a partition's id
+//    range prefer it, concentrating replicas range-wise.
+#pragma once
+
+#include <cstdint>
+
+#include "edge/edge_partitioning.hpp"
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+
+class HashEdgePartitioner final : public EdgePartitioner {
+ public:
+  HashEdgePartitioner(VertexId num_vertices, EdgeId num_edges,
+                      const PartitionConfig& config, std::uint64_t seed = 1);
+  PartitionId place_edge(VertexId from, VertexId to) override;
+  std::string name() const override { return "HashE"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// 2D (grid) hash partitioner (GraphBuilder/CYCLADES style): partitions are
+/// arranged in a near-square grid; vertex v hashes to a "shard row", and the
+/// edge (u, v) goes to the cell at (row(u), row(v)) folded into K. Bounds
+/// every vertex's replication by O(2*sqrt(K)) regardless of degree — the
+/// classic worst-case guarantee the scoring heuristics lack.
+class Grid2dPartitioner final : public EdgePartitioner {
+ public:
+  Grid2dPartitioner(VertexId num_vertices, EdgeId num_edges,
+                    const PartitionConfig& config, std::uint64_t seed = 1);
+  PartitionId place_edge(VertexId from, VertexId to) override;
+  std::string name() const override { return "Grid2D"; }
+
+  PartitionId grid_side() const { return side_; }
+
+ private:
+  std::uint64_t seed_;
+  PartitionId side_;  // ceil(sqrt(K))
+};
+
+class DbhPartitioner final : public EdgePartitioner {
+ public:
+  DbhPartitioner(VertexId num_vertices, EdgeId num_edges,
+                 const PartitionConfig& config, std::uint64_t seed = 1);
+  PartitionId place_edge(VertexId from, VertexId to) override;
+  std::string name() const override { return "DBH"; }
+  std::size_t memory_footprint_bytes() const override;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::uint32_t> partial_degree_;
+};
+
+class GreedyEdgePartitioner final : public EdgePartitioner {
+ public:
+  GreedyEdgePartitioner(VertexId num_vertices, EdgeId num_edges,
+                        const PartitionConfig& config);
+  PartitionId place_edge(VertexId from, VertexId to) override;
+  std::string name() const override { return "GreedyE"; }
+};
+
+struct HdrfOptions {
+  /// Balance weight; HDRF paper recommends ~1.
+  double mu = 1.0;
+  /// Locality weight for HdrfL (ignored by plain HDRF).
+  double locality_weight = 0.5;
+};
+
+class HdrfPartitioner : public EdgePartitioner {
+ public:
+  HdrfPartitioner(VertexId num_vertices, EdgeId num_edges,
+                  const PartitionConfig& config, HdrfOptions options = {});
+  PartitionId place_edge(VertexId from, VertexId to) override;
+  std::string name() const override { return "HDRF"; }
+  std::size_t memory_footprint_bytes() const override;
+
+ protected:
+  /// The replication part of the HDRF score for one endpoint.
+  double replica_score(VertexId v, VertexId other, PartitionId p) const;
+  /// The load-balance part of the score.
+  double balance_score(PartitionId p) const;
+
+  HdrfOptions options_;
+  std::vector<std::uint32_t> partial_degree_;
+  mutable std::vector<double> scores_;
+};
+
+class HdrfLPartitioner final : public HdrfPartitioner {
+ public:
+  HdrfLPartitioner(VertexId num_vertices, EdgeId num_edges,
+                   const PartitionConfig& config, HdrfOptions options = {});
+  PartitionId place_edge(VertexId from, VertexId to) override;
+  std::string name() const override { return "HDRF-L"; }
+
+ private:
+  RangeTable logical_;
+};
+
+}  // namespace spnl

@@ -1,0 +1,100 @@
+#include "edge/edge_partitioning.hpp"
+
+#include <stdexcept>
+
+#include "graph/adjacency_stream.hpp"
+#include "util/memory.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+ReplicaTable::ReplicaTable(VertexId num_vertices, PartitionId num_partitions)
+    : masks_(num_vertices, 0) {
+  if (num_partitions == 0 || num_partitions > 64) {
+    throw std::invalid_argument("ReplicaTable: K must be in [1, 64]");
+  }
+}
+
+bool ReplicaTable::add_replica(VertexId v, PartitionId p) {
+  const std::uint64_t bit = 1ULL << p;
+  if (masks_[v] & bit) return false;
+  masks_[v] |= bit;
+  ++total_;
+  return true;
+}
+
+std::size_t ReplicaTable::memory_footprint_bytes() const {
+  return vector_bytes(masks_);
+}
+
+EdgePartitioner::EdgePartitioner(VertexId num_vertices, EdgeId num_edges,
+                                 const PartitionConfig& config)
+    : config_(config),
+      num_vertices_(num_vertices),
+      capacity_(partition_capacity(
+          num_vertices, num_edges,
+          PartitionConfig{config.num_partitions, BalanceMode::kEdge, config.slack})),
+      replicas_(num_vertices, config.num_partitions),
+      edge_counts_(config.num_partitions, 0) {}
+
+std::size_t EdgePartitioner::memory_footprint_bytes() const {
+  return replicas_.memory_footprint_bytes() + vector_bytes(edge_counts_);
+}
+
+double EdgePartitioner::replication_factor() const {
+  // Count only vertices that actually have replicas (appeared in an edge).
+  VertexId seen = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (replicas_.replica_count(v) > 0) ++seen;
+  }
+  return seen == 0 ? 0.0
+                   : static_cast<double>(replicas_.total_replicas()) / seen;
+}
+
+double EdgePartitioner::edge_balance() const {
+  if (placed_edges_ == 0) return 0.0;
+  EdgeId max_load = 0;
+  for (EdgeId load : edge_counts_) max_load = std::max(max_load, load);
+  return static_cast<double>(max_load) * config_.num_partitions / placed_edges_;
+}
+
+void EdgePartitioner::commit_edge(VertexId from, VertexId to, PartitionId p) {
+  if (p >= config_.num_partitions) {
+    throw std::logic_error("EdgePartitioner: partition id out of range");
+  }
+  ++edge_counts_[p];
+  ++placed_edges_;
+  replicas_.add_replica(from, p);
+  replicas_.add_replica(to, p);
+}
+
+PartitionId EdgePartitioner::least_loaded() const {
+  PartitionId best = 0;
+  for (PartitionId p = 1; p < config_.num_partitions; ++p) {
+    if (edge_counts_[p] < edge_counts_[best]) best = p;
+  }
+  return best;
+}
+
+EdgePartitionMetrics evaluate_edge_partition(const EdgePartitioner& partitioner,
+                                             VertexId num_vertices) {
+  (void)num_vertices;
+  EdgePartitionMetrics metrics;
+  metrics.replication_factor = partitioner.replication_factor();
+  metrics.edge_balance = partitioner.edge_balance();
+  metrics.total_replicas = partitioner.replicas().total_replicas();
+  for (PartitionId p = 0; p < partitioner.num_partitions(); ++p) {
+    metrics.placed_edges += partitioner.edge_count(p);
+  }
+  return metrics;
+}
+
+double run_edge_streaming(AdjacencyStream& stream, EdgePartitioner& partitioner) {
+  Timer timer;
+  while (auto record = stream.next()) {
+    for (VertexId u : record->out) partitioner.place_edge(record->id, u);
+  }
+  return timer.seconds();
+}
+
+}  // namespace spnl

@@ -1,0 +1,106 @@
+// Streaming EDGE partitioning — the paper's stated future work (Sec. VII:
+// "the quality optimization techniques actually can also work in edge
+// partitioning").
+//
+// In edge partitioning each edge is assigned to exactly one partition and a
+// vertex is replicated wherever its edges land; the quality metric is the
+// replication factor RF = (Σ_v #replicas(v)) / |V| (lower is better), the
+// edge-partitioning analogue of the cut ratio, plus edge balance.
+//
+// This module implements the standard streaming competitors (DBH, the
+// PowerGraph greedy rule, HDRF) and HdrfL — HDRF enhanced with the paper's
+// topology-locality idea (a logical range prior on vertex placement), the
+// SPNL treatment transplanted to edges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+/// Tracks which partitions have a replica of each vertex. K is limited to 64
+/// so the partition set fits one mask word (every real deployment in the
+/// paper uses K <= 32; edge partitioners commonly exploit this bound).
+class ReplicaTable {
+ public:
+  ReplicaTable(VertexId num_vertices, PartitionId num_partitions);
+
+  bool has_replica(VertexId v, PartitionId p) const {
+    return (masks_[v] >> p) & 1ULL;
+  }
+  /// Adds the replica; returns true if it is new.
+  bool add_replica(VertexId v, PartitionId p);
+  int replica_count(VertexId v) const { return __builtin_popcountll(masks_[v]); }
+  std::uint64_t mask(VertexId v) const { return masks_[v]; }
+  std::uint64_t total_replicas() const { return total_; }
+
+  std::size_t memory_footprint_bytes() const;
+
+ private:
+  std::vector<std::uint64_t> masks_;
+  std::uint64_t total_ = 0;
+};
+
+/// A one-pass streaming edge partitioner: edges arrive as (from, to) pairs
+/// (the adjacency stream flattened) and each is assigned irrevocably.
+class EdgePartitioner {
+ public:
+  EdgePartitioner(VertexId num_vertices, EdgeId num_edges,
+                  const PartitionConfig& config);
+  virtual ~EdgePartitioner() = default;
+
+  virtual PartitionId place_edge(VertexId from, VertexId to) = 0;
+  virtual std::string name() const = 0;
+  virtual std::size_t memory_footprint_bytes() const;
+
+  const ReplicaTable& replicas() const { return replicas_; }
+  EdgeId edge_count(PartitionId p) const { return edge_counts_[p]; }
+  PartitionId num_partitions() const { return config_.num_partitions; }
+
+  /// RF = total replicas / |V| over vertices seen so far.
+  double replication_factor() const;
+
+  /// max_i |E_i| * K / (edges placed).
+  double edge_balance() const;
+
+ protected:
+  /// Record the decision: edge load and both endpoint replicas.
+  void commit_edge(VertexId from, VertexId to, PartitionId p);
+
+  bool edge_full(PartitionId p) const {
+    return static_cast<double>(edge_counts_[p]) >= capacity_;
+  }
+
+  /// Least-loaded partition (the universal fallback).
+  PartitionId least_loaded() const;
+
+  const PartitionConfig config_;
+  const VertexId num_vertices_;
+  const double capacity_;
+  ReplicaTable replicas_;
+  std::vector<EdgeId> edge_counts_;
+  EdgeId placed_edges_ = 0;
+};
+
+/// Quality summary of a completed edge partitioning.
+struct EdgePartitionMetrics {
+  double replication_factor = 0.0;
+  double edge_balance = 0.0;
+  std::uint64_t total_replicas = 0;
+  EdgeId placed_edges = 0;
+};
+
+EdgePartitionMetrics evaluate_edge_partition(const EdgePartitioner& partitioner,
+                                             VertexId num_vertices);
+
+/// Drives a full adjacency stream through an edge partitioner (flattening
+/// records to edges) and returns the elapsed seconds.
+class AdjacencyStream;
+double run_edge_streaming(AdjacencyStream& stream, EdgePartitioner& partitioner);
+
+}  // namespace spnl

@@ -1,0 +1,122 @@
+#include "engine/parallel_bsp.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace spnl {
+
+BspResult run_bsp_parallel(const Graph& graph, const PartitionedGraph& partitioned,
+                           VertexProgram& program, ParallelBspOptions options) {
+  const PartitionId k = partitioned.num_partitions();
+  const VertexId n = partitioned.num_vertices();
+
+  BspResult result;
+  result.values.resize(n);
+  // NOT vector<bool>: workers write adjacent vertices' flags concurrently
+  // and the bit-packed specialization would race within a byte.
+  std::vector<char> active(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    active[v] = program.init(v, graph, result.values[v]) ? 1 : 0;
+  }
+
+  // outboxes[from][to]: messages crossing partitions this superstep.
+  using Message = std::pair<VertexId, double>;
+  std::vector<std::vector<std::vector<Message>>> outboxes(
+      k, std::vector<std::vector<Message>>(k));
+  // Per-partition inbox over global ids (only the owner writes its slots).
+  std::vector<std::optional<double>> inbox(n);
+
+  std::atomic<bool> any_active{true};
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> local_total{0}, remote_total{0};
+  std::atomic<int> supersteps{0};
+
+  // Barrier completion: runs on exactly one thread between phases.
+  auto on_phase_end = [&]() noexcept {};
+  std::barrier sync(static_cast<std::ptrdiff_t>(k), on_phase_end);
+
+  auto worker = [&](PartitionId p) {
+    const GraphShard& shard = partitioned.shard(p);
+    for (int step = 0; step < options.max_supersteps; ++step) {
+      // --- Phase 1: compute + send -------------------------------------
+      std::uint64_t local = 0, remote = 0;
+      bool emitted_any = false;
+      for (VertexId lv = 0; lv < shard.num_local(); ++lv) {
+        const VertexId v = shard.global_ids[lv];
+        if (!active[v]) continue;
+        emitted_any = true;
+        const auto message = program.emit(v, result.values[v], graph);
+        if (!message) continue;
+        for (EdgeId e = shard.offsets[lv]; e < shard.offsets[lv + 1]; ++e) {
+          const VertexId u = shard.targets[e];
+          const double delivered = program.emit_to(v, *message, u, graph);
+          const PartitionId owner = partitioned.owner(u);
+          if (owner == p) {
+            if (inbox[u]) {
+              inbox[u] = program.combine(*inbox[u], delivered);
+            } else {
+              inbox[u] = delivered;
+            }
+            ++local;
+          } else {
+            outboxes[p][owner].emplace_back(u, delivered);
+            ++remote;
+          }
+        }
+      }
+      if (emitted_any) any_active.store(true, std::memory_order_relaxed);
+      local_total.fetch_add(local, std::memory_order_relaxed);
+      remote_total.fetch_add(remote, std::memory_order_relaxed);
+      sync.arrive_and_wait();
+
+      // Single thread decides termination for the round just computed.
+      if (p == 0) {
+        if (!any_active.load()) {
+          done.store(true);
+        } else {
+          supersteps.fetch_add(1);
+          any_active.store(false);
+        }
+      }
+      sync.arrive_and_wait();
+      if (done.load()) return;
+
+      // --- Phase 2: receive + apply ------------------------------------
+      for (PartitionId from = 0; from < k; ++from) {
+        for (const auto& [u, value] : outboxes[from][p]) {
+          if (inbox[u]) {
+            inbox[u] = program.combine(*inbox[u], value);
+          } else {
+            inbox[u] = value;
+          }
+        }
+      }
+      for (VertexId lv = 0; lv < shard.num_local(); ++lv) {
+        const VertexId v = shard.global_ids[lv];
+        const bool stay = program.apply(v, result.values[v], inbox[v], step, graph);
+        active[v] = stay ? 1 : 0;
+        if (stay) any_active.store(true, std::memory_order_relaxed);
+        inbox[v] = std::nullopt;
+      }
+      // Clear this worker's incoming boxes for the next round.
+      sync.arrive_and_wait();
+      for (PartitionId from = 0; from < k; ++from) outboxes[from][p].clear();
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (PartitionId p = 0; p < k; ++p) threads.emplace_back(worker, p);
+  for (auto& thread : threads) thread.join();
+
+  result.stats.supersteps = supersteps.load();
+  result.stats.local_messages = local_total.load();
+  result.stats.remote_messages = remote_total.load();
+  return result;
+}
+
+}  // namespace spnl

@@ -1,0 +1,30 @@
+// Threaded BSP executor: the shared-memory realization of the distributed
+// runtime the paper's partitions target. One thread per partition computes
+// over its GraphShard, cross-partition messages travel through per-pair
+// outboxes, and std::barrier separates the compute / exchange / apply
+// phases of every superstep — a faithful miniature of Pregel's execution
+// model, against which the sequential engine's results are verified.
+//
+// The VertexProgram must be stateless across vertices (emit/combine/apply
+// are called concurrently from worker threads); all programs in
+// algorithms.hpp qualify.
+#pragma once
+
+#include "engine/bsp.hpp"
+#include "engine/partitioned_graph.hpp"
+
+namespace spnl {
+
+struct ParallelBspOptions {
+  int max_supersteps = 50;
+};
+
+/// Runs the program over the partitioned graph with one thread per
+/// partition. `graph` must be the graph the PartitionedGraph was built
+/// from (programs consult it for degrees). Values/stats match run_bsp
+/// bit-for-bit for programs with associative, order-insensitive combiners
+/// (min) and within floating-point reassociation for sums.
+BspResult run_bsp_parallel(const Graph& graph, const PartitionedGraph& partitioned,
+                           VertexProgram& program, ParallelBspOptions options = {});
+
+}  // namespace spnl

@@ -1,0 +1,68 @@
+#include "engine/partitioned_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/memory.hpp"
+
+namespace spnl {
+
+std::size_t GraphShard::memory_footprint_bytes() const {
+  return vector_bytes(global_ids) + vector_bytes(offsets) + vector_bytes(targets) +
+         vector_bytes(ghosts);
+}
+
+PartitionedGraph::PartitionedGraph(const Graph& graph,
+                                   const std::vector<PartitionId>& route,
+                                   PartitionId k)
+    : route_(route), local_ids_(graph.num_vertices(), kInvalidVertex) {
+  if (route.size() != graph.num_vertices()) {
+    throw std::invalid_argument("PartitionedGraph: route size != |V|");
+  }
+  if (k == 0) throw std::invalid_argument("PartitionedGraph: k must be >= 1");
+  shards_.resize(k);
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (route[v] >= k) {
+      throw std::invalid_argument("PartitionedGraph: partition id out of range");
+    }
+    GraphShard& shard = shards_[route[v]];
+    local_ids_[v] = shard.num_local();
+    shard.global_ids.push_back(v);
+  }
+
+  for (PartitionId p = 0; p < k; ++p) {
+    GraphShard& shard = shards_[p];
+    shard.offsets.reserve(shard.global_ids.size() + 1);
+    shard.offsets.push_back(0);
+    for (VertexId v : shard.global_ids) {
+      for (VertexId u : graph.out_neighbors(v)) {
+        shard.targets.push_back(u);
+        if (route[u] == p) {
+          ++shard.internal_edges;
+        } else {
+          ++shard.external_edges;
+          shard.ghosts.push_back(u);
+        }
+      }
+      shard.offsets.push_back(shard.targets.size());
+    }
+    std::sort(shard.ghosts.begin(), shard.ghosts.end());
+    shard.ghosts.erase(std::unique(shard.ghosts.begin(), shard.ghosts.end()),
+                       shard.ghosts.end());
+  }
+}
+
+std::uint64_t PartitionedGraph::total_ghosts() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.ghosts.size();
+  return total;
+}
+
+std::size_t PartitionedGraph::memory_footprint_bytes() const {
+  std::size_t bytes = vector_bytes(route_) + vector_bytes(local_ids_);
+  for (const auto& shard : shards_) bytes += shard.memory_footprint_bytes();
+  return bytes;
+}
+
+}  // namespace spnl

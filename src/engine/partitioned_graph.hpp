@@ -1,0 +1,62 @@
+// Partitioned graph storage: what a distributed loader builds from a route
+// table. Each partition holds its local vertices' adjacency in CSR form
+// with LOCAL ids, a ghost table for remote endpoints, and the out-edge
+// routing split into local vs per-remote-partition lists — the layout a
+// Pregel-style worker actually computes over.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+/// One partition's shard of the graph.
+struct GraphShard {
+  /// Global ids of the local vertices, in local-id order.
+  std::vector<VertexId> global_ids;
+  /// CSR over local vertices; targets are GLOBAL ids (the executor resolves
+  /// ownership via the route table — cheap and avoids a ghost indirection
+  /// in the hot loop).
+  std::vector<EdgeId> offsets;
+  std::vector<VertexId> targets;
+  /// Global ids of remote vertices referenced by local out-edges (ghosts),
+  /// deduplicated and sorted.
+  std::vector<VertexId> ghosts;
+  EdgeId internal_edges = 0;
+  EdgeId external_edges = 0;
+
+  VertexId num_local() const {
+    return static_cast<VertexId>(global_ids.size());
+  }
+  std::size_t memory_footprint_bytes() const;
+};
+
+/// The full partitioned graph: K shards + ownership metadata.
+class PartitionedGraph {
+ public:
+  /// Splits `graph` by `route` (complete assignment into k partitions).
+  PartitionedGraph(const Graph& graph, const std::vector<PartitionId>& route,
+                   PartitionId k);
+
+  PartitionId num_partitions() const { return static_cast<PartitionId>(shards_.size()); }
+  const GraphShard& shard(PartitionId p) const { return shards_[p]; }
+  PartitionId owner(VertexId global_id) const { return route_[global_id]; }
+  /// Local id of a global vertex within its owner's shard.
+  VertexId local_id(VertexId global_id) const { return local_ids_[global_id]; }
+  VertexId num_vertices() const { return static_cast<VertexId>(route_.size()); }
+
+  /// Total ghost entries across shards — the replication the cut induces.
+  std::uint64_t total_ghosts() const;
+
+  std::size_t memory_footprint_bytes() const;
+
+ private:
+  std::vector<GraphShard> shards_;
+  std::vector<PartitionId> route_;
+  std::vector<VertexId> local_ids_;
+};
+
+}  // namespace spnl

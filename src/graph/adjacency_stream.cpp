@@ -1,0 +1,194 @@
+#include "graph/adjacency_stream.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace spnl {
+
+std::optional<VertexRecord> InMemoryStream::next() {
+  if (cursor_ >= graph_->num_vertices()) return std::nullopt;
+  VertexRecord record{cursor_, graph_->out_neighbors(cursor_)};
+  ++cursor_;
+  return record;
+}
+
+OrderedStream::OrderedStream(const Graph& graph, std::vector<VertexId> order)
+    : graph_(&graph), order_(std::move(order)) {
+  if (order_.size() != graph.num_vertices()) {
+    throw std::invalid_argument("OrderedStream: order size != |V|");
+  }
+  std::vector<bool> seen(order_.size(), false);
+  for (VertexId v : order_) {
+    if (v >= order_.size() || seen[v]) {
+      throw std::invalid_argument("OrderedStream: order is not a permutation");
+    }
+    seen[v] = true;
+  }
+}
+
+std::optional<VertexRecord> OrderedStream::next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  const VertexId v = order_[cursor_++];
+  return VertexRecord{v, graph_->out_neighbors(v)};
+}
+
+namespace {
+
+// Parses whitespace-separated unsigned ints from `line` into `out`.
+// Returns false on any malformed token.
+bool parse_ids(const std::string& line, std::vector<VertexId>& out) {
+  out.clear();
+  const char* p = line.data();
+  const char* end = p + line.size();
+  while (p < end) {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p >= end) break;
+    VertexId value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc()) return false;
+    out.push_back(value);
+    p = next;
+  }
+  return true;
+}
+
+}  // namespace
+
+FileAdjacencyStream::FileAdjacencyStream(const std::string& path) : path_(path) {
+  std::ifstream scan(path_);
+  if (!scan) throw std::runtime_error("FileAdjacencyStream: cannot open " + path_);
+
+  // Look for a "# V <n> E <m>" header on the first comment lines; otherwise
+  // pre-scan for counts.
+  bool have_header = false;
+  std::string line;
+  std::vector<VertexId> ids;
+  while (std::getline(scan, line)) {
+    if (!line.empty() && line[0] == '#') {
+      unsigned long long n = 0, m = 0;
+      if (std::sscanf(line.c_str(), "# V %llu E %llu", &n, &m) == 2) {
+        num_vertices_ = static_cast<VertexId>(n);
+        num_edges_ = m;
+        have_header = true;
+        break;
+      }
+      continue;
+    }
+    if (!parse_ids(line, ids) || ids.empty()) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_);
+    }
+    num_vertices_ = std::max(num_vertices_, ids[0] + 1);
+    num_edges_ += ids.size() - 1;
+  }
+  if (!have_header) {
+    // finish the pre-scan
+    while (std::getline(scan, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      if (!parse_ids(line, ids) || ids.empty()) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_);
+      }
+      num_vertices_ = std::max(num_vertices_, ids[0] + 1);
+      num_edges_ += ids.size() - 1;
+    }
+  }
+  reset();
+}
+
+void FileAdjacencyStream::reset() {
+  in_ = std::ifstream(path_);
+  if (!in_) throw std::runtime_error("FileAdjacencyStream: cannot reopen " + path_);
+}
+
+std::optional<VertexRecord> FileAdjacencyStream::next() {
+  while (std::getline(in_, line_)) {
+    if (line_.empty() || line_[0] == '#') continue;
+    if (line_.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!parse_ids(line_, buffer_) || buffer_.empty()) {
+      throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_);
+    }
+    VertexRecord record;
+    record.id = buffer_[0];
+    record.out = std::span<const VertexId>(buffer_.data() + 1, buffer_.size() - 1);
+    return record;
+  }
+  return std::nullopt;
+}
+
+EdgeListAdjacencyStream::EdgeListAdjacencyStream(const std::string& path)
+    : path_(path) {
+  std::ifstream scan(path_);
+  if (!scan) throw std::runtime_error("EdgeListAdjacencyStream: cannot open " + path_);
+  std::string line;
+  std::vector<VertexId> ids;
+  VertexId last_from = 0;
+  bool first = true;
+  while (std::getline(scan, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!parse_ids(line, ids) || ids.size() != 2) {
+      throw std::runtime_error("EdgeListAdjacencyStream: malformed line in " + path_);
+    }
+    if (!first && ids[0] < last_from) {
+      throw std::runtime_error(
+          "EdgeListAdjacencyStream: edges not grouped by source in " + path_);
+    }
+    first = false;
+    last_from = ids[0];
+    num_vertices_ = std::max({num_vertices_, ids[0] + 1, ids[1] + 1});
+    ++num_edges_;
+  }
+  reset();
+}
+
+void EdgeListAdjacencyStream::reset() {
+  in_ = std::ifstream(path_);
+  if (!in_) throw std::runtime_error("EdgeListAdjacencyStream: cannot reopen " + path_);
+  cursor_ = 0;
+  have_pending_ = false;
+}
+
+bool EdgeListAdjacencyStream::read_pair() {
+  std::vector<VertexId> ids;
+  while (std::getline(in_, line_)) {
+    if (line_.empty() || line_[0] == '#') continue;
+    if (line_.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!parse_ids(line_, ids) || ids.size() != 2) {
+      throw std::runtime_error("EdgeListAdjacencyStream: malformed line in " + path_);
+    }
+    pending_from_ = ids[0];
+    pending_to_ = ids[1];
+    return true;
+  }
+  return false;
+}
+
+std::optional<VertexRecord> EdgeListAdjacencyStream::next() {
+  if (cursor_ >= num_vertices_) return std::nullopt;
+  if (!have_pending_) have_pending_ = read_pair();
+
+  buffer_.clear();
+  const VertexId v = cursor_++;
+  while (have_pending_ && pending_from_ == v) {
+    buffer_.push_back(pending_to_);
+    have_pending_ = read_pair();
+  }
+  return VertexRecord{v, std::span<const VertexId>(buffer_)};
+}
+
+Graph materialize(AdjacencyStream& stream) {
+  GraphBuilder builder(stream.num_vertices());
+  std::vector<bool> seen(stream.num_vertices(), false);
+  while (auto record = stream.next()) {
+    if (record->id >= seen.size() || seen[record->id]) {
+      throw std::runtime_error("materialize: duplicate or out-of-range vertex record");
+    }
+    seen[record->id] = true;
+    builder.add_vertex(record->id, record->out);
+  }
+  return builder.finish();
+}
+
+}  // namespace spnl

@@ -1,0 +1,147 @@
+// The streaming model of the paper (Sec. II / IV): the graph arrives as a
+// one-pass stream of adjacency lists (vertex id + out-neighbors), vertices
+// consecutively numbered and — in the default order — streamed by increasing
+// id. Partitioners consume this interface; they never see the whole graph.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+/// One streamed record: a vertex and its out-adjacency list. The span points
+/// into stream-owned storage and is invalidated by the next call to next().
+struct VertexRecord {
+  VertexId id = kInvalidVertex;
+  std::span<const VertexId> out;
+};
+
+/// Owning variant used when records must outlive the stream (parallel queue).
+struct OwnedVertexRecord {
+  VertexId id = kInvalidVertex;
+  std::vector<VertexId> out;
+
+  static OwnedVertexRecord from(const VertexRecord& r) {
+    return {r.id, std::vector<VertexId>(r.out.begin(), r.out.end())};
+  }
+};
+
+/// One-pass (rewindable for re-streaming) adjacency-list source.
+class AdjacencyStream {
+ public:
+  virtual ~AdjacencyStream() = default;
+
+  /// Next record, or nullopt at end of stream.
+  virtual std::optional<VertexRecord> next() = 0;
+
+  /// Rewind to the beginning (used by the re-streaming wrappers).
+  virtual void reset() = 0;
+
+  /// Total vertex count. Streaming partitioners need |V| up front to size
+  /// capacities — the paper assumes it is known (graphs ship with metadata).
+  virtual VertexId num_vertices() const = 0;
+
+  /// Total edge count (for edge-balanced capacities).
+  virtual EdgeId num_edges() const = 0;
+};
+
+/// Streams an in-memory CSR graph in increasing vertex-id order.
+class InMemoryStream final : public AdjacencyStream {
+ public:
+  /// The graph must outlive the stream.
+  explicit InMemoryStream(const Graph& graph) : graph_(&graph) {}
+
+  std::optional<VertexRecord> next() override;
+  void reset() override { cursor_ = 0; }
+  VertexId num_vertices() const override { return graph_->num_vertices(); }
+  EdgeId num_edges() const override { return graph_->num_edges(); }
+
+ private:
+  const Graph* graph_;
+  VertexId cursor_ = 0;
+};
+
+/// Streams an in-memory graph in a caller-given vertex order (ablations:
+/// random order destroys the id-locality SPNL's window exploits).
+class OrderedStream final : public AdjacencyStream {
+ public:
+  /// order must be a permutation of 0..n-1; validated on construction.
+  OrderedStream(const Graph& graph, std::vector<VertexId> order);
+
+  std::optional<VertexRecord> next() override;
+  void reset() override { cursor_ = 0; }
+  VertexId num_vertices() const override { return graph_->num_vertices(); }
+  EdgeId num_edges() const override { return graph_->num_edges(); }
+
+ private:
+  const Graph* graph_;
+  std::vector<VertexId> order_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams a text adjacency-list file: one line per vertex,
+/// "<id> <out1> <out2> ...". Lines beginning with '#' are comments. A header
+/// comment "# V <n> E <m>" is honored; otherwise the file is pre-scanned once
+/// for counts (the partitioning pass itself stays single-scan, matching the
+/// paper's PT definition which starts at the first adjacency-list load).
+class FileAdjacencyStream final : public AdjacencyStream {
+ public:
+  explicit FileAdjacencyStream(const std::string& path);
+
+  std::optional<VertexRecord> next() override;
+  void reset() override;
+  VertexId num_vertices() const override { return num_vertices_; }
+  EdgeId num_edges() const override { return num_edges_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  std::string line_;
+  std::vector<VertexId> buffer_;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+};
+
+/// Streams a SNAP-style edge-list file ("<from> <to>" per line, '#'
+/// comments) that is sorted (grouped) by source — the format the public
+/// datasets actually ship in. Consecutive lines with the same source are
+/// assembled into one adjacency record; vertices with no out-edges are
+/// emitted as empty records so every id 0..max appears exactly once.
+/// Requires the grouping to be non-decreasing in the source id (validated).
+class EdgeListAdjacencyStream final : public AdjacencyStream {
+ public:
+  explicit EdgeListAdjacencyStream(const std::string& path);
+
+  std::optional<VertexRecord> next() override;
+  void reset() override;
+  VertexId num_vertices() const override { return num_vertices_; }
+  EdgeId num_edges() const override { return num_edges_; }
+
+ private:
+  /// Reads the next "from to" pair into pending_; false at EOF.
+  bool read_pair();
+
+  std::string path_;
+  std::ifstream in_;
+  std::string line_;
+  std::vector<VertexId> buffer_;
+  VertexId cursor_ = 0;  // next vertex id to emit
+  bool have_pending_ = false;
+  VertexId pending_from_ = 0;
+  VertexId pending_to_ = 0;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+};
+
+/// Drains a stream into a CSR graph (testing / examples). Requires records
+/// for every vertex id exactly once.
+Graph materialize(AdjacencyStream& stream);
+
+}  // namespace spnl

@@ -1,0 +1,80 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spnl {
+
+namespace {
+
+DatasetSpec make(std::string name, VertexId n, double avg_d, double locality,
+                 double locality_scale, double alpha, EdgeId max_degree,
+                 std::uint64_t seed, VertexId paper_v, EdgeId paper_e) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.params.num_vertices = n;
+  spec.params.avg_out_degree = avg_d;
+  spec.params.locality = locality;
+  spec.params.locality_scale = locality_scale;
+  spec.params.degree_alpha = alpha;
+  spec.params.max_out_degree = max_degree;
+  spec.params.copy_prob = 0.7;
+  spec.params.copy_fraction = 0.6;
+  spec.params.seed = seed;
+  spec.paper_num_vertices = paper_v;
+  spec.paper_num_edges = paper_e;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  // locality / alpha / max-degree tuned per graph: the paper's SPNL ECR is
+  // ~0.2-0.3 on stanford/uk2005 (weaker crawl locality) and 0.03-0.06 on
+  // indo2004/uk2002/web2001/uk2007 (strong locality); eu2015/indo2004 show
+  // the heaviest edge skew (paper δe up to 19, driven by extreme hubs).
+  static const std::vector<DatasetSpec> specs = [] {
+    std::vector<DatasetSpec> s = {
+      make("stanford", 20'000, 11.0, 0.72, 70.0, 2.2, 1 << 12, 11, 685'230, 7'605'339),
+      make("uk2005", 10'000, 30.0, 0.62, 80.0, 2.2, 1 << 12, 12, 100'000, 3'050'615),
+      make("eu2015", 60'000, 20.0, 0.86, 80.0, 1.6, 1 << 15, 13, 6'650'532, 171'736'545),
+      make("indo2004", 64'000, 22.0, 0.96, 60.0, 1.6, 1 << 14, 14, 7'414'866, 195'418'438),
+      make("uk2002", 100'000, 16.0, 0.95, 70.0, 2.2, 1 << 12, 15, 18'520'486, 298'113'762),
+      make("web2001", 160'000, 9.0, 0.95, 80.0, 2.2, 1 << 12, 16, 118'142'155, 1'019'903'190),
+      make("sk2005", 120'000, 38.0, 0.92, 90.0, 1.9, 1 << 13, 17, 50'636'154, 1'949'412'601),
+      make("uk2007", 200'000, 36.0, 0.97, 80.0, 1.8, 1 << 13, 18, 108'563'230, 3'929'837'236),
+    };
+    // The two ultra-skewed graphs carry a contiguous dense core whose edge
+    // mass lands in few partitions under vertex balance (paper δe 8.6-18.6).
+    for (auto& spec : s) {
+      if (spec.name == "eu2015") {
+        spec.params.dense_core_fraction = 0.02;
+        spec.params.dense_core_multiplier = 30.0;
+      } else if (spec.name == "indo2004") {
+        spec.params.dense_core_fraction = 0.03;
+        spec.params.dense_core_multiplier = 12.0;
+      }
+    }
+    return s;
+  }();
+  return specs;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const auto& spec : paper_datasets()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("dataset_by_name: unknown dataset " + name);
+}
+
+Graph load_dataset(const DatasetSpec& spec, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("load_dataset: scale must be > 0");
+  WebCrawlParams params = spec.params;
+  params.num_vertices = std::max<VertexId>(
+      16, static_cast<VertexId>(std::llround(params.num_vertices * scale)));
+  params.locality_scale = std::max(8.0, params.locality_scale * std::sqrt(scale));
+  return generate_webcrawl(params);
+}
+
+}  // namespace spnl

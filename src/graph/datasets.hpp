@@ -1,0 +1,41 @@
+// Scaled synthetic analogues of the paper's eight evaluation graphs
+// (Table II).
+//
+// The real datasets (stanford .. uk2007, up to 3.9B edges / 34GB) are not
+// available in this offline environment, so each is replaced by a web-crawl
+// model instance (generators.hpp) whose |V| is scaled down ~100-1000x while
+// preserving average degree, degree skew (heavier-tailed for eu2015 and
+// indo2004, whose paper δe ≈ 9-19), and BFS-crawl id locality (strong for
+// indo2004/uk2002/web2001/uk2007 where the paper's SPNL reaches ECR 0.03-0.06,
+// weaker for stanford/uk2005 where it stays at 0.18-0.32). See DESIGN.md
+// "Substitutions".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace spnl {
+
+struct DatasetSpec {
+  std::string name;
+  /// Generator parameters of the scaled analogue (scale = 1.0).
+  WebCrawlParams params;
+  /// The original graph's size, for the record.
+  VertexId paper_num_vertices = 0;
+  EdgeId paper_num_edges = 0;
+};
+
+/// The eight analogues, in the paper's Table II order.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// Generates the analogue. `scale` multiplies |V| (locality_scale follows
+/// proportionally), letting benches run quick or full versions.
+Graph load_dataset(const DatasetSpec& spec, double scale = 1.0);
+
+}  // namespace spnl

@@ -1,0 +1,283 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// Bounded Pareto out-degree draw with tail index alpha and target mean.
+/// Pareto(x_min, alpha) has mean x_min * alpha / (alpha - 1), so x_min is
+/// chosen from the requested mean; the cap truncates extreme draws.
+EdgeId draw_degree(Rng& rng, double mean, double alpha, EdgeId cap) {
+  const double x_min = mean * (alpha - 1.0) / alpha;
+  const double u = rng.next_double();
+  const double value = x_min / std::pow(1.0 - u, 1.0 / alpha);
+  auto degree = static_cast<EdgeId>(std::llround(value));
+  if (degree < 1) degree = 1;
+  if (degree > cap) degree = cap;
+  return degree;
+}
+
+/// Two-sided geometric offset with mean absolute value `scale`.
+std::int64_t draw_offset(Rng& rng, double scale) {
+  // Exponential with mean `scale`, rounded up to >= 1, random sign.
+  const double u = rng.next_double();
+  const double magnitude = -scale * std::log(1.0 - u);
+  auto off = static_cast<std::int64_t>(std::llround(magnitude));
+  if (off < 1) off = 1;
+  return rng.next_bool(0.5) ? off : -off;
+}
+
+}  // namespace
+
+Graph generate_webcrawl(const WebCrawlParams& params) {
+  if (params.num_vertices == 0) return Graph{};
+  if (params.degree_alpha <= 1.0) {
+    throw std::invalid_argument("generate_webcrawl: degree_alpha must be > 1");
+  }
+  if (params.locality < 0.0 || params.locality > 1.0) {
+    throw std::invalid_argument("generate_webcrawl: locality must be in [0,1]");
+  }
+  const VertexId n = params.num_vertices;
+  Rng rng(params.seed);
+
+  std::vector<EdgeId> offsets;
+  offsets.reserve(static_cast<std::size_t>(n) + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<std::size_t>(n * params.avg_out_degree));
+
+  // Reservoir of past edge targets for the preferential-attachment rule:
+  // non-local edges point to the target of a uniformly random earlier edge.
+  std::vector<VertexId> adj;
+  const auto core_end =
+      static_cast<VertexId>(params.dense_core_fraction * n);
+  for (VertexId v = 0; v < n; ++v) {
+    const double mean_degree =
+        v < core_end ? params.avg_out_degree * params.dense_core_multiplier
+                     : params.avg_out_degree;
+    const EdgeId degree =
+        draw_degree(rng, mean_degree, params.degree_alpha,
+                    std::min<EdgeId>(params.max_out_degree, n - 1));
+    adj.clear();
+
+    // Copying model: with probability copy_prob, inherit a fraction of a
+    // nearby predecessor's adjacency list. This creates the neighborhood
+    // overlap (clustering) of real crawled web graphs.
+    if (v > 0 && rng.next_bool(params.copy_prob)) {
+      const auto back =
+          1 + static_cast<VertexId>(rng.next_below(std::min<VertexId>(v, 8)));
+      const VertexId ref = v - back;
+      for (EdgeId e = offsets[ref]; e < offsets[ref + 1]; ++e) {
+        if (adj.size() >= degree) break;
+        if (rng.next_bool(params.copy_fraction) && targets[e] != v) {
+          adj.push_back(targets[e]);
+        }
+      }
+    }
+
+    while (adj.size() < degree) {
+      VertexId u = kInvalidVertex;
+      if (rng.next_bool(params.locality)) {
+        const std::int64_t off = draw_offset(rng, params.locality_scale);
+        std::int64_t raw = static_cast<std::int64_t>(v) + off;
+        // Reflect at the boundaries to avoid piling mass on vertex 0 / n-1.
+        if (raw < 0) raw = -raw;
+        if (raw >= static_cast<std::int64_t>(n)) {
+          raw = 2 * static_cast<std::int64_t>(n) - 2 - raw;
+        }
+        if (raw < 0) raw = 0;  // tiny graphs: double reflection
+        u = static_cast<VertexId>(raw);
+      } else if (!targets.empty() && rng.next_bool(0.75)) {
+        u = targets[rng.next_below(targets.size())];
+      } else {
+        u = static_cast<VertexId>(rng.next_below(n));
+      }
+      if (u != v) adj.push_back(u);
+    }
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    targets.insert(targets.end(), adj.begin(), adj.end());
+    offsets.push_back(targets.size());
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+Graph generate_hostgraph(const HostGraphParams& params) {
+  const VertexId n = params.num_vertices;
+  if (n == 0) return Graph{};
+  if (params.host_alpha <= 1.0 || params.degree_alpha <= 1.0) {
+    throw std::invalid_argument("generate_hostgraph: alphas must be > 1");
+  }
+  Rng rng(params.seed);
+
+  // Carve the id space into contiguous host blocks with Pareto sizes.
+  std::vector<VertexId> host_begin;  // host h spans [host_begin[h], host_begin[h+1])
+  host_begin.push_back(0);
+  while (host_begin.back() < n) {
+    const EdgeId size = draw_degree(rng, params.mean_host_size, params.host_alpha,
+                                    std::max<EdgeId>(1, n / 4));
+    host_begin.push_back(static_cast<VertexId>(
+        std::min<std::uint64_t>(n, host_begin.back() + std::max<EdgeId>(1, size))));
+  }
+  const std::size_t num_hosts = host_begin.size() - 1;
+  std::vector<VertexId> host_of(n);
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    for (VertexId v = host_begin[h]; v < host_begin[h + 1]; ++v) {
+      host_of[v] = static_cast<VertexId>(h);
+    }
+  }
+
+  std::vector<EdgeId> offsets;
+  offsets.reserve(static_cast<std::size_t>(n) + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<std::size_t>(n * params.avg_out_degree));
+  std::vector<VertexId> adj;
+
+  auto host_span = [&](VertexId host) {
+    return std::pair<VertexId, VertexId>{host_begin[host], host_begin[host + 1]};
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeId degree =
+        draw_degree(rng, params.avg_out_degree, params.degree_alpha,
+                    std::min<EdgeId>(params.max_out_degree, n - 1));
+    adj.clear();
+
+    // Template copying from a nearby predecessor in the same host.
+    if (v > 0 && host_of[v - 1] == host_of[v] && rng.next_bool(params.copy_prob)) {
+      const auto back = 1 + static_cast<VertexId>(
+          rng.next_below(std::min<VertexId>(v - host_begin[host_of[v]] + 1, 8)));
+      const VertexId ref = v - std::min(back, v);
+      if (host_of[ref] == host_of[v]) {
+        for (EdgeId e = offsets[ref]; e < offsets[ref + 1]; ++e) {
+          if (adj.size() >= degree) break;
+          if (rng.next_bool(params.copy_fraction) && targets[e] != v) {
+            adj.push_back(targets[e]);
+          }
+        }
+      }
+    }
+
+    const auto [my_begin, my_end] = host_span(host_of[v]);
+    while (adj.size() < degree) {
+      VertexId u;
+      if (rng.next_bool(params.intra_host) && my_end - my_begin > 1) {
+        if (rng.next_bool(0.6)) {
+          // Sibling link: geometric offset, reflected into the host block.
+          std::int64_t raw =
+              static_cast<std::int64_t>(v) + draw_offset(rng, params.intra_scale);
+          if (raw < my_begin) raw = 2LL * my_begin - raw;
+          if (raw >= my_end) raw = 2LL * (my_end - 1) - raw;
+          if (raw < my_begin || raw >= my_end) {
+            raw = my_begin + static_cast<std::int64_t>(
+                                 rng.next_below(my_end - my_begin));
+          }
+          u = static_cast<VertexId>(raw);
+        } else {
+          u = my_begin + static_cast<VertexId>(rng.next_below(my_end - my_begin));
+        }
+      } else if (!targets.empty() && rng.next_bool(0.75)) {
+        // Popular-host link via edge copying: reuse an earlier edge's
+        // target's host, uniform page inside it.
+        const VertexId popular = targets[rng.next_below(targets.size())];
+        const auto [b, e] = host_span(host_of[popular]);
+        u = b + static_cast<VertexId>(rng.next_below(e - b));
+      } else {
+        u = static_cast<VertexId>(rng.next_below(n));
+      }
+      if (u != v) adj.push_back(u);
+    }
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    targets.insert(targets.end(), adj.begin(), adj.end());
+    offsets.push_back(targets.size());
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+Graph generate_rmat(const RmatParams& params) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    throw std::invalid_argument("generate_rmat: probabilities must be >= 0 and sum <= 1");
+  }
+  const VertexId n = VertexId{1} << params.scale;
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  for (EdgeId e = 0; e < params.num_edges; ++e) {
+    VertexId row = 0, col = 0;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      const double r = rng.next_double();
+      row <<= 1;
+      col <<= 1;
+      if (r < params.a) {
+        // top-left: nothing to add
+      } else if (r < params.a + params.b) {
+        col |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row != col) builder.add_edge(row, col);
+  }
+  return builder.finish({.strip_duplicate_edges = true});
+}
+
+Graph generate_erdos_renyi(VertexId num_vertices, EdgeId num_edges,
+                           std::uint64_t seed) {
+  if (num_vertices < 2 && num_edges > 0) {
+    throw std::invalid_argument("generate_erdos_renyi: need >= 2 vertices");
+  }
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const auto from = static_cast<VertexId>(rng.next_below(num_vertices));
+    auto to = static_cast<VertexId>(rng.next_below(num_vertices - 1));
+    if (to >= from) ++to;  // skip self-loop without rejection
+    builder.add_edge(from, to);
+  }
+  return builder.finish();
+}
+
+Graph generate_ring_lattice(VertexId num_vertices, unsigned k) {
+  GraphBuilder builder(num_vertices);
+  if (num_vertices > 1) {
+    const unsigned span = std::min<unsigned>(k, num_vertices - 1);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      for (unsigned i = 1; i <= span; ++i) {
+        builder.add_edge(v, (v + i) % num_vertices);
+      }
+    }
+  }
+  return builder.finish();
+}
+
+Graph generate_grid(VertexId rows, VertexId cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_edge(id(r, c), id(r, c + 1));
+        builder.add_edge(id(r, c + 1), id(r, c));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(id(r, c), id(r + 1, c));
+        builder.add_edge(id(r + 1, c), id(r, c));
+      }
+    }
+  }
+  return builder.finish();
+}
+
+}  // namespace spnl

@@ -1,0 +1,121 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/memory.hpp"
+
+namespace spnl {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  if (offsets_.empty()) {
+    if (!targets_.empty()) throw std::invalid_argument("Graph: targets without offsets");
+    return;
+  }
+  if (offsets_.front() != 0 || offsets_.back() != targets_.size()) {
+    throw std::invalid_argument("Graph: inconsistent CSR offsets");
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      throw std::invalid_argument("Graph: decreasing CSR offsets");
+    }
+  }
+  const VertexId n = num_vertices();
+  for (VertexId t : targets_) {
+    if (t >= n) throw std::invalid_argument("Graph: edge target out of range");
+  }
+}
+
+EdgeId Graph::max_out_degree() const {
+  EdgeId best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, out_degree(v));
+  return best;
+}
+
+Graph Graph::reversed() const {
+  const VertexId n = num_vertices();
+  std::vector<EdgeId> roff(n + 1, 0);
+  for (VertexId t : targets_) ++roff[t + 1];
+  for (VertexId v = 0; v < n; ++v) roff[v + 1] += roff[v];
+  std::vector<VertexId> rtgt(targets_.size());
+  std::vector<EdgeId> cursor(roff.begin(), roff.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : out_neighbors(v)) rtgt[cursor[u]++] = v;
+  }
+  return Graph(std::move(roff), std::move(rtgt));
+}
+
+Graph Graph::symmetrized() const {
+  const VertexId n = num_vertices();
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : out_neighbors(v)) {
+      if (u == v) continue;
+      builder.add_edge(v, u);
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.finish({.strip_self_loops = true, .strip_duplicate_edges = true});
+}
+
+std::size_t Graph::memory_footprint_bytes() const {
+  return vector_bytes(offsets_) + vector_bytes(targets_);
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+void GraphBuilder::add_edge(VertexId from, VertexId to) {
+  if (from == kInvalidVertex || to == kInvalidVertex) {
+    throw std::invalid_argument("GraphBuilder: invalid vertex id");
+  }
+  num_vertices_ = std::max({num_vertices_, from + 1, to + 1});
+  edges_.emplace_back(from, to);
+}
+
+void GraphBuilder::add_vertex(VertexId v, std::span<const VertexId> out) {
+  num_vertices_ = std::max(num_vertices_, v + 1);
+  for (VertexId u : out) add_edge(v, u);
+}
+
+Graph GraphBuilder::finish(FinishOptions options) {
+  // Counting sort by source preserves per-vertex insertion order of targets,
+  // which matters: streams replay adjacency lists in their original order.
+  const VertexId n = num_vertices_;
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    if (options.strip_self_loops && from == to) continue;
+    ++offsets[from + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> targets(offsets[n]);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [from, to] : edges_) {
+    if (options.strip_self_loops && from == to) continue;
+    targets[cursor[from]++] = to;
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  if (options.strip_duplicate_edges) {
+    std::vector<EdgeId> doff(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<VertexId> dtgt;
+    dtgt.reserve(targets.size());
+    std::unordered_set<VertexId> seen;
+    for (VertexId v = 0; v < n; ++v) {
+      seen.clear();
+      for (EdgeId e = offsets[v]; e < offsets[v + 1]; ++e) {
+        if (seen.insert(targets[e]).second) dtgt.push_back(targets[e]);
+      }
+      doff[v + 1] = dtgt.size();
+    }
+    offsets = std::move(doff);
+    targets = std::move(dtgt);
+  }
+
+  num_vertices_ = 0;
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace spnl

@@ -1,0 +1,91 @@
+// In-memory directed graph in CSR (compressed sparse row) layout.
+//
+// This is the substrate every partitioner and metric in the library operates
+// on. Out-neighbors are primary (adjacency lists, as streamed); the reverse
+// (in-neighbor) CSR can be materialized on demand for metrics and for the
+// offline baselines, which need undirected views.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace spnl {
+
+/// Immutable CSR digraph. Construct via GraphBuilder or the loaders in io.hpp.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prevalidated CSR arrays. offsets.size() == n+1,
+  /// offsets.front() == 0, offsets.back() == targets.size(), rows sorted is
+  /// NOT required (stream order is preserved).
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> targets);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return targets_.size(); }
+
+  /// Out-neighbors of v (the adjacency list exactly as streamed).
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  EdgeId out_degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  EdgeId max_out_degree() const;
+
+  /// Reverse graph: edge (u,v) here becomes (v,u) there. O(|V|+|E|).
+  Graph reversed() const;
+
+  /// Undirected symmetrization with duplicate edges removed (used by the
+  /// offline multilevel baseline, which operates on undirected graphs).
+  Graph symmetrized() const;
+
+  /// Heap bytes held by the CSR arrays.
+  std::size_t memory_footprint_bytes() const;
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+ private:
+  std::vector<EdgeId> offsets_;   // size n+1
+  std::vector<VertexId> targets_; // size |E|
+};
+
+/// Incremental builder; vertices may be added out of order via add_edge, or
+/// record-at-a-time via add_vertex. Duplicate edges and self-loops are kept
+/// unless the corresponding strip options are set at finish().
+class GraphBuilder {
+ public:
+  /// num_vertices may grow automatically if edges reference larger ids.
+  explicit GraphBuilder(VertexId num_vertices = 0);
+
+  void add_edge(VertexId from, VertexId to);
+
+  /// Append a whole adjacency list for the next vertex id in sequence.
+  void add_vertex(VertexId v, std::span<const VertexId> out);
+
+  struct FinishOptions {
+    bool strip_self_loops = false;
+    bool strip_duplicate_edges = false;
+  };
+
+  /// Builds the CSR. The builder is left empty afterwards.
+  Graph finish(FinishOptions options);
+  Graph finish() { return finish(FinishOptions{}); }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return edges_.size(); }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace spnl

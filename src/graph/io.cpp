@@ -1,0 +1,141 @@
+#include "graph/io.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace spnl {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x53504e4c47523031ULL;  // "SPNLGR01"
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+bool parse_pair(const std::string& line, std::uint64_t& a, std::uint64_t& b) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  auto skip_ws = [&] {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  };
+  skip_ws();
+  auto [p1, ec1] = std::from_chars(p, end, a);
+  if (ec1 != std::errc()) return false;
+  p = p1;
+  skip_ws();
+  auto [p2, ec2] = std::from_chars(p, end, b);
+  if (ec2 != std::errc()) return false;
+  p = p2;
+  skip_ws();
+  return p == end;
+}
+
+}  // namespace
+
+Graph read_edge_list(const std::string& path, bool compact_ids) {
+  std::ifstream in(path);
+  if (!in) fail("read_edge_list: cannot open", path);
+  GraphBuilder builder;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  auto map_id = [&](std::uint64_t raw) -> VertexId {
+    if (!compact_ids) return static_cast<VertexId>(raw);
+    auto [it, inserted] = remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::uint64_t a = 0, b = 0;
+    if (!parse_pair(line, a, b)) fail("read_edge_list: malformed line in", path);
+    builder.add_edge(map_id(a), map_id(b));
+  }
+  return builder.finish();
+}
+
+void write_edge_list(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("write_edge_list: cannot open", path);
+  out << "# Directed edge list; V " << graph.num_vertices() << " E "
+      << graph.num_edges() << "\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.out_neighbors(v)) out << v << ' ' << u << '\n';
+  }
+  if (!out) fail("write_edge_list: write error", path);
+}
+
+void write_adjacency_list(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("write_adjacency_list: cannot open", path);
+  out << "# V " << graph.num_vertices() << " E " << graph.num_edges() << "\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out << v;
+    for (VertexId u : graph.out_neighbors(v)) out << ' ' << u;
+    out << '\n';
+  }
+  if (!out) fail("write_adjacency_list: write error", path);
+}
+
+void write_binary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("write_binary: cannot open", path);
+  const std::uint64_t magic = kBinaryMagic;
+  const std::uint64_t n = graph.num_vertices();
+  const std::uint64_t m = graph.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
+            static_cast<std::streamsize>(graph.offsets().size() * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(graph.targets().data()),
+            static_cast<std::streamsize>(graph.targets().size() * sizeof(VertexId)));
+  if (!out) fail("write_binary: write error", path);
+}
+
+Graph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("read_binary: cannot open", path);
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in || magic != kBinaryMagic) fail("read_binary: bad header in", path);
+  std::vector<EdgeId> offsets(n + 1);
+  std::vector<VertexId> targets(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
+  if (!in) fail("read_binary: truncated file", path);
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+void write_route_table(const std::vector<PartitionId>& route, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("write_route_table: cannot open", path);
+  out << "# vertex partition\n";
+  for (std::size_t v = 0; v < route.size(); ++v) out << v << ' ' << route[v] << '\n';
+  if (!out) fail("write_route_table: write error", path);
+}
+
+std::vector<PartitionId> read_route_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("read_route_table: cannot open", path);
+  std::vector<PartitionId> route;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::uint64_t v = 0, p = 0;
+    if (!parse_pair(line, v, p)) fail("read_route_table: malformed line in", path);
+    if (v >= route.size()) route.resize(v + 1, kUnassigned);
+    route[v] = static_cast<PartitionId>(p);
+  }
+  return route;
+}
+
+}  // namespace spnl

@@ -1,0 +1,39 @@
+// Graph and route-table I/O.
+//
+// Formats:
+//  * SNAP edge list: "<from> <to>" per line, '#' comments (the format of the
+//    public datasets the paper uses).
+//  * Adjacency list text: "<id> <out...>" per line with a "# V <n> E <m>"
+//    header — the streaming input format (see FileAdjacencyStream).
+//  * Binary CSR: magic + counts + raw arrays, for fast reloads.
+//  * Route table: "<vertex> <partition>" per line — the partitioner output
+//    the paper's PT measurement ends at.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+/// Loads a SNAP-style edge list. Vertex ids are used as-is (assumed dense);
+/// set `compact_ids` to renumber the encountered ids densely by first
+/// appearance instead.
+Graph read_edge_list(const std::string& path, bool compact_ids = false);
+
+void write_edge_list(const Graph& graph, const std::string& path);
+
+/// Writes the adjacency-list text format with a "# V <n> E <m>" header.
+void write_adjacency_list(const Graph& graph, const std::string& path);
+
+/// Binary CSR round-trip.
+void write_binary(const Graph& graph, const std::string& path);
+Graph read_binary(const std::string& path);
+
+/// Vertex -> partition assignments.
+void write_route_table(const std::vector<PartitionId>& route, const std::string& path);
+std::vector<PartitionId> read_route_table(const std::string& path);
+
+}  // namespace spnl

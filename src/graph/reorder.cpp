@@ -1,0 +1,121 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace spnl {
+
+Graph apply_permutation(const Graph& graph, const std::vector<VertexId>& new_id) {
+  const VertexId n = graph.num_vertices();
+  if (new_id.size() != n) throw std::invalid_argument("apply_permutation: size mismatch");
+  std::vector<VertexId> old_of(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    if (new_id[v] >= n || old_of[new_id[v]] != kInvalidVertex) {
+      throw std::invalid_argument("apply_permutation: not a permutation");
+    }
+    old_of[new_id[v]] = v;
+  }
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId nv = 0; nv < n; ++nv) {
+    offsets[nv + 1] = offsets[nv] + graph.out_degree(old_of[nv]);
+  }
+  std::vector<VertexId> targets(graph.num_edges());
+  for (VertexId nv = 0; nv < n; ++nv) {
+    EdgeId cursor = offsets[nv];
+    for (VertexId u : graph.out_neighbors(old_of[nv])) targets[cursor++] = new_id[u];
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+namespace {
+
+template <typename Visit>
+std::vector<VertexId> traversal_order(const Graph& graph, VertexId root, Visit visit) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return {};
+  if (root >= n) throw std::invalid_argument("traversal: root out of range");
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  VertexId next = 0;
+  visit(root, new_id, next);
+  for (VertexId v = 0; v < n; ++v) {
+    if (new_id[v] == kInvalidVertex) visit(v, new_id, next);
+  }
+  return new_id;
+}
+
+}  // namespace
+
+std::vector<VertexId> bfs_order(const Graph& graph, VertexId root) {
+  // BFS over the symmetrized view so that crawls reach in-link-only pages too.
+  const Graph sym = graph.symmetrized();
+  std::vector<VertexId> queue;
+  queue.reserve(sym.num_vertices());
+  return traversal_order(
+      sym, root, [&](VertexId start, std::vector<VertexId>& new_id, VertexId& next) {
+        queue.clear();
+        queue.push_back(start);
+        new_id[start] = next++;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+          for (VertexId u : sym.out_neighbors(queue[head])) {
+            if (new_id[u] == kInvalidVertex) {
+              new_id[u] = next++;
+              queue.push_back(u);
+            }
+          }
+        }
+      });
+}
+
+std::vector<VertexId> dfs_order(const Graph& graph, VertexId root) {
+  std::vector<VertexId> stack;
+  return traversal_order(
+      graph, root, [&](VertexId start, std::vector<VertexId>& new_id, VertexId& next) {
+        stack.clear();
+        stack.push_back(start);
+        while (!stack.empty()) {
+          const VertexId v = stack.back();
+          stack.pop_back();
+          if (new_id[v] != kInvalidVertex) continue;
+          new_id[v] = next++;
+          const auto out = graph.out_neighbors(v);
+          for (auto it = out.rbegin(); it != out.rend(); ++it) {
+            if (new_id[*it] == kInvalidVertex) stack.push_back(*it);
+          }
+        }
+      });
+}
+
+std::vector<VertexId> random_order(VertexId num_vertices, std::uint64_t seed) {
+  std::vector<VertexId> new_id(num_vertices);
+  std::iota(new_id.begin(), new_id.end(), VertexId{0});
+  Rng rng(seed);
+  for (VertexId i = num_vertices; i > 1; --i) {
+    std::swap(new_id[i - 1], new_id[rng.next_below(i)]);
+  }
+  return new_id;
+}
+
+std::vector<VertexId> degree_order(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    return graph.out_degree(a) > graph.out_degree(b);
+  });
+  std::vector<VertexId> new_id(n);
+  for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
+  return new_id;
+}
+
+Graph bfs_renumber(const Graph& graph, VertexId root) {
+  return apply_permutation(graph, bfs_order(graph, root));
+}
+
+Graph random_renumber(const Graph& graph, std::uint64_t seed) {
+  return apply_permutation(graph, random_order(graph.num_vertices(), seed));
+}
+
+}  // namespace spnl

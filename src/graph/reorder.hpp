@@ -1,0 +1,40 @@
+// Vertex renumbering.
+//
+// The paper's key locality claim (Sec. IV-C) is that crawl-order numbering
+// places neighbors at nearby ids. These utilities let the benches construct
+// and destroy that property: BFS renumbering restores crawl-like locality,
+// random renumbering destroys it (ablation), degree ordering mimics
+// popularity-sorted datasets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+/// Applies `new_id[v] = position of v in the new numbering` to the graph:
+/// vertex v becomes new_id[v] and adjacency lists are rewritten. new_id must
+/// be a permutation of 0..n-1.
+Graph apply_permutation(const Graph& graph, const std::vector<VertexId>& new_id);
+
+/// BFS order over the symmetrized graph from `root`, visiting unreached
+/// components in id order afterwards. Returns new_id (old -> new).
+std::vector<VertexId> bfs_order(const Graph& graph, VertexId root = 0);
+
+/// DFS (iterative, out-edges only) variant of the above.
+std::vector<VertexId> dfs_order(const Graph& graph, VertexId root = 0);
+
+/// Uniformly random permutation.
+std::vector<VertexId> random_order(VertexId num_vertices, std::uint64_t seed);
+
+/// Decreasing out-degree order (ties by old id).
+std::vector<VertexId> degree_order(const Graph& graph);
+
+/// Convenience: graph renumbered by BFS / randomly.
+Graph bfs_renumber(const Graph& graph, VertexId root = 0);
+Graph random_renumber(const Graph& graph, std::uint64_t seed);
+
+}  // namespace spnl

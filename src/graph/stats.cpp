@@ -1,0 +1,79 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace spnl {
+
+DegreeStats out_degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return stats;
+  std::vector<EdgeId> degrees(n);
+  for (VertexId v = 0; v < n; ++v) degrees[v] = graph.out_degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  stats.mean = static_cast<double>(graph.num_edges()) / n;
+  stats.max = degrees.back();
+  stats.median = degrees[n / 2];
+  stats.p99 = degrees[static_cast<std::size_t>(0.99 * (n - 1))];
+
+  // Gini via the sorted formula: G = (2*sum(i*x_i) / (n*sum(x)) ) - (n+1)/n.
+  long double weighted = 0.0L, total = 0.0L;
+  for (VertexId i = 0; i < n; ++i) {
+    weighted += static_cast<long double>(i + 1) * degrees[i];
+    total += degrees[i];
+  }
+  if (total > 0) {
+    stats.gini = static_cast<double>(2.0L * weighted / (n * total) -
+                                     (static_cast<long double>(n) + 1) / n);
+  }
+  return stats;
+}
+
+LocalityStats locality_stats(const Graph& graph, VertexId window) {
+  LocalityStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0 || graph.num_edges() == 0) return stats;
+  if (window == 0) window = std::max<VertexId>(1, n / 100);
+  stats.window = window;
+  long double gap_sum = 0.0L;
+  EdgeId within = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : graph.out_neighbors(v)) {
+      const VertexId gap = u > v ? u - v : v - u;
+      gap_sum += gap;
+      if (gap <= window) ++within;
+    }
+  }
+  stats.mean_normalized_gap =
+      static_cast<double>(gap_sum / graph.num_edges()) / n;
+  stats.fraction_within_window =
+      static_cast<double>(within) / static_cast<double>(graph.num_edges());
+  return stats;
+}
+
+std::vector<VertexId> degree_histogram(const Graph& graph, EdgeId max_degree) {
+  std::vector<VertexId> hist(max_degree + 1, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ++hist[std::min(graph.out_degree(v), max_degree)];
+  }
+  return hist;
+}
+
+std::string describe(const Graph& graph, const std::string& name) {
+  const DegreeStats degrees = out_degree_stats(graph);
+  const LocalityStats locality = locality_stats(graph);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: |V|=%u |E|=%llu avg_d=%.1f max_d=%llu gini=%.2f "
+                "gap=%.3f local@1%%=%.2f",
+                name.c_str(), graph.num_vertices(),
+                static_cast<unsigned long long>(graph.num_edges()), degrees.mean,
+                static_cast<unsigned long long>(degrees.max), degrees.gini,
+                locality.mean_normalized_gap, locality.fraction_within_window);
+  return buf;
+}
+
+}  // namespace spnl

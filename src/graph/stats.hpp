@@ -1,0 +1,46 @@
+// Graph statistics used to characterize datasets in EXPERIMENTS.md and to
+// validate that the synthetic analogues have the properties the paper's
+// heuristics rely on (id locality, degree skew).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+struct DegreeStats {
+  double mean = 0.0;
+  EdgeId max = 0;
+  EdgeId median = 0;
+  EdgeId p99 = 0;
+  /// Gini coefficient of the out-degree distribution (0 = uniform, ->1 = all
+  /// mass on one vertex): the skew indicator behind the paper's δe spread.
+  double gini = 0.0;
+};
+
+DegreeStats out_degree_stats(const Graph& graph);
+
+struct LocalityStats {
+  /// Mean |u - v| over all edges (u,v), normalized by |V|. Crawl-numbered
+  /// web graphs sit well below random numbering's expected 1/3.
+  double mean_normalized_gap = 0.0;
+  /// Fraction of edges with |u - v| <= window (absolute id distance).
+  double fraction_within_window = 0.0;
+  VertexId window = 0;
+};
+
+/// `window` defaults to |V|/100 when 0.
+LocalityStats locality_stats(const Graph& graph, VertexId window = 0);
+
+/// Out-degree histogram: hist[d] = number of vertices with out-degree d,
+/// capped at max_degree buckets (the final bucket aggregates the tail).
+std::vector<VertexId> degree_histogram(const Graph& graph, EdgeId max_degree = 64);
+
+/// One-line human-readable summary.
+std::string describe(const Graph& graph, const std::string& name);
+
+}  // namespace spnl

@@ -1,0 +1,22 @@
+// Fundamental identifiers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace spnl {
+
+/// Vertex identifier. The paper assumes vertices are consecutively numbered
+/// 0..|V|-1 (Sec. II); all loaders normalize to this.
+using VertexId = std::uint32_t;
+
+/// Edge count / edge index. Graphs can exceed 2^32 edges.
+using EdgeId = std::uint64_t;
+
+/// Partition identifier; the paper's K ranges up to a few hundred.
+using PartitionId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kUnassigned = std::numeric_limits<PartitionId>::max();
+
+}  // namespace spnl

@@ -1,0 +1,135 @@
+#include "offline/label_prop.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// One label-propagation sweep over [begin, end). Labels and loads are read
+/// and written through atomics; in parallel mode the reads are racy by
+/// design (async LP). Returns the number of moves.
+std::uint64_t sweep_range(const Graph& sym, std::vector<std::atomic<PartitionId>>& label,
+                          std::vector<std::atomic<std::int64_t>>& loads,
+                          PartitionId k, double capacity, VertexId begin,
+                          VertexId end) {
+  std::vector<double> agreement(k);
+  std::uint64_t moves = 0;
+  for (VertexId v = begin; v < end; ++v) {
+    const PartitionId current = label[v].load(std::memory_order_relaxed);
+    std::fill(agreement.begin(), agreement.end(), 0.0);
+    bool boundary = false;
+    for (VertexId u : sym.out_neighbors(v)) {
+      const PartitionId lu = label[u].load(std::memory_order_relaxed);
+      agreement[lu] += 1.0;
+      if (lu != current) boundary = true;
+    }
+    if (!boundary) continue;
+
+    PartitionId best = current;
+    double best_score =
+        agreement[current] *
+        (1.0 - static_cast<double>(loads[current].load(std::memory_order_relaxed)) /
+                   capacity);
+    for (PartitionId p = 0; p < k; ++p) {
+      if (p == current) continue;
+      const auto load = loads[p].load(std::memory_order_relaxed);
+      if (static_cast<double>(load) + 1.0 > capacity) continue;
+      const double score =
+          agreement[p] * (1.0 - static_cast<double>(load) / capacity);
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    if (best != current) {
+      label[v].store(best, std::memory_order_relaxed);
+      loads[current].fetch_sub(1, std::memory_order_relaxed);
+      loads[best].fetch_add(1, std::memory_order_relaxed);
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+OfflineResult label_prop_partition(const Graph& graph, const PartitionConfig& config,
+                                   const LabelPropOptions& options) {
+  const PartitionId k = config.num_partitions;
+  if (k == 0) throw std::invalid_argument("label_prop_partition: K must be >= 1");
+  if (options.num_threads == 0) {
+    throw std::invalid_argument("label_prop_partition: need >= 1 thread");
+  }
+
+  OfflineResult result;
+  result.partitioner_name =
+      options.num_threads > 1 ? "LabelProp(par)" : "LabelProp";
+  Timer timer;
+
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    result.partition_seconds = timer.seconds();
+    return result;
+  }
+
+  const Graph sym = graph.symmetrized();
+  const double capacity = std::max(1.0, config.slack * static_cast<double>(n) / k);
+
+  // Balanced random initialization: a shuffled block assignment.
+  Rng rng(options.seed);
+  std::vector<PartitionId> init(n);
+  for (VertexId v = 0; v < n; ++v) init[v] = static_cast<PartitionId>(v % k);
+  for (VertexId i = n; i > 1; --i) std::swap(init[i - 1], init[rng.next_below(i)]);
+
+  std::vector<std::atomic<PartitionId>> label(n);
+  std::vector<std::atomic<std::int64_t>> loads(k);
+  for (PartitionId p = 0; p < k; ++p) loads[p].store(0, std::memory_order_relaxed);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v].store(init[v], std::memory_order_relaxed);
+    loads[init[v]].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto min_moves =
+      static_cast<std::uint64_t>(options.convergence_fraction * n);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::uint64_t moves = 0;
+    if (options.num_threads == 1) {
+      moves = sweep_range(sym, label, loads, k, capacity, 0, n);
+    } else {
+      std::atomic<std::uint64_t> total{0};
+      std::vector<std::thread> threads;
+      const VertexId chunk = (n + options.num_threads - 1) / options.num_threads;
+      for (unsigned t = 0; t < options.num_threads; ++t) {
+        const VertexId begin = std::min<VertexId>(n, t * chunk);
+        const VertexId end = std::min<VertexId>(n, begin + chunk);
+        if (begin >= end) break;
+        threads.emplace_back([&, begin, end] {
+          total.fetch_add(sweep_range(sym, label, loads, k, capacity, begin, end),
+                          std::memory_order_relaxed);
+        });
+      }
+      for (auto& thread : threads) thread.join();
+      moves = total.load();
+    }
+    if (moves <= min_moves) break;
+  }
+
+  result.route.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.route[v] = label[v].load(std::memory_order_relaxed);
+  }
+  result.partition_seconds = timer.seconds();
+  result.peak_bytes = graph.memory_footprint_bytes() + sym.memory_footprint_bytes() +
+                      n * (sizeof(PartitionId)) + k * sizeof(std::int64_t);
+  return result;
+}
+
+}  // namespace spnl

@@ -1,0 +1,435 @@
+#include "offline/multilevel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// Undirected weighted CSR used across the multilevel hierarchy.
+struct WeightedGraph {
+  std::vector<EdgeId> offsets;
+  std::vector<VertexId> targets;
+  std::vector<std::uint64_t> edge_weights;    // parallel to targets
+  std::vector<std::uint64_t> vertex_weights;  // size n
+
+  VertexId num_vertices() const {
+    return offsets.empty() ? 0 : static_cast<VertexId>(offsets.size() - 1);
+  }
+  EdgeId num_edges() const { return targets.size(); }
+
+  std::size_t bytes() const {
+    return vector_bytes(offsets) + vector_bytes(targets) +
+           vector_bytes(edge_weights) + vector_bytes(vertex_weights);
+  }
+};
+
+WeightedGraph to_weighted(const Graph& graph) {
+  const Graph sym = graph.symmetrized();
+  WeightedGraph wg;
+  wg.offsets = sym.offsets();
+  wg.targets = sym.targets();
+  wg.edge_weights.assign(wg.targets.size(), 1);
+  wg.vertex_weights.assign(sym.num_vertices(), 1);
+  return wg;
+}
+
+/// Heavy-edge matching: visit vertices in a random order; match each
+/// unmatched vertex with its unmatched neighbor of maximal edge weight.
+/// Returns match[v] (match[v] == v for unmatched singletons).
+std::vector<VertexId> heavy_edge_matching(const WeightedGraph& graph, Rng& rng) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  for (VertexId i = n; i > 1; --i) std::swap(order[i - 1], order[rng.next_below(i)]);
+
+  std::vector<VertexId> match(n, kInvalidVertex);
+  for (VertexId v : order) {
+    if (match[v] != kInvalidVertex) continue;
+    VertexId best = v;
+    std::uint64_t best_weight = 0;
+    for (EdgeId e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      const VertexId u = graph.targets[e];
+      if (u == v || match[u] != kInvalidVertex) continue;
+      if (graph.edge_weights[e] > best_weight) {
+        best_weight = graph.edge_weights[e];
+        best = u;
+      }
+    }
+    match[v] = best;
+    match[best] = v;  // self-match when best == v
+  }
+  return match;
+}
+
+struct CoarseLevel {
+  WeightedGraph graph;
+  /// fine vertex -> coarse vertex
+  std::vector<VertexId> map;
+};
+
+CoarseLevel contract(const WeightedGraph& fine, const std::vector<VertexId>& match) {
+  const VertexId n = fine.num_vertices();
+  CoarseLevel level;
+  level.map.assign(n, kInvalidVertex);
+  VertexId coarse_n = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level.map[v] != kInvalidVertex) continue;
+    const VertexId partner = match[v];
+    level.map[v] = coarse_n;
+    if (partner != v) level.map[partner] = coarse_n;
+    ++coarse_n;
+  }
+
+  WeightedGraph& coarse = level.graph;
+  coarse.vertex_weights.assign(coarse_n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    coarse.vertex_weights[level.map[v]] += fine.vertex_weights[v];
+  }
+
+  // Aggregate multi-edges per coarse vertex with a small hash map.
+  coarse.offsets.assign(static_cast<std::size_t>(coarse_n) + 1, 0);
+  {
+    std::unordered_map<VertexId, std::uint64_t> agg;
+    std::vector<std::vector<std::pair<VertexId, std::uint64_t>>> rows(coarse_n);
+    // Group fine vertices by coarse id (each coarse vertex has 1 or 2).
+    std::vector<VertexId> first_member(coarse_n, kInvalidVertex);
+    std::vector<VertexId> second_member(coarse_n, kInvalidVertex);
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId c = level.map[v];
+      if (first_member[c] == kInvalidVertex) {
+        first_member[c] = v;
+      } else {
+        second_member[c] = v;
+      }
+    }
+    for (VertexId c = 0; c < coarse_n; ++c) {
+      agg.clear();
+      for (VertexId member : {first_member[c], second_member[c]}) {
+        if (member == kInvalidVertex) continue;
+        for (EdgeId e = fine.offsets[member]; e < fine.offsets[member + 1]; ++e) {
+          const VertexId tc = level.map[fine.targets[e]];
+          if (tc == c) continue;  // contracted edge disappears
+          agg[tc] += fine.edge_weights[e];
+        }
+      }
+      rows[c].assign(agg.begin(), agg.end());
+      std::sort(rows[c].begin(), rows[c].end());
+    }
+    EdgeId total = 0;
+    for (VertexId c = 0; c < coarse_n; ++c) {
+      coarse.offsets[c] = total;
+      total += rows[c].size();
+    }
+    coarse.offsets[coarse_n] = total;
+    coarse.targets.reserve(total);
+    coarse.edge_weights.reserve(total);
+    for (VertexId c = 0; c < coarse_n; ++c) {
+      for (const auto& [target, weight] : rows[c]) {
+        coarse.targets.push_back(target);
+        coarse.edge_weights.push_back(weight);
+      }
+    }
+  }
+  return level;
+}
+
+/// Greedy graph growing on the coarsest level: grow K BFS regions to the
+/// vertex-weight capacity; leftovers go to the lightest partition.
+std::vector<PartitionId> initial_partition(const WeightedGraph& graph,
+                                           PartitionId k, double capacity,
+                                           Rng& rng) {
+  const VertexId n = graph.num_vertices();
+  std::vector<PartitionId> part(n, kUnassigned);
+  std::vector<std::uint64_t> loads(k, 0);
+  std::vector<VertexId> queue;
+  VertexId assigned = 0;
+
+  for (PartitionId p = 0; p < k && assigned < n; ++p) {
+    // Seed: random unassigned vertex (falling back to a scan).
+    VertexId seed = kInvalidVertex;
+    for (int tries = 0; tries < 16; ++tries) {
+      const auto candidate = static_cast<VertexId>(rng.next_below(n));
+      if (part[candidate] == kUnassigned) {
+        seed = candidate;
+        break;
+      }
+    }
+    if (seed == kInvalidVertex) {
+      for (VertexId v = 0; v < n; ++v) {
+        if (part[v] == kUnassigned) {
+          seed = v;
+          break;
+        }
+      }
+    }
+    if (seed == kInvalidVertex) break;
+
+    queue.clear();
+    queue.push_back(seed);
+    part[seed] = p;
+    loads[p] += graph.vertex_weights[seed];
+    ++assigned;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      if (static_cast<double>(loads[p]) >= capacity) break;
+      const VertexId v = queue[head];
+      for (EdgeId e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+        const VertexId u = graph.targets[e];
+        if (part[u] != kUnassigned) continue;
+        if (static_cast<double>(loads[p] + graph.vertex_weights[u]) > capacity &&
+            loads[p] > 0) {
+          continue;
+        }
+        part[u] = p;
+        loads[p] += graph.vertex_weights[u];
+        ++assigned;
+        queue.push_back(u);
+        if (static_cast<double>(loads[p]) >= capacity) break;
+      }
+    }
+  }
+
+  // Any leftovers: lightest partition.
+  for (VertexId v = 0; v < n; ++v) {
+    if (part[v] != kUnassigned) continue;
+    PartitionId lightest = 0;
+    for (PartitionId p = 1; p < k; ++p) {
+      if (loads[p] < loads[lightest]) lightest = p;
+    }
+    part[v] = lightest;
+    loads[lightest] += graph.vertex_weights[v];
+  }
+  return part;
+}
+
+/// Greedy FM-style boundary refinement: sweep vertices; move a vertex to the
+/// adjacent partition with the highest positive cut gain if balance permits.
+/// Returns the number of moves.
+std::uint64_t refine_pass(const WeightedGraph& graph, std::vector<PartitionId>& part,
+                          std::vector<std::uint64_t>& loads, PartitionId k,
+                          double capacity) {
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint64_t> gain(k, 0);
+  std::uint64_t moves = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId current = part[v];
+    std::fill(gain.begin(), gain.end(), 0);
+    bool boundary = false;
+    for (EdgeId e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      const PartitionId p = part[graph.targets[e]];
+      gain[p] += graph.edge_weights[e];
+      if (p != current) boundary = true;
+    }
+    if (!boundary) continue;
+    PartitionId best = current;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (p == current || gain[p] <= gain[best]) continue;
+      if (static_cast<double>(loads[p] + graph.vertex_weights[v]) > capacity) continue;
+      best = p;
+    }
+    if (best != current) {
+      loads[current] -= graph.vertex_weights[v];
+      loads[best] += graph.vertex_weights[v];
+      part[v] = best;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+/// One Fiduccia–Mattheyses pass: vertices move (at most once each) in
+/// best-gain-first order through a lazy max-heap; negative-gain moves are
+/// allowed (hill climbing) and the pass rolls back to the best cut seen.
+/// Returns the cut improvement (0 when the pass achieved nothing).
+std::uint64_t fm_pass(const WeightedGraph& graph, std::vector<PartitionId>& part,
+                      std::vector<std::uint64_t>& loads, PartitionId k,
+                      double capacity) {
+  const VertexId n = graph.num_vertices();
+
+  // gain(v -> p) = weight to p - weight to own partition.
+  std::vector<std::int64_t> connectivity(k);
+  auto best_move = [&](VertexId v) -> std::pair<PartitionId, std::int64_t> {
+    std::fill(connectivity.begin(), connectivity.end(), 0);
+    for (EdgeId e = graph.offsets[v]; e < graph.offsets[v + 1]; ++e) {
+      connectivity[part[graph.targets[e]]] +=
+          static_cast<std::int64_t>(graph.edge_weights[e]);
+    }
+    const PartitionId current = part[v];
+    PartitionId best = current;
+    std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
+    for (PartitionId p = 0; p < k; ++p) {
+      if (p == current) continue;
+      if (static_cast<double>(loads[p] + graph.vertex_weights[v]) > capacity) continue;
+      const std::int64_t gain = connectivity[p] - connectivity[current];
+      if (gain > best_gain || (gain == best_gain && loads[p] < loads[best])) {
+        best = p;
+        best_gain = gain;
+      }
+    }
+    return {best, best == current ? std::numeric_limits<std::int64_t>::min()
+                                  : best_gain};
+  };
+
+  struct HeapEntry {
+    std::int64_t gain;
+    VertexId vertex;
+    PartitionId target;
+    bool operator<(const HeapEntry& other) const { return gain < other.gain; }
+  };
+  std::priority_queue<HeapEntry> heap;
+  std::vector<bool> locked(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [target, gain] = best_move(v);
+    if (gain != std::numeric_limits<std::int64_t>::min()) {
+      heap.push({gain, v, target});
+    }
+  }
+
+  struct Move {
+    VertexId vertex;
+    PartitionId from;
+    PartitionId to;
+  };
+  std::vector<Move> moves;
+  std::int64_t cumulative = 0, best_cumulative = 0;
+  std::size_t best_prefix = 0;
+  // Bail out of long negative plateaus: classic FM early termination.
+  int since_best = 0;
+  const int patience = std::max<int>(64, static_cast<int>(n / 16));
+
+  while (!heap.empty() && since_best < patience) {
+    const HeapEntry entry = heap.top();
+    heap.pop();
+    if (locked[entry.vertex]) continue;
+    const auto [target, gain] = best_move(entry.vertex);
+    if (gain == std::numeric_limits<std::int64_t>::min()) continue;
+    if (gain != entry.gain || target != entry.target) {
+      heap.push({gain, entry.vertex, target});  // stale: re-queue fresh
+      continue;
+    }
+    // Execute the move tentatively.
+    const PartitionId from = part[entry.vertex];
+    locked[entry.vertex] = true;
+    part[entry.vertex] = target;
+    loads[from] -= graph.vertex_weights[entry.vertex];
+    loads[target] += graph.vertex_weights[entry.vertex];
+    moves.push_back({entry.vertex, from, target});
+    cumulative += gain;
+    if (cumulative > best_cumulative) {
+      best_cumulative = cumulative;
+      best_prefix = moves.size();
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    // Refresh unlocked neighbors (lazy: push their current best move).
+    for (EdgeId e = graph.offsets[entry.vertex]; e < graph.offsets[entry.vertex + 1];
+         ++e) {
+      const VertexId u = graph.targets[e];
+      if (locked[u]) continue;
+      const auto [utarget, ugain] = best_move(u);
+      if (ugain != std::numeric_limits<std::int64_t>::min()) {
+        heap.push({ugain, u, utarget});
+      }
+    }
+  }
+
+  // Roll back to the best prefix.
+  for (std::size_t i = moves.size(); i > best_prefix; --i) {
+    const Move& move = moves[i - 1];
+    part[move.vertex] = move.from;
+    loads[move.to] -= graph.vertex_weights[move.vertex];
+    loads[move.from] += graph.vertex_weights[move.vertex];
+  }
+  return static_cast<std::uint64_t>(best_cumulative);
+}
+
+}  // namespace
+
+OfflineResult multilevel_partition(const Graph& graph, const PartitionConfig& config,
+                                   const MultilevelOptions& options) {
+  const PartitionId k = config.num_partitions;
+  if (k == 0) throw std::invalid_argument("multilevel_partition: K must be >= 1");
+  OfflineResult result;
+  result.partitioner_name = "Multilevel";
+  Timer timer;
+
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    result.partition_seconds = timer.seconds();
+    return result;
+  }
+
+  Rng rng(options.seed);
+  const VertexId coarsest_target =
+      options.coarsest_size > 0
+          ? options.coarsest_size
+          : std::max<VertexId>(static_cast<VertexId>(32) * k, 256);
+  // Total vertex weight is n (unit weights at the finest level); capacity in
+  // weight units is the same at every level.
+  const double capacity =
+      std::max(1.0, config.slack * static_cast<double>(n) / k);
+
+  std::vector<WeightedGraph> levels;
+  std::vector<std::vector<VertexId>> maps;  // maps[i]: level i -> level i+1
+  levels.push_back(to_weighted(graph));
+  std::size_t peak = graph.memory_footprint_bytes() + levels.back().bytes();
+
+  while (levels.back().num_vertices() > coarsest_target &&
+         static_cast<int>(levels.size()) < options.max_levels) {
+    auto match = heavy_edge_matching(levels.back(), rng);
+    CoarseLevel next = contract(levels.back(), match);
+    // Stop if coarsening stalls (< 5% shrink): star-like graphs match poorly.
+    if (next.graph.num_vertices() >
+        static_cast<VertexId>(0.95 * levels.back().num_vertices())) {
+      break;
+    }
+    peak += next.graph.bytes() + vector_bytes(next.map);
+    maps.push_back(std::move(next.map));
+    levels.push_back(std::move(next.graph));
+  }
+  result.levels = static_cast<int>(levels.size());
+
+  // Initial partition at the coarsest level.
+  std::vector<PartitionId> part =
+      initial_partition(levels.back(), k, capacity, rng);
+
+  // Uncoarsen with refinement at every level.
+  for (int level = static_cast<int>(levels.size()) - 1; level >= 0; --level) {
+    const WeightedGraph& wg = levels[level];
+    std::vector<std::uint64_t> loads(k, 0);
+    for (VertexId v = 0; v < wg.num_vertices(); ++v) {
+      loads[part[v]] += wg.vertex_weights[v];
+    }
+    for (int pass = 0; pass < options.refinement_passes; ++pass) {
+      const std::uint64_t improved =
+          options.refiner == Refiner::kFm
+              ? fm_pass(wg, part, loads, k, capacity)
+              : refine_pass(wg, part, loads, k, capacity);
+      if (improved == 0) break;
+    }
+    if (level > 0) {
+      // Project to the next finer level.
+      const std::vector<VertexId>& map = maps[level - 1];
+      std::vector<PartitionId> finer(levels[level - 1].num_vertices());
+      for (VertexId v = 0; v < finer.size(); ++v) finer[v] = part[map[v]];
+      part = std::move(finer);
+    }
+  }
+
+  result.route = std::move(part);
+  result.partition_seconds = timer.seconds();
+  result.peak_bytes = peak;
+  return result;
+}
+
+}  // namespace spnl

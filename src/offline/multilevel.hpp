@@ -1,0 +1,61 @@
+// Multilevel offline partitioner — the METIS-substitute baseline (Table V).
+//
+// Classic three-phase scheme (Karypis & Kumar):
+//  1. Coarsening: repeated heavy-edge matching contracts the (symmetrized,
+//     weighted) graph until it is small, accumulating vertex and edge
+//     weights so each level is an exact weighted quotient of the original.
+//  2. Initial partitioning: greedy graph growing on the coarsest level —
+//     BFS regions grown to the weight capacity, K times.
+//  3. Uncoarsening: the partition is projected back level by level and
+//     polished with greedy boundary refinement (an FM-style gain pass with
+//     a hard balance constraint).
+//
+// Like METIS, it loads the whole graph and materializes per-level quotients:
+// memory is Ω(|E|) — the scalability wall Table IV/V attributes to offline
+// methods (the real METIS dies with OOM on sk2005/uk2007).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+/// Uncoarsening refiner.
+enum class Refiner {
+  kGreedy,  ///< positive-gain greedy sweeps (fast)
+  kFm,      ///< Fiduccia–Mattheyses passes with hill climbing + rollback
+            ///< (closer to METIS quality, slower)
+};
+
+struct MultilevelOptions {
+  /// Stop coarsening at about this many vertices (0 = max(32·K, 256)).
+  VertexId coarsest_size = 0;
+  /// Boundary refinement sweeps/passes per level.
+  int refinement_passes = 6;
+  Refiner refiner = Refiner::kGreedy;
+  /// Matching visit order seed.
+  std::uint64_t seed = 1;
+  /// Abort knob: maximum levels (safety against pathological graphs).
+  int max_levels = 64;
+};
+
+struct OfflineResult {
+  std::string partitioner_name;
+  std::vector<PartitionId> route;
+  double partition_seconds = 0.0;
+  /// Peak bytes across all materialized levels/structures — the MC metric.
+  std::size_t peak_bytes = 0;
+  int levels = 0;
+};
+
+/// Vertex-partitions the graph into config.num_partitions parts. Balance is
+/// enforced on vertex counts (the paper's primary constraint) with the
+/// config slack.
+OfflineResult multilevel_partition(const Graph& graph, const PartitionConfig& config,
+                                   const MultilevelOptions& options = {});
+
+}  // namespace spnl

@@ -1,0 +1,44 @@
+// Hybrid buffered streaming partitioning (the Faraj & Schulz line of work
+// the paper cites as [8]): instead of deciding one vertex at a time, buffer
+// a batch of B records, optimize the batch jointly against the already
+// committed prefix (a few label-propagation sweeps inside the buffer), then
+// commit the whole batch and move on.
+//
+// The paper's claim (Sec. I) is that its pure streaming heuristics can serve
+// as the underlying component of such hybrid frameworks; this module shows
+// the integration: the batch initializer is pluggable between the LDG rule
+// and the SPNL rule (in-neighbor expectation + logical locality prior).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+enum class BufferSeedRule {
+  kLdg,   ///< batch initialized with the LDG score against the prefix
+  kSpnl,  ///< batch initialized with SPNL (Γ expectation + range prior)
+};
+
+struct BufferedOptions {
+  VertexId buffer_size = 4096;
+  /// Refinement sweeps inside each buffer before committing.
+  int sweeps = 3;
+  BufferSeedRule seed_rule = BufferSeedRule::kSpnl;
+};
+
+struct BufferedResult {
+  std::vector<PartitionId> route;
+  double partition_seconds = 0.0;
+  std::size_t peak_bytes = 0;
+  int batches = 0;
+};
+
+BufferedResult buffered_partition(AdjacencyStream& stream,
+                                  const PartitionConfig& config,
+                                  const BufferedOptions& options = {});
+
+}  // namespace spnl

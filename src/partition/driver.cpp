@@ -1,0 +1,26 @@
+#include "partition/driver.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace spnl {
+
+RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner) {
+  RunResult result;
+  result.partitioner_name = partitioner.name();
+
+  Timer timer;
+  while (auto record = stream.next()) {
+    partitioner.place(record->id, record->out);
+    ++result.vertices_placed;
+  }
+  result.partition_seconds = timer.seconds();
+  // Streaming structures only grow or stay flat, so the end-of-run footprint
+  // is the peak.
+  result.peak_partitioner_bytes = partitioner.memory_footprint_bytes();
+  result.route = partitioner.route();
+  return result;
+}
+
+}  // namespace spnl

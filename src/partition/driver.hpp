@@ -1,0 +1,27 @@
+// Sequential streaming driver: pumps a stream through a partitioner while
+// measuring the paper's PT (first record load -> complete route table) and
+// MC (partitioner structure bytes) metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+struct RunResult {
+  std::string partitioner_name;
+  std::vector<PartitionId> route;
+  double partition_seconds = 0.0;   ///< PT
+  std::size_t peak_partitioner_bytes = 0;  ///< MC (algorithm structures)
+  VertexId vertices_placed = 0;
+};
+
+/// Drains the stream through the partitioner. The stream is consumed from
+/// its current position; callers reset() beforehand if reusing streams.
+RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner);
+
+}  // namespace spnl

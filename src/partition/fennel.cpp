@@ -1,0 +1,40 @@
+#include "partition/fennel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spnl {
+
+FennelPartitioner::FennelPartitioner(VertexId num_vertices, EdgeId num_edges,
+                                     const PartitionConfig& config,
+                                     FennelOptions options)
+    : GreedyStreamingBase(num_vertices, num_edges, config),
+      gamma_(options.gamma),
+      alpha_(options.alpha) {
+  if (gamma_ <= 1.0) throw std::invalid_argument("FENNEL: gamma must be > 1");
+  if (alpha_ == 0.0) {
+    alpha_ = num_vertices == 0
+                 ? 1.0
+                 : std::sqrt(static_cast<double>(config.num_partitions)) *
+                       static_cast<double>(num_edges) /
+                       std::pow(static_cast<double>(num_vertices), 1.5);
+  }
+  if (alpha_ <= 0.0) alpha_ = 1.0;  // degenerate edgeless graphs
+}
+
+PartitionId FennelPartitioner::place(VertexId v, std::span<const VertexId> out) {
+  const PartitionId k = num_partitions();
+  scores_.assign(k, 0.0);
+  for (VertexId u : out) {
+    if (u < route_.size() && route_[u] != kUnassigned) scores_[route_[u]] += 1.0;
+  }
+  for (PartitionId i = 0; i < k; ++i) {
+    scores_[i] -= alpha_ * gamma_ *
+                  std::pow(static_cast<double>(vertex_count(i)), gamma_ - 1.0);
+  }
+  const PartitionId pid = pick_best(scores_);
+  commit(v, out, pid);
+  return pid;
+}
+
+}  // namespace spnl

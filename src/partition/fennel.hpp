@@ -1,0 +1,35 @@
+// FENNEL streaming partitioner (Tsourakakis et al., WSDM'14).
+//
+// Interpolates between locality maximization and cut minimization via the
+// objective  score_i(v) = |V_i ∩ N_out(v)| − α·γ·|V_i|^{γ−1}  with the
+// paper-recommended γ = 1.5, α = √K · |E| / |V|^{1.5}, under the hard
+// balance constraint |V_i| ≤ ν·|V|/K (ν = config slack).
+#pragma once
+
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+struct FennelOptions {
+  double gamma = 1.5;
+  /// 0 selects the recommended α = sqrt(K)·|E|/|V|^1.5.
+  double alpha = 0.0;
+};
+
+class FennelPartitioner final : public GreedyStreamingBase {
+ public:
+  FennelPartitioner(VertexId num_vertices, EdgeId num_edges,
+                    const PartitionConfig& config, FennelOptions options = {});
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override;
+  std::string name() const override { return "FENNEL"; }
+
+  double alpha() const { return alpha_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+  double alpha_;
+};
+
+}  // namespace spnl

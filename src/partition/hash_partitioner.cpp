@@ -1,0 +1,17 @@
+#include "partition/hash_partitioner.hpp"
+
+#include "util/rng.hpp"
+
+namespace spnl {
+
+HashPartitioner::HashPartitioner(VertexId num_vertices, EdgeId num_edges,
+                                 const PartitionConfig& config, std::uint64_t seed)
+    : GreedyStreamingBase(num_vertices, num_edges, config), seed_(seed) {}
+
+PartitionId HashPartitioner::place(VertexId v, std::span<const VertexId> out) {
+  const auto pid = static_cast<PartitionId>(mix64(seed_ ^ v) % num_partitions());
+  commit(v, out, pid);
+  return pid;
+}
+
+}  // namespace spnl

@@ -1,0 +1,24 @@
+// Hash partitioner: the trivial baseline most distributed graph systems
+// (e.g. Pregel) default to. Placement ignores topology entirely; expected
+// ECR ≈ 1 - 1/K.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+class HashPartitioner final : public GreedyStreamingBase {
+ public:
+  HashPartitioner(VertexId num_vertices, EdgeId num_edges,
+                  const PartitionConfig& config, std::uint64_t seed = 1);
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override;
+  std::string name() const override { return "Hash"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace spnl

@@ -1,0 +1,21 @@
+#include "partition/ldg.hpp"
+
+namespace spnl {
+
+LdgPartitioner::LdgPartitioner(VertexId num_vertices, EdgeId num_edges,
+                               const PartitionConfig& config)
+    : GreedyStreamingBase(num_vertices, num_edges, config) {}
+
+PartitionId LdgPartitioner::place(VertexId v, std::span<const VertexId> out) {
+  const PartitionId k = num_partitions();
+  scores_.assign(k, 0.0);
+  for (VertexId u : out) {
+    if (u < route_.size() && route_[u] != kUnassigned) scores_[route_[u]] += 1.0;
+  }
+  for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
+  const PartitionId pid = pick_best(scores_);
+  commit(v, out, pid);
+  return pid;
+}
+
+}  // namespace spnl

@@ -1,0 +1,21 @@
+// LDG — Linear Deterministic Greedy streaming partitioner
+// (Stanton & Kliot, KDD'12), the classic baseline the paper builds on.
+//
+// Score (paper Eq. 3): pid = argmax_i |V_i^pt ∩ N_out(v)| · w_t(i,v), where
+// w_t(i,v) = 1 - |P_i|/C is the remaining-capacity penalty.
+#pragma once
+
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+class LdgPartitioner final : public GreedyStreamingBase {
+ public:
+  LdgPartitioner(VertexId num_vertices, EdgeId num_edges,
+                 const PartitionConfig& config);
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override;
+  std::string name() const override { return "LDG"; }
+};
+
+}  // namespace spnl

@@ -1,0 +1,73 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace spnl {
+
+QualityMetrics evaluate_partition(const Graph& graph,
+                                  const std::vector<PartitionId>& route,
+                                  PartitionId k) {
+  const VertexId n = graph.num_vertices();
+  if (route.size() != n) {
+    throw std::invalid_argument("evaluate_partition: route size != |V|");
+  }
+  if (k == 0) throw std::invalid_argument("evaluate_partition: k must be >= 1");
+
+  QualityMetrics metrics;
+  metrics.vertices_per_partition.assign(k, 0);
+  metrics.edges_per_partition.assign(k, 0);
+
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId p = route[v];
+    if (p >= k) {
+      throw std::invalid_argument("evaluate_partition: vertex " + std::to_string(v) +
+                                  " unassigned or partition id out of range");
+    }
+    ++metrics.vertices_per_partition[p];
+    metrics.edges_per_partition[p] += graph.out_degree(v);
+    for (VertexId u : graph.out_neighbors(v)) {
+      if (route[u] != p) ++metrics.cut_edges;
+    }
+  }
+
+  const EdgeId m = graph.num_edges();
+  metrics.ecr = m == 0 ? 0.0 : static_cast<double>(metrics.cut_edges) / m;
+  const VertexId max_v = n == 0 ? 0
+                                : *std::max_element(metrics.vertices_per_partition.begin(),
+                                                    metrics.vertices_per_partition.end());
+  const EdgeId max_e = m == 0 ? 0
+                              : *std::max_element(metrics.edges_per_partition.begin(),
+                                                  metrics.edges_per_partition.end());
+  metrics.delta_v = n == 0 ? 0.0 : static_cast<double>(max_v) * k / n;
+  metrics.delta_e = m == 0 ? 0.0 : static_cast<double>(max_e) * k / m;
+  return metrics;
+}
+
+EdgeId communication_volume(const Graph& graph, const std::vector<PartitionId>& route) {
+  EdgeId messages = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.out_neighbors(v)) {
+      if (route[u] != route[v]) ++messages;
+    }
+  }
+  return messages;
+}
+
+bool is_complete_assignment(const std::vector<PartitionId>& route, PartitionId k) {
+  for (PartitionId p : route) {
+    if (p >= k) return false;
+  }
+  return true;
+}
+
+std::string summarize(const QualityMetrics& metrics) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "ECR=%.4f dv=%.2f de=%.2f cut=%llu", metrics.ecr,
+                metrics.delta_v, metrics.delta_e,
+                static_cast<unsigned long long>(metrics.cut_edges));
+  return buf;
+}
+
+}  // namespace spnl

@@ -1,0 +1,46 @@
+// Partition quality metrics (Sec. VI-A of the paper):
+//  * ECR  — edge cut ratio |D|/|E|,
+//  * δv   — vertex balance factor max_i |V_i| * K / |V|,
+//  * δe   — edge balance factor max_i |E_i| * K / |E| (|E_i| = out-edges of
+//           the vertices assigned to P_i, matching vertex partitioning where
+//           a vertex carries its adjacency list),
+// plus the communication volume used by the PageRank example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spnl {
+
+struct QualityMetrics {
+  EdgeId cut_edges = 0;
+  double ecr = 0.0;
+  double delta_v = 0.0;
+  double delta_e = 0.0;
+  std::vector<VertexId> vertices_per_partition;
+  std::vector<EdgeId> edges_per_partition;
+};
+
+/// Evaluates a complete route table against the graph. Throws if any vertex
+/// is unassigned or any partition id >= k.
+QualityMetrics evaluate_partition(const Graph& graph,
+                                  const std::vector<PartitionId>& route,
+                                  PartitionId k);
+
+/// Total number of cross-partition messages one superstep of a push-style
+/// vertex-centric computation (e.g. PageRank) would send: the count of edges
+/// (u,v) with route[u] != route[v] — identical to cut_edges for directed
+/// graphs, exposed under its systems name for the examples.
+EdgeId communication_volume(const Graph& graph, const std::vector<PartitionId>& route);
+
+/// True iff every vertex has a partition id < k.
+bool is_complete_assignment(const std::vector<PartitionId>& route, PartitionId k);
+
+/// Compact "ECR=0.12 dv=1.05 de=2.31" summary for logs.
+std::string summarize(const QualityMetrics& metrics);
+
+}  // namespace spnl

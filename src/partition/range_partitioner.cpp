@@ -1,0 +1,26 @@
+#include "partition/range_partitioner.hpp"
+
+#include <stdexcept>
+
+namespace spnl {
+
+RangeTable::RangeTable(VertexId num_vertices, PartitionId k)
+    : k_(k), num_vertices_(num_vertices) {
+  if (k == 0) throw std::invalid_argument("RangeTable: k must be >= 1");
+  base_ = num_vertices / k;
+  big_ranges_ = static_cast<PartitionId>(num_vertices % k);
+  split_ = (base_ + 1) * big_ranges_;
+}
+
+RangePartitioner::RangePartitioner(VertexId num_vertices, EdgeId num_edges,
+                                   const PartitionConfig& config)
+    : GreedyStreamingBase(num_vertices, num_edges, config),
+      table_(num_vertices, config.num_partitions) {}
+
+PartitionId RangePartitioner::place(VertexId v, std::span<const VertexId> out) {
+  const PartitionId pid = table_.partition_of(v);
+  commit(v, out, pid);
+  return pid;
+}
+
+}  // namespace spnl

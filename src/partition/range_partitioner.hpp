@@ -1,0 +1,51 @@
+// Range partitioner: contiguous id ranges of (near-)equal size. This is
+// exactly the logical pre-assignment policy SPNL uses (Sec. IV-C); as a
+// standalone partitioner it shows how much of SPNL's win comes from raw id
+// locality alone.
+#pragma once
+
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+/// O(1) logical range lookup shared by RangePartitioner and SPNL.
+/// Vertices 0..n-1 are split into K contiguous ranges; the first n % K
+/// ranges get one extra vertex, so sizes differ by at most 1.
+class RangeTable {
+ public:
+  RangeTable(VertexId num_vertices, PartitionId k);
+
+  PartitionId partition_of(VertexId v) const {
+    // Two-piece linear mapping: big ranges (size base_+1) first.
+    if (v < split_) return static_cast<PartitionId>(v / (base_ + 1));
+    return static_cast<PartitionId>(big_ranges_ + (v - split_) / base_);
+  }
+
+  VertexId range_size(PartitionId i) const {
+    return i < big_ranges_ ? base_ + 1 : base_;
+  }
+
+  PartitionId num_partitions() const { return k_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+ private:
+  PartitionId k_ = 1;
+  VertexId num_vertices_ = 0;
+  VertexId base_ = 0;        // floor(n / k)
+  PartitionId big_ranges_ = 0;  // n % k ranges of size base_+1
+  VertexId split_ = 0;       // first id of the small ranges
+};
+
+class RangePartitioner final : public GreedyStreamingBase {
+ public:
+  RangePartitioner(VertexId num_vertices, EdgeId num_edges,
+                   const PartitionConfig& config);
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override;
+  std::string name() const override { return "Range"; }
+
+ private:
+  RangeTable table_;
+};
+
+}  // namespace spnl

@@ -1,0 +1,42 @@
+// Re-streaming partitioning (Nishimura & Ugander, KDD'13), the related-work
+// extension of Sec. III-B: the stream is replayed for several passes and each
+// pass scores a vertex's neighbors by their assignment in the PREVIOUS pass
+// (a full route table, not just the prefix), progressively refining quality
+// at the cost of extra scans. Works as a wrapper over the one-pass scoring
+// rules; this module provides the LDG-style variant (ReLDG) and an
+// SPNL-seeded variant where pass 1 is SPNL.
+#pragma once
+
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+/// Scoring rule used by refinement passes (pass 2 onwards).
+enum class RestreamRule {
+  kLdg,     ///< ReLDG: neighbor agreement x remaining-capacity penalty
+  kFennel,  ///< ReFENNEL: neighbor agreement - alpha*gamma*|V_i|^(gamma-1)
+};
+
+struct RestreamOptions {
+  /// Total passes including the initial one; 1 = plain single-pass.
+  int passes = 3;
+  /// Partitioner for pass 1: LDG or SPNL.
+  bool seed_with_spnl = false;
+  RestreamRule rule = RestreamRule::kLdg;
+  /// Partial re-streaming (Echbarthi & Kheddouci): only this fraction of
+  /// vertices (a deterministic hash-selected subset) is re-decided per
+  /// refinement pass; the rest keep their previous assignment. 1.0 = full.
+  double restream_fraction = 1.0;
+  std::uint64_t selection_seed = 1;
+};
+
+/// Runs `passes` scans over the stream (reset() between passes) and returns
+/// the final route table.
+std::vector<PartitionId> restream_partition(AdjacencyStream& stream,
+                                            const PartitionConfig& config,
+                                            const RestreamOptions& options = {});
+
+}  // namespace spnl

@@ -1,0 +1,50 @@
+// The remaining streaming heuristics from the original study LDG comes from
+// (Stanton & Kliot, KDD'12), completing the baseline zoo:
+//
+//  * Balanced          — always the least-loaded partition (topology-blind
+//                        lower bound on quality, perfect balance),
+//  * DeterministicGreedy — unweighted neighbor agreement |N(v) ∩ P_i| with
+//                        only the hard capacity (no penalty term),
+//  * ExponentialGreedy — agreement weighted by 1 − e^(load − C),
+//  * Triangles         — agreement counts closed triangles: edges among v's
+//                        already-placed neighbors inside P_i. NOTE: this
+//                        heuristic needs random access to the graph's
+//                        adjacency (as in the original study, where the
+//                        graph was resident); it is not one-pass in the
+//                        strict sense and serves as a quality reference.
+//
+// Hashing and Chunking from the same study are HashPartitioner and
+// RangePartitioner; Linear Deterministic Greedy is LdgPartitioner.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+enum class SkHeuristic {
+  kBalanced,
+  kDeterministicGreedy,
+  kExponentialGreedy,
+  kTriangles,
+};
+
+class SkPartitioner final : public GreedyStreamingBase {
+ public:
+  /// `graph` is only required (and only dereferenced) for kTriangles.
+  SkPartitioner(VertexId num_vertices, EdgeId num_edges,
+                const PartitionConfig& config, SkHeuristic heuristic,
+                const Graph* graph = nullptr);
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override;
+  std::string name() const override;
+
+ private:
+  /// Edges among v's placed neighbors assigned to partition p.
+  double triangle_score(std::span<const VertexId> out, PartitionId p) const;
+
+  SkHeuristic heuristic_;
+  const Graph* graph_;
+};
+
+}  // namespace spnl

@@ -1,0 +1,156 @@
+#include "partition/window_stream.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "partition/range_partitioner.hpp"
+#include "util/memory.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+namespace {
+
+struct Slot {
+  OwnedVertexRecord record;
+  /// Number of this record's out-neighbors already placed (kept current by
+  /// the reverse index).
+  std::uint32_t confidence = 0;
+  /// Bumped on every reuse so stale reverse-index entries are ignored.
+  std::uint32_t generation = 0;
+  bool occupied = false;
+};
+
+struct IndexEntry {
+  std::uint32_t slot;
+  std::uint32_t generation;
+};
+
+}  // namespace
+
+WindowStreamResult window_stream_partition(AdjacencyStream& stream,
+                                           const PartitionConfig& config,
+                                           const WindowStreamOptions& options) {
+  if (options.window_size == 0) {
+    throw std::invalid_argument("window_stream_partition: window_size must be >= 1");
+  }
+  const VertexId n = stream.num_vertices();
+  const EdgeId m = stream.num_edges();
+  const PartitionId k = config.num_partitions;
+  const double capacity = partition_capacity(n, m, config);
+  const RangeTable logical(n, k);
+
+  Timer timer;
+  WindowStreamResult result;
+  result.route.assign(n, kUnassigned);
+  std::vector<VertexId> loads(k, 0);
+  std::vector<double> scores(k);
+
+  std::vector<Slot> window(options.window_size);
+  // target id -> slots whose record lists it (for confidence maintenance).
+  std::unordered_map<VertexId, std::vector<IndexEntry>> reverse_index;
+  std::size_t occupied = 0;
+  bool exhausted = false;
+
+  auto fill_window = [&] {
+    while (!exhausted && occupied < window.size()) {
+      auto record = stream.next();
+      if (!record) {
+        exhausted = true;
+        break;
+      }
+      for (std::uint32_t s = 0; s < window.size(); ++s) {
+        if (window[s].occupied) continue;
+        Slot& slot = window[s];
+        slot.record = OwnedVertexRecord::from(*record);
+        slot.confidence = 0;
+        ++slot.generation;
+        for (VertexId u : slot.record.out) {
+          if (u < n && result.route[u] != kUnassigned) {
+            ++slot.confidence;
+          } else {
+            reverse_index[u].push_back({s, slot.generation});
+          }
+        }
+        slot.occupied = true;
+        ++occupied;
+        break;
+      }
+    }
+  };
+
+  auto place_slot = [&](std::uint32_t s) {
+    Slot& slot = window[s];
+    const VertexId v = slot.record.id;
+    scores.assign(k, 0.0);
+    for (VertexId u : slot.record.out) {
+      if (u < n && result.route[u] != kUnassigned) {
+        scores[result.route[u]] += 1.0;
+      } else if (options.logical_weight > 0.0 && u < n) {
+        scores[logical.partition_of(u)] += options.logical_weight;
+      }
+    }
+    PartitionId best = kUnassigned;
+    double best_score = 0.0;
+    for (PartitionId p = 0; p < k; ++p) {
+      if (static_cast<double>(loads[p]) >= capacity) continue;
+      const double score = scores[p] * (1.0 - loads[p] / capacity);
+      if (best == kUnassigned || score > best_score ||
+          (score == best_score && loads[p] < loads[best])) {
+        best = p;
+        best_score = score;
+      }
+    }
+    if (best == kUnassigned) {
+      best = 0;
+      for (PartitionId p = 1; p < k; ++p) {
+        if (loads[p] < loads[best]) best = p;
+      }
+    }
+    result.route[v] = best;
+    ++loads[best];
+    slot.occupied = false;
+    --occupied;
+
+    // The placement raises the confidence of windowed records listing v.
+    if (auto it = reverse_index.find(v); it != reverse_index.end()) {
+      for (const IndexEntry& entry : it->second) {
+        Slot& dependent = window[entry.slot];
+        if (dependent.occupied && dependent.generation == entry.generation) {
+          ++dependent.confidence;
+        }
+      }
+      reverse_index.erase(it);
+    }
+  };
+
+  fill_window();
+  while (occupied > 0) {
+    // Most-confident-first selection (ties: lowest id keeps near-stream
+    // order, which preserves the crawl locality benefits).
+    std::uint32_t best_slot = 0;
+    bool found = false;
+    for (std::uint32_t s = 0; s < window.size(); ++s) {
+      if (!window[s].occupied) continue;
+      if (!found ||
+          window[s].confidence > window[best_slot].confidence ||
+          (window[s].confidence == window[best_slot].confidence &&
+           window[s].record.id < window[best_slot].record.id)) {
+        best_slot = s;
+        found = true;
+      }
+    }
+    place_slot(best_slot);
+    fill_window();
+    // The reverse index only grows with in-flight records; entries for
+    // placed slots are pruned lazily via the occupied check above.
+  }
+
+  result.partition_seconds = timer.seconds();
+  result.peak_bytes = vector_bytes(result.route) + vector_bytes(loads) +
+                      window.size() * sizeof(Slot) +
+                      reverse_index.size() * (sizeof(VertexId) + sizeof(std::uint32_t));
+  return result;
+}
+
+}  // namespace spnl

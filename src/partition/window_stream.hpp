@@ -1,0 +1,35 @@
+// Window-based streaming partitioning in the style of WSGP (Li et al.,
+// CCGrid'21 — the paper's Ref. [23]): instead of deciding vertices strictly
+// in arrival order, keep a small candidate window and always place the
+// vertex with the most already-placed out-neighbors first. Confident
+// decisions are made early; hard ones wait until the prefix has grown.
+//
+// Included as a related-work baseline the paper's buffered/hybrid discussion
+// references; scoring is the LDG rule plus an optional SPNL-style logical
+// range prior for still-unplaced neighbors.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/adjacency_stream.hpp"
+#include "partition/partitioning.hpp"
+
+namespace spnl {
+
+struct WindowStreamOptions {
+  VertexId window_size = 1024;
+  /// Weight of the logical range prior (0 disables; the SPNL transplant).
+  double logical_weight = 0.0;
+};
+
+struct WindowStreamResult {
+  std::vector<PartitionId> route;
+  double partition_seconds = 0.0;
+  std::size_t peak_bytes = 0;
+};
+
+WindowStreamResult window_stream_partition(AdjacencyStream& stream,
+                                           const PartitionConfig& config,
+                                           const WindowStreamOptions& options = {});
+
+}  // namespace spnl

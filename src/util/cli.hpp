@@ -1,0 +1,35 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Syntax: --key=value or --key value or bare --flag (boolean true).
+// Unknown flags are collected and can be rejected by the caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spnl {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All flag keys seen, for unknown-flag validation.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spnl

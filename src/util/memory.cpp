@@ -1,0 +1,48 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace spnl {
+
+namespace {
+std::size_t read_status_kb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  const std::size_t key_len = std::strlen(key);
+  while (std::getline(status, line)) {
+    if (line.compare(0, key_len, key) == 0) {
+      std::istringstream iss(line.substr(key_len));
+      std::size_t kb = 0;
+      iss >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+}  // namespace
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM:") * 1024; }
+
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS:") * 1024; }
+
+std::string format_bytes(std::size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace spnl

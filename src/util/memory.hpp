@@ -1,0 +1,37 @@
+// Memory accounting for the MC (memory consumption) metric of the paper.
+//
+// Two complementary sources:
+//  * Precise per-partitioner accounting: every partitioner reports
+//    memory_footprint_bytes(), a sum over its own data structures. This is
+//    what the MC tables in EXPERIMENTS.md use — it isolates the algorithm's
+//    cost from allocator noise, matching the space-complexity analysis of
+//    the paper (Table IV).
+//  * Process-level peak RSS (Linux /proc/self/status VmHWM), reported by the
+//    benches for context.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spnl {
+
+/// Bytes held by a vector's heap buffer (capacity, not size — capacity is
+/// what the allocator actually reserved).
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Peak resident set size of this process in bytes (VmHWM). Returns 0 if the
+/// value cannot be read (non-Linux /proc layout).
+std::size_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS). Returns 0 on failure.
+std::size_t current_rss_bytes();
+
+/// Pretty-print a byte count, e.g. "1.50GB", "12.3MB", "420B".
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace spnl

@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+namespace spnl {
+
+std::uint64_t mix64(std::uint64_t x) {
+  SplitMix64 sm(x);
+  return sm.next();
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256StarStar::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256StarStar::next_below(std::uint64_t bound) {
+  // Lemire's method: map a 64-bit draw into [0, bound) via 128-bit multiply,
+  // rejecting the small biased region.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256StarStar::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256StarStar::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace spnl

@@ -1,0 +1,40 @@
+// Minimal fixed-width table formatting for the bench harness.
+//
+// The benches reproduce the paper's tables (Table III/IV/V) and figure data
+// series as plain-text tables on stdout; this utility keeps all of them
+// aligned and consistent.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spnl {
+
+class TablePrinter {
+ public:
+  /// Column headers fix the column count. Widths adapt to contents.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(int v);
+
+  /// Render the full table (header, separator, rows) as a string.
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spnl

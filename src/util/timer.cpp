@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+namespace spnl {
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void AccumTimer::resume() {
+  if (running_) return;
+  timer_.restart();
+  running_ = true;
+}
+
+void AccumTimer::pause() {
+  if (!running_) return;
+  accumulated_ += timer_.seconds();
+  running_ = false;
+}
+
+}  // namespace spnl

@@ -1,0 +1,43 @@
+// Wall-clock timing helpers used by the bench harness to measure PT
+// (partitioning time) as defined in the paper: from the first adjacency list
+// load to the completed route table.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spnl {
+
+/// Monotonic stopwatch. Started on construction; restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const;
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: total time across multiple resume()/pause() intervals.
+class AccumTimer {
+ public:
+  void resume();
+  void pause();
+  double seconds() const { return accumulated_; }
+  bool running() const { return running_; }
+
+ private:
+  Timer timer_;
+  double accumulated_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace spnl

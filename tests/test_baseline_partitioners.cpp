@@ -1,0 +1,217 @@
+// Unit tests for the baseline streaming partitioners (Hash, Range, LDG,
+// FENNEL) and the shared greedy base machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+namespace {
+
+Graph test_graph(VertexId n = 5000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.85, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+template <typename P, typename... Args>
+std::vector<PartitionId> run(const Graph& g, const PartitionConfig& config,
+                             Args&&... args) {
+  P partitioner(g.num_vertices(), g.num_edges(), config, std::forward<Args>(args)...);
+  InMemoryStream stream(g);
+  return run_streaming(stream, partitioner).route;
+}
+
+TEST(Hash, CompleteAndRoughlyBalanced) {
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto route = run<HashPartitioner>(g, config);
+  EXPECT_TRUE(is_complete_assignment(route, 8));
+  const auto metrics = evaluate_partition(g, route, 8);
+  EXPECT_LT(metrics.delta_v, 1.15);
+  // Hash ignores topology: ECR near 1 - 1/K.
+  EXPECT_NEAR(metrics.ecr, 1.0 - 1.0 / 8, 0.05);
+}
+
+TEST(Hash, SeedChangesAssignment) {
+  const Graph g = test_graph(500);
+  const PartitionConfig config{.num_partitions = 4};
+  const auto a = run<HashPartitioner>(g, config, 1);
+  const auto b = run<HashPartitioner>(g, config, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(RangeTableTest, ContiguousNearEqualRanges) {
+  RangeTable table(10, 3);  // sizes 4, 3, 3
+  EXPECT_EQ(table.range_size(0), 4u);
+  EXPECT_EQ(table.range_size(1), 3u);
+  EXPECT_EQ(table.range_size(2), 3u);
+  EXPECT_EQ(table.partition_of(0), 0u);
+  EXPECT_EQ(table.partition_of(3), 0u);
+  EXPECT_EQ(table.partition_of(4), 1u);
+  EXPECT_EQ(table.partition_of(6), 1u);
+  EXPECT_EQ(table.partition_of(7), 2u);
+  EXPECT_EQ(table.partition_of(9), 2u);
+}
+
+TEST(RangeTableTest, ExactDivision) {
+  RangeTable table(12, 4);
+  for (PartitionId i = 0; i < 4; ++i) EXPECT_EQ(table.range_size(i), 3u);
+  EXPECT_EQ(table.partition_of(11), 3u);
+}
+
+TEST(RangeTableTest, MorePartitionsThanVertices) {
+  RangeTable table(2, 5);
+  EXPECT_EQ(table.partition_of(0), 0u);
+  EXPECT_EQ(table.partition_of(1), 1u);
+  EXPECT_EQ(table.range_size(4), 0u);
+}
+
+TEST(RangeTableTest, RejectsZeroK) {
+  EXPECT_THROW(RangeTable(10, 0), std::invalid_argument);
+}
+
+TEST(Range, ProducesContiguousBlocks) {
+  const Graph g = test_graph(1000);
+  const PartitionConfig config{.num_partitions = 4};
+  const auto route = run<RangePartitioner>(g, config);
+  EXPECT_TRUE(is_complete_assignment(route, 4));
+  for (VertexId v = 1; v < 1000; ++v) EXPECT_GE(route[v], route[v - 1]);
+  EXPECT_NEAR(evaluate_partition(g, route, 4).delta_v, 1.0, 1e-9);
+}
+
+TEST(Ldg, CompleteBalancedAndBetterThanHash) {
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto ldg = evaluate_partition(g, run<LdgPartitioner>(g, config), 8);
+  const auto hash = evaluate_partition(g, run<HashPartitioner>(g, config), 8);
+  EXPECT_LE(ldg.delta_v, config.slack + 0.01);
+  EXPECT_LT(ldg.ecr, hash.ecr * 0.8);
+}
+
+TEST(Ldg, PlacesWithMajorityOfPlacedNeighbors) {
+  // Paper Fig. 1: with equal capacities, the partition holding the only
+  // placed out-neighbor wins.
+  GraphBuilder builder(8);
+  builder.add_edge(7, 6);  // 6 will be placed before 7
+  const Graph g = builder.finish();
+  PartitionConfig config{.num_partitions = 3, .slack = 3.0};
+  LdgPartitioner partitioner(8, 1, config);
+  // Manually stream vertices 0..6 with empty lists, then 7 -> [6].
+  for (VertexId v = 0; v < 7; ++v) partitioner.place(v, {});
+  const PartitionId p6 = partitioner.route()[6];
+  const PartitionId p7 = partitioner.place(7, g.out_neighbors(7));
+  EXPECT_EQ(p7, p6);
+}
+
+TEST(Ldg, DoublePlacementThrows) {
+  PartitionConfig config{.num_partitions = 2};
+  LdgPartitioner partitioner(4, 0, config);
+  partitioner.place(0, {});
+  EXPECT_THROW(partitioner.place(0, {}), std::logic_error);
+}
+
+TEST(Ldg, OutOfRangeVertexThrows) {
+  PartitionConfig config{.num_partitions = 2};
+  LdgPartitioner partitioner(4, 0, config);
+  EXPECT_THROW(partitioner.place(4, {}), std::out_of_range);
+}
+
+TEST(Ldg, HardCapRespectedUpToOverflow) {
+  // 10 vertices, K=2, slack 1.0 -> capacity 5 each.
+  PartitionConfig config{.num_partitions = 2, .slack = 1.0};
+  LdgPartitioner partitioner(10, 0, config);
+  for (VertexId v = 0; v < 10; ++v) partitioner.place(v, {});
+  EXPECT_EQ(partitioner.vertex_count(0), 5u);
+  EXPECT_EQ(partitioner.vertex_count(1), 5u);
+}
+
+TEST(Ldg, DeterministicRoute) {
+  const Graph g = test_graph(2000);
+  const PartitionConfig config{.num_partitions = 8};
+  EXPECT_EQ(run<LdgPartitioner>(g, config), run<LdgPartitioner>(g, config));
+}
+
+TEST(Ldg, EdgeBalanceModeBoundsEdges) {
+  // A few huge-degree vertices: vertex balance lets delta_e blow up,
+  // edge balance reins it in.
+  WebCrawlParams params{.num_vertices = 4000, .avg_out_degree = 10.0,
+                        .degree_alpha = 1.3, .seed = 6};
+  params.dense_core_fraction = 0.02;
+  params.dense_core_multiplier = 25.0;
+  const Graph g = generate_webcrawl(params);
+  PartitionConfig vertex_cfg{.num_partitions = 8, .balance = BalanceMode::kVertex};
+  PartitionConfig edge_cfg{.num_partitions = 8, .balance = BalanceMode::kEdge};
+  const auto mv = evaluate_partition(g, run<LdgPartitioner>(g, vertex_cfg), 8);
+  const auto me = evaluate_partition(g, run<LdgPartitioner>(g, edge_cfg), 8);
+  EXPECT_LT(me.delta_e, mv.delta_e);
+}
+
+TEST(Ldg, MultiConstraintBoundsBothSides) {
+  // A skewed graph under kBoth: vertex slack 1.1, edge slack 2.0 — both
+  // must hold (up to one adjacency list of overflow on the edge side).
+  WebCrawlParams params{.num_vertices = 6000, .avg_out_degree = 10.0,
+                        .degree_alpha = 1.4, .seed = 8};
+  params.dense_core_fraction = 0.02;
+  params.dense_core_multiplier = 20.0;
+  const Graph g = generate_webcrawl(params);
+  PartitionConfig config{.num_partitions = 8, .balance = BalanceMode::kBoth,
+                         .slack = 1.1, .edge_slack = 2.0};
+  const auto metrics = evaluate_partition(g, run<LdgPartitioner>(g, config), 8);
+  EXPECT_LE(metrics.delta_v, 1.12);
+  const double edge_overflow =
+      static_cast<double>(g.max_out_degree()) * 8 / g.num_edges();
+  EXPECT_LE(metrics.delta_e, 2.0 + edge_overflow + 1e-9);
+  // Vertex-only balance on the same graph lets delta_e run much higher.
+  PartitionConfig vertex_only{.num_partitions = 8, .slack = 1.1};
+  const auto loose = evaluate_partition(g, run<LdgPartitioner>(g, vertex_only), 8);
+  EXPECT_GT(loose.delta_e, metrics.delta_e);
+}
+
+TEST(Fennel, CompleteAndWithinBalance) {
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto route = run<FennelPartitioner>(g, config);
+  EXPECT_TRUE(is_complete_assignment(route, 8));
+  EXPECT_LE(evaluate_partition(g, route, 8).delta_v, config.slack + 0.01);
+}
+
+TEST(Fennel, DefaultAlphaMatchesFormula) {
+  const PartitionConfig config{.num_partitions = 16};
+  FennelPartitioner partitioner(10000, 80000, config);
+  const double expected = 4.0 * 80000 / std::pow(10000.0, 1.5);
+  EXPECT_NEAR(partitioner.alpha(), expected, 1e-9);
+  EXPECT_DOUBLE_EQ(partitioner.gamma(), 1.5);
+}
+
+TEST(Fennel, RejectsBadGamma) {
+  const PartitionConfig config{.num_partitions = 2};
+  EXPECT_THROW(FennelPartitioner(10, 10, config, {.gamma = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Fennel, BetterThanHashOnClusteredGraph) {
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto fennel = evaluate_partition(g, run<FennelPartitioner>(g, config), 8);
+  const auto hash = evaluate_partition(g, run<HashPartitioner>(g, config), 8);
+  EXPECT_LT(fennel.ecr, hash.ecr);
+}
+
+TEST(GreedyBase, MemoryFootprintScalesWithN) {
+  const PartitionConfig config{.num_partitions = 4};
+  LdgPartitioner small(1000, 0, config);
+  LdgPartitioner large(100000, 0, config);
+  EXPECT_GT(large.memory_footprint_bytes(), small.memory_footprint_bytes() * 50);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,106 @@
+#include "partition/buffered.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 10000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.88, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+TEST(Buffered, CompleteAndBalanced) {
+  const Graph g = crawl();
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto result = buffered_partition(stream, config, {.buffer_size = 1024});
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  EXPECT_LE(evaluate_partition(g, result.route, 8).delta_v, config.slack + 0.01);
+  EXPECT_EQ(result.batches, 10);
+}
+
+TEST(Buffered, ImprovesOnPureStreamingSeed) {
+  // Joint in-buffer refinement should beat the pure one-at-a-time LDG rule.
+  const Graph g = crawl(20000, 3);
+  const PartitionConfig config{.num_partitions = 16};
+
+  LdgPartitioner ldg(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  const double pure = evaluate_partition(g, run_streaming(stream, ldg).route, 16).ecr;
+
+  stream.reset();
+  const auto buffered = buffered_partition(
+      stream, config, {.buffer_size = 4096, .seed_rule = BufferSeedRule::kLdg});
+  const double hybrid = evaluate_partition(g, buffered.route, 16).ecr;
+  EXPECT_LT(hybrid, pure);
+}
+
+TEST(Buffered, SpnlSeedAtLeastAsGoodAsLdgSeed) {
+  const Graph g = crawl(20000, 5);
+  const PartitionConfig config{.num_partitions = 16};
+  InMemoryStream stream(g);
+  const auto with_ldg = buffered_partition(
+      stream, config, {.buffer_size = 2048, .seed_rule = BufferSeedRule::kLdg});
+  stream.reset();
+  const auto with_spnl = buffered_partition(
+      stream, config, {.buffer_size = 2048, .seed_rule = BufferSeedRule::kSpnl});
+  EXPECT_LE(evaluate_partition(g, with_spnl.route, 16).ecr,
+            evaluate_partition(g, with_ldg.route, 16).ecr + 0.02);
+}
+
+TEST(Buffered, BufferLargerThanGraphIsOneBatch) {
+  const Graph g = crawl(500, 7);
+  const PartitionConfig config{.num_partitions = 4};
+  InMemoryStream stream(g);
+  const auto result = buffered_partition(stream, config, {.buffer_size = 10000});
+  EXPECT_EQ(result.batches, 1);
+  EXPECT_TRUE(is_complete_assignment(result.route, 4));
+}
+
+TEST(Buffered, BufferSizeOneDegeneratesToStreaming) {
+  const Graph g = crawl(2000, 9);
+  const PartitionConfig config{.num_partitions = 4};
+  InMemoryStream stream(g);
+  const auto result = buffered_partition(
+      stream, config,
+      {.buffer_size = 1, .sweeps = 0, .seed_rule = BufferSeedRule::kSpnl});
+  stream.reset();
+  SpnlPartitioner spnl(g.num_vertices(), g.num_edges(), config);
+  const auto pure = run_streaming(stream, spnl).route;
+  EXPECT_EQ(result.route, pure);
+}
+
+TEST(Buffered, ZeroBufferRejected) {
+  const Graph g = crawl(100, 11);
+  InMemoryStream stream(g);
+  EXPECT_THROW(buffered_partition(stream, {.num_partitions = 2}, {.buffer_size = 0}),
+               std::invalid_argument);
+}
+
+TEST(Buffered, EmptyStream) {
+  Graph g;
+  InMemoryStream stream(g);
+  const auto result = buffered_partition(stream, {.num_partitions = 4});
+  EXPECT_TRUE(result.route.empty());
+  EXPECT_EQ(result.batches, 0);
+}
+
+TEST(Buffered, ReportsMemory) {
+  const Graph g = crawl(5000, 13);
+  InMemoryStream stream(g);
+  const auto result = buffered_partition(stream, {.num_partitions = 8},
+                                         {.buffer_size = 512});
+  EXPECT_GT(result.peak_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace spnl

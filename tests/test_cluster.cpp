@@ -1,0 +1,116 @@
+#include "cluster/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/algorithms.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+namespace {
+
+/// Hand-checkable scenario: 2 workers, one superstep, known traffic.
+BspResult tiny_job(std::uint64_t local0, std::uint64_t cross01,
+                   std::uint64_t cross10) {
+  BspResult job;
+  job.traffic.push_back({local0, cross01, cross10, 0});  // 2x2 row-major
+  job.compute.push_back({local0 + cross01, cross10});
+  return job;
+}
+
+TEST(Cluster, TimingMatchesHandComputation) {
+  // Worker 0: 1000 local + 200 to worker 1; worker 1: 100 to worker 0.
+  const BspResult job = tiny_job(1000, 200, 100);
+  ClusterModel model;
+  model.compute_rate = 1000.0;  // 1.2 s compute on worker 0
+  model.bandwidth = 100.0;      // busiest link: 200 msgs -> 2 s
+  model.barrier_latency = 0.5;
+  const auto timeline = simulate_cluster(job, 2, model);
+  ASSERT_EQ(timeline.supersteps.size(), 1u);
+  EXPECT_DOUBLE_EQ(timeline.supersteps[0].compute_seconds, 1.2);
+  EXPECT_DOUBLE_EQ(timeline.supersteps[0].network_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(timeline.total_seconds, 3.7);
+}
+
+TEST(Cluster, OverlapTakesMax) {
+  const BspResult job = tiny_job(1000, 200, 100);
+  ClusterModel model;
+  model.compute_rate = 1000.0;
+  model.bandwidth = 100.0;
+  model.barrier_latency = 0.5;
+  model.overlap = true;
+  const auto timeline = simulate_cluster(job, 2, model);
+  EXPECT_DOUBLE_EQ(timeline.total_seconds, 2.5);
+}
+
+TEST(Cluster, LocalMessagesCostNoNetwork) {
+  const BspResult job = tiny_job(100000, 0, 0);
+  ClusterModel model;
+  model.barrier_latency = 0.0;
+  const auto timeline = simulate_cluster(job, 2, model);
+  EXPECT_DOUBLE_EQ(timeline.network_seconds, 0.0);
+  EXPECT_GT(timeline.compute_seconds, 0.0);
+}
+
+TEST(Cluster, ValidatesInput) {
+  BspResult job = tiny_job(1, 1, 1);
+  EXPECT_THROW(simulate_cluster(job, 3), std::invalid_argument);  // k mismatch
+  ClusterModel bad;
+  bad.bandwidth = 0.0;
+  EXPECT_THROW(simulate_cluster(job, 2, bad), std::invalid_argument);
+  job.compute.clear();
+  EXPECT_THROW(simulate_cluster(job, 2), std::invalid_argument);
+}
+
+TEST(Cluster, BetterPartitioningLowersSimulatedTime) {
+  const Graph g = generate_webcrawl({.num_vertices = 20000, .avg_out_degree = 8.0,
+                                     .locality = 0.95, .locality_scale = 25.0,
+                                     .seed = 5});
+  const PartitionConfig config{.num_partitions = 8};
+  auto route_of = [&](StreamingPartitioner& p) {
+    InMemoryStream stream(g);
+    return run_streaming(stream, p).route;
+  };
+  HashPartitioner hash(g.num_vertices(), g.num_edges(), config);
+  RangePartitioner range(g.num_vertices(), g.num_edges(), config);
+  const auto hash_route = route_of(hash);
+  const auto range_route = route_of(range);
+
+  auto job_time = [&](const std::vector<PartitionId>& route) {
+    // Run PageRank with traffic recording.
+    const auto job = pagerank_with_traffic(g, route, 8, 5);
+    return simulate_cluster(job, 8).total_seconds;
+  };
+  EXPECT_LT(job_time(range_route), job_time(hash_route));
+}
+
+TEST(Cluster, TrafficMatrixConsistentWithStats) {
+  const Graph g = generate_webcrawl({.num_vertices = 5000, .avg_out_degree = 6.0,
+                                     .seed = 7});
+  const PartitionConfig config{.num_partitions = 4};
+  RangePartitioner range(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  const auto route = run_streaming(stream, range).route;
+  const auto job = pagerank_with_traffic(g, route, 4, 3);
+  std::uint64_t local = 0, remote = 0;
+  for (const auto& matrix : job.traffic) {
+    for (PartitionId from = 0; from < 4; ++from) {
+      for (PartitionId to = 0; to < 4; ++to) {
+        const auto count = matrix[from * 4 + to];
+        if (from == to) {
+          local += count;
+        } else {
+          remote += count;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(local, job.stats.local_messages);
+  EXPECT_EQ(remote, job.stats.remote_messages);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,191 @@
+#include "core/gamma_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_gamma.hpp"
+#include "util/rng.hpp"
+
+namespace spnl {
+namespace {
+
+TEST(GammaWindow, FullTableWhenXIsOne) {
+  GammaWindow gamma(100, 4, 1);
+  EXPECT_EQ(gamma.window_size(), 100u);
+  gamma.increment(2, 99);
+  EXPECT_EQ(gamma.get(2, 99), 1u);
+  EXPECT_EQ(gamma.get(1, 99), 0u);
+}
+
+TEST(GammaWindow, WindowSizeIsCeilOfNOverX) {
+  EXPECT_EQ(GammaWindow(100, 2, 3).window_size(), 34u);
+  EXPECT_EQ(GammaWindow(100, 2, 100).window_size(), 1u);
+  EXPECT_EQ(GammaWindow(7, 2, 2).window_size(), 4u);
+}
+
+TEST(GammaWindow, IncrementsOutsideWindowDropped) {
+  GammaWindow gamma(100, 2, 10);  // window [0, 10)
+  gamma.increment(0, 50);         // ahead of window: dropped
+  gamma.advance_to(45);           // window [45, 55)
+  EXPECT_EQ(gamma.get(0, 50), 0u);
+  gamma.increment(0, 50);
+  EXPECT_EQ(gamma.get(0, 50), 1u);
+  gamma.increment(0, 44);  // behind window: dropped
+  EXPECT_EQ(gamma.get(0, 44), 0u);
+}
+
+TEST(GammaWindow, FineGrainedSlideRetiresOneSlot) {
+  GammaWindow gamma(100, 1, 10);  // window [0, 10)
+  gamma.increment(0, 3);
+  gamma.increment(0, 9);
+  gamma.advance_to(1);  // window [1, 11): id 0 retired, id 10 fresh
+  EXPECT_EQ(gamma.get(0, 3), 1u);
+  EXPECT_EQ(gamma.get(0, 9), 1u);
+  EXPECT_EQ(gamma.get(0, 10), 0u);
+  gamma.increment(0, 10);
+  EXPECT_EQ(gamma.get(0, 10), 1u);
+}
+
+TEST(GammaWindow, SlotReuseIsZeroed) {
+  GammaWindow gamma(100, 1, 10);  // W = 10; ids 0 and 10 share a slot
+  gamma.increment(0, 0);
+  EXPECT_EQ(gamma.get(0, 0), 1u);
+  gamma.advance_to(5);  // id 0 retired; its slot now belongs to id 10
+  EXPECT_EQ(gamma.get(0, 10), 0u);
+}
+
+TEST(GammaWindow, BulkAdvanceClearsEverything) {
+  GammaWindow gamma(1000, 2, 10);  // W = 100
+  for (VertexId u = 0; u < 100; ++u) gamma.increment(1, u);
+  gamma.advance_to(500);  // jump farther than W
+  for (VertexId u = 500; u < 600; ++u) EXPECT_EQ(gamma.get(1, u), 0u);
+}
+
+TEST(GammaWindow, NeverMovesBackwards) {
+  GammaWindow gamma(100, 1, 10);
+  gamma.advance_to(50);
+  gamma.advance_to(20);  // ignored
+  EXPECT_EQ(gamma.base(), 50u);
+}
+
+TEST(GammaWindow, RowSpansAllPartitions) {
+  GammaWindow gamma(100, 5, 10);
+  gamma.increment(3, 4);
+  gamma.increment(3, 4);
+  const auto row = gamma.row(4);
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[3], 2u);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_TRUE(gamma.row(50).empty());  // outside window
+}
+
+TEST(GammaWindow, MatchesReferenceDictionaryWithinWindow) {
+  // Property check: sliding-window counters agree with an exact dictionary
+  // restricted to the window, under a random increment/advance workload.
+  const VertexId n = 500;
+  const PartitionId k = 4;
+  GammaWindow gamma(n, k, 25);  // W = 20
+  std::map<std::pair<PartitionId, VertexId>, std::uint32_t> reference;
+  Rng rng(99);
+  VertexId head = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.next_bool(0.2) && head < n - 1) {
+      head += static_cast<VertexId>(1 + rng.next_below(3));
+      if (head >= n) head = n - 1;
+      gamma.advance_to(head);
+    }
+    const auto p = static_cast<PartitionId>(rng.next_below(k));
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    gamma.increment(p, u);
+    if (u >= head && u < head + gamma.window_size()) {
+      ++reference[{p, u}];
+    }
+    // Spot-check a random cell inside the window.
+    const auto cu = static_cast<VertexId>(
+        head + rng.next_below(std::min<VertexId>(gamma.window_size(), n - head)));
+    const auto cp = static_cast<PartitionId>(rng.next_below(k));
+    auto it = reference.find({cp, cu});
+    const std::uint32_t expected = it == reference.end() ? 0 : it->second;
+    ASSERT_EQ(gamma.get(cp, cu), expected) << "head=" << head << " u=" << cu;
+  }
+}
+
+TEST(GammaWindow, CoarseModeAlignsToShards) {
+  GammaWindow gamma(100, 1, 10, SlideMode::kCoarse);  // shards of 10
+  gamma.advance_to(3);  // mid-shard: no movement
+  EXPECT_EQ(gamma.base(), 0u);
+  gamma.increment(0, 9);
+  EXPECT_EQ(gamma.get(0, 9), 1u);
+  gamma.increment(0, 10);  // next shard: dropped (the boundary loss)
+  EXPECT_EQ(gamma.get(0, 10), 0u);
+  gamma.advance_to(10);  // shard jump
+  EXPECT_EQ(gamma.base(), 10u);
+  EXPECT_EQ(gamma.get(0, 9), 0u);   // retired
+  EXPECT_EQ(gamma.get(0, 10), 0u);  // fresh
+  gamma.advance_to(17);  // mid-shard again: stays
+  EXPECT_EQ(gamma.base(), 10u);
+}
+
+TEST(GammaWindow, CoarseDropsBoundaryCountsFineKeeps) {
+  // An edge from the end of one shard to the start of the next: fine-grained
+  // sliding (window [v, v+W)) keeps it, coarse sliding loses it.
+  GammaWindow fine(100, 1, 10, SlideMode::kFine);
+  GammaWindow coarse(100, 1, 10, SlideMode::kCoarse);
+  fine.advance_to(9);
+  coarse.advance_to(9);
+  fine.increment(0, 11);
+  coarse.increment(0, 11);
+  EXPECT_EQ(fine.get(0, 11), 1u);
+  EXPECT_EQ(coarse.get(0, 11), 0u);
+}
+
+TEST(GammaWindow, RecommendedShardsMatchesPaperFormula) {
+  // Paper example: web2001 (|V|=118,142,155), K=32 -> X=128.
+  EXPECT_EQ(GammaWindow::recommended_shards(118'142'155, 32), 128u);
+  // Small graphs clamp to X=1 (full table).
+  EXPECT_EQ(GammaWindow::recommended_shards(1000, 32), 1u);
+}
+
+TEST(GammaWindow, MemoryShrinksWithShards) {
+  GammaWindow full(1 << 20, 32, 1);
+  GammaWindow windowed(1 << 20, 32, 128);
+  EXPECT_NEAR(static_cast<double>(full.memory_footprint_bytes()) /
+                  windowed.memory_footprint_bytes(),
+              128.0, 1.0);
+}
+
+TEST(GammaWindow, Validates) {
+  EXPECT_THROW(GammaWindow(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(GammaWindow(10, 2, 0), std::invalid_argument);
+}
+
+TEST(ConcurrentGamma, BasicSemanticsMatchSequential) {
+  ConcurrentGammaWindow gamma(100, 4, 10);
+  gamma.increment(2, 5);
+  gamma.increment(2, 5);
+  EXPECT_EQ(gamma.get(2, 5), 2u);
+  gamma.advance_to(6);
+  EXPECT_EQ(gamma.get(2, 5), 0u);   // retired
+  EXPECT_EQ(gamma.get(2, 15), 0u);  // fresh slot zeroed
+  gamma.advance_to(3);              // backwards: ignored
+  EXPECT_EQ(gamma.base(), 6u);
+}
+
+TEST(ConcurrentGamma, ConcurrentIncrementsAllLand) {
+  ConcurrentGammaWindow gamma(1000, 2, 1);
+  constexpr int kThreads = 4, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) gamma.increment(1, 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(gamma.get(1, 7), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,159 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+
+namespace spnl {
+namespace {
+
+TEST(WebCrawl, Deterministic) {
+  WebCrawlParams params{.num_vertices = 2000, .avg_out_degree = 6.0, .seed = 9};
+  const Graph a = generate_webcrawl(params);
+  const Graph b = generate_webcrawl(params);
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.targets(), b.targets());
+}
+
+TEST(WebCrawl, SeedChangesGraph) {
+  WebCrawlParams params{.num_vertices = 2000, .avg_out_degree = 6.0, .seed = 9};
+  const Graph a = generate_webcrawl(params);
+  params.seed = 10;
+  const Graph b = generate_webcrawl(params);
+  EXPECT_NE(a.targets(), b.targets());
+}
+
+TEST(WebCrawl, RoughlyHitsAverageDegree) {
+  WebCrawlParams params{.num_vertices = 20000, .avg_out_degree = 10.0, .seed = 1};
+  const Graph g = generate_webcrawl(params);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  // Dedup and truncation shave a bit off the Pareto mean.
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 15.0);
+}
+
+TEST(WebCrawl, NoSelfLoopsNoDuplicates) {
+  WebCrawlParams params{.num_vertices = 3000, .avg_out_degree = 8.0, .seed = 4};
+  const Graph g = generate_webcrawl(params);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto out = g.out_neighbors(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_NE(out[i], v);
+      if (i > 0) {
+        EXPECT_LT(out[i - 1], out[i]);  // sorted strictly => unique
+      }
+    }
+  }
+}
+
+TEST(WebCrawl, LocalityParameterControlsGap) {
+  WebCrawlParams local{.num_vertices = 20000, .avg_out_degree = 8.0,
+                       .locality = 0.95, .locality_scale = 50.0, .seed = 2};
+  WebCrawlParams global = local;
+  global.locality = 0.05;
+  const auto stats_local = locality_stats(generate_webcrawl(local));
+  const auto stats_global = locality_stats(generate_webcrawl(global));
+  EXPECT_LT(stats_local.mean_normalized_gap, stats_global.mean_normalized_gap / 3);
+  EXPECT_GT(stats_local.fraction_within_window, stats_global.fraction_within_window);
+}
+
+TEST(WebCrawl, DegreeAlphaControlsSkew) {
+  WebCrawlParams heavy{.num_vertices = 20000, .avg_out_degree = 10.0,
+                       .degree_alpha = 1.3, .seed = 5};
+  WebCrawlParams light = heavy;
+  light.degree_alpha = 3.5;
+  const auto heavy_stats = out_degree_stats(generate_webcrawl(heavy));
+  const auto light_stats = out_degree_stats(generate_webcrawl(light));
+  EXPECT_GT(heavy_stats.gini, light_stats.gini);
+  EXPECT_GT(heavy_stats.max, light_stats.max);
+}
+
+TEST(WebCrawl, DenseCoreInflatesPrefixDegrees) {
+  WebCrawlParams params{.num_vertices = 10000, .avg_out_degree = 8.0, .seed = 6};
+  params.dense_core_fraction = 0.05;
+  params.dense_core_multiplier = 10.0;
+  const Graph g = generate_webcrawl(params);
+  EdgeId core_edges = 0;
+  const VertexId core_end = 500;
+  for (VertexId v = 0; v < core_end; ++v) core_edges += g.out_degree(v);
+  const double core_avg = static_cast<double>(core_edges) / core_end;
+  const double rest_avg = static_cast<double>(g.num_edges() - core_edges) /
+                          (g.num_vertices() - core_end);
+  EXPECT_GT(core_avg, 3 * rest_avg);
+}
+
+TEST(WebCrawl, EmptyAndInvalidInputs) {
+  EXPECT_EQ(generate_webcrawl({}).num_vertices(), 0u);
+  WebCrawlParams bad{.num_vertices = 10};
+  bad.degree_alpha = 1.0;
+  EXPECT_THROW(generate_webcrawl(bad), std::invalid_argument);
+  WebCrawlParams bad2{.num_vertices = 10};
+  bad2.locality = 1.5;
+  EXPECT_THROW(generate_webcrawl(bad2), std::invalid_argument);
+}
+
+TEST(WebCrawl, SingleVertexGraph) {
+  WebCrawlParams params{.num_vertices = 1, .avg_out_degree = 5.0, .seed = 1};
+  const Graph g = generate_webcrawl(params);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Rmat, SizesAndDeterminism) {
+  RmatParams params{.scale = 10, .num_edges = 8192, .seed = 3};
+  const Graph a = generate_rmat(params);
+  const Graph b = generate_rmat(params);
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  EXPECT_LE(a.num_edges(), 8192u);
+  EXPECT_GT(a.num_edges(), 4000u);  // some dedup loss is expected
+  EXPECT_EQ(a.targets(), b.targets());
+}
+
+TEST(Rmat, SkewedWhenAsymmetric) {
+  const Graph skewed = generate_rmat({.scale = 12, .num_edges = 1 << 16, .seed = 7});
+  const Graph uniform = generate_rmat(
+      {.scale = 12, .num_edges = 1 << 16, .a = 0.25, .b = 0.25, .c = 0.25, .seed = 7});
+  EXPECT_GT(out_degree_stats(skewed).gini, out_degree_stats(uniform).gini);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  EXPECT_THROW(generate_rmat({.scale = 4, .num_edges = 16, .a = 0.9, .b = 0.2}),
+               std::invalid_argument);
+}
+
+TEST(ErdosRenyi, ExactEdgeCountNoSelfLoops) {
+  const Graph g = generate_erdos_renyi(100, 5000, 1);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.out_neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(RingLattice, DegreeAndWrap) {
+  const Graph g = generate_ring_lattice(10, 3);
+  EXPECT_EQ(g.num_edges(), 30u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.out_degree(v), 3u);
+  const auto out = g.out_neighbors(9);
+  EXPECT_EQ(out[0], 0u);  // wraps around
+}
+
+TEST(RingLattice, KLargerThanGraphClamps) {
+  const Graph g = generate_ring_lattice(4, 100);
+  EXPECT_EQ(g.out_degree(0), 3u);
+}
+
+TEST(Grid, StructureIsSymmetric) {
+  const Graph g = generate_grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Interior vertex 5 (row 1, col 1) has 4 neighbors.
+  EXPECT_EQ(g.out_degree(5), 4u);
+  // Corner 0 has 2.
+  EXPECT_EQ(g.out_degree(0), 2u);
+  // Every edge is reciprocated.
+  const Graph r = g.reversed();
+  EXPECT_EQ(r.targets().size(), g.targets().size());
+}
+
+}  // namespace
+}  // namespace spnl

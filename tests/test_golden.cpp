@@ -1,0 +1,69 @@
+// Golden regression tests: exact cut-edge counts for fixed seeds and
+// configurations, snapshotted from a known-good build. Any change to the
+// generators, scoring rules, tie-breaking or capacity handling shows up
+// here immediately.
+//
+// These values depend on IEEE-754 double arithmetic being evaluated
+// identically; if a platform's FP contraction differs, re-snapshot rather
+// than loosen (the point is bit-stability on a fixed toolchain).
+#include <gtest/gtest.h>
+
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/datasets.hpp"
+#include "partition/driver.hpp"
+#include "partition/fennel.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+struct Golden {
+  const char* dataset;
+  const char* partitioner;
+  EdgeId cut_edges;
+};
+
+constexpr Golden kGolden[] = {
+    {"stanford", "LDG", 29259},   {"stanford", "FENNEL", 41111},
+    {"stanford", "SPN", 19803},   {"stanford", "SPNL", 20007},
+    {"uk2002", "LDG", 33967},     {"uk2002", "FENNEL", 100522},
+    {"uk2002", "SPN", 28763},     {"uk2002", "SPNL", 28404},
+};
+
+class GoldenRegression : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenRegression, CutEdgesMatchSnapshot) {
+  const Golden golden = GetParam();
+  const Graph graph = load_dataset(dataset_by_name(golden.dataset), 0.25);
+  const PartitionConfig config{.num_partitions = 16};
+  std::unique_ptr<StreamingPartitioner> partitioner;
+  const std::string name = golden.partitioner;
+  if (name == "LDG") {
+    partitioner = std::make_unique<LdgPartitioner>(graph.num_vertices(),
+                                                   graph.num_edges(), config);
+  } else if (name == "FENNEL") {
+    partitioner = std::make_unique<FennelPartitioner>(graph.num_vertices(),
+                                                      graph.num_edges(), config);
+  } else if (name == "SPN") {
+    partitioner = std::make_unique<SpnPartitioner>(graph.num_vertices(),
+                                                   graph.num_edges(), config);
+  } else {
+    partitioner = std::make_unique<SpnlPartitioner>(graph.num_vertices(),
+                                                    graph.num_edges(), config);
+  }
+  InMemoryStream stream(graph);
+  const auto route = run_streaming(stream, *partitioner).route;
+  EXPECT_EQ(evaluate_partition(graph, route, 16).cut_edges, golden.cut_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Snapshots, GoldenRegression, ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.dataset) + "_" +
+                                  info.param.partitioner;
+                         });
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,133 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spnl {
+namespace {
+
+Graph triangle() {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  return builder.finish();
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_out_degree(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+  EXPECT_EQ(g.max_out_degree(), 1u);
+}
+
+TEST(Graph, BuilderPreservesAdjacencyOrder) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  Graph g = builder.finish();
+  const auto out = g.out_neighbors(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[1], 1u);
+  EXPECT_EQ(out[2], 2u);
+}
+
+TEST(Graph, BuilderGrowsVertexCount) {
+  GraphBuilder builder;
+  builder.add_edge(5, 9);
+  Graph g = builder.finish();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, AddVertexRecord) {
+  GraphBuilder builder(3);
+  const std::vector<VertexId> out = {1, 2};
+  builder.add_vertex(0, out);
+  Graph g = builder.finish();
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(Graph, StripSelfLoops) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 0);
+  builder.add_edge(0, 1);
+  Graph g = builder.finish({.strip_self_loops = true});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+}
+
+TEST(Graph, StripDuplicateEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 1);
+  Graph g = builder.finish({.strip_duplicate_edges = true});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, Reversed) {
+  Graph g = triangle();
+  Graph r = g.reversed();
+  EXPECT_EQ(r.num_edges(), 3u);
+  ASSERT_EQ(r.out_degree(1), 1u);
+  EXPECT_EQ(r.out_neighbors(1)[0], 0u);  // edge (0,1) reversed
+}
+
+TEST(Graph, ReversedTwiceMatchesEdgeSet) {
+  GraphBuilder builder(5);
+  builder.add_edge(0, 4);
+  builder.add_edge(4, 2);
+  builder.add_edge(2, 0);
+  builder.add_edge(3, 1);
+  Graph g = builder.finish();
+  Graph rr = g.reversed().reversed();
+  EXPECT_EQ(rr.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(rr.out_degree(v), g.out_degree(v));
+  }
+}
+
+TEST(Graph, SymmetrizedAddsBackEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  Graph sym = builder.finish().symmetrized();
+  EXPECT_EQ(sym.num_edges(), 2u);
+  EXPECT_EQ(sym.out_degree(0), 1u);
+  EXPECT_EQ(sym.out_degree(1), 1u);
+}
+
+TEST(Graph, SymmetrizedDeduplicates) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);
+  Graph sym = builder.finish().symmetrized();
+  EXPECT_EQ(sym.num_edges(), 2u);  // one each way, not four
+}
+
+TEST(Graph, InvalidCsrRejected) {
+  EXPECT_THROW(Graph({0, 2}, {1}), std::invalid_argument);          // offsets vs targets
+  EXPECT_THROW(Graph({0, 1}, {5}), std::invalid_argument);          // target out of range
+  EXPECT_THROW(Graph({1, 1}, {}), std::invalid_argument);           // first offset != 0
+  EXPECT_THROW(Graph({0, 2, 1, 3}, {0, 0, 0}), std::invalid_argument);  // decreasing
+}
+
+TEST(Graph, MemoryFootprintPositive) {
+  EXPECT_GT(triangle().memory_footprint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,178 @@
+#include "dynamic/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 5000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.9, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+std::vector<PartitionId> spnl_route(const Graph& g, PartitionId k) {
+  PartitionConfig config{.num_partitions = k};
+  SpnlPartitioner partitioner(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  return run_streaming(stream, partitioner).route;
+}
+
+TEST(Incremental, BootstrapMatchesEvaluator) {
+  const Graph g = crawl();
+  const auto route = spnl_route(g, 8);
+  IncrementalPartitioner inc(g, route, {.num_partitions = 8});
+  const auto metrics = evaluate_partition(g, route, 8);
+  EXPECT_EQ(inc.cut_edges(), metrics.cut_edges);
+  EXPECT_DOUBLE_EQ(inc.ecr(), metrics.ecr);
+  EXPECT_NEAR(inc.delta_v(), metrics.delta_v, 1e-12);
+  EXPECT_EQ(inc.num_edges(), g.num_edges());
+}
+
+TEST(Incremental, AddVertexPlacesAndCounts) {
+  const Graph g = crawl(1000, 3);
+  IncrementalPartitioner inc(g, spnl_route(g, 4), {.num_partitions = 4},
+                             {.expected_vertices = 1200});
+  const VertexId v = 1000;
+  const std::vector<VertexId> out = {1, 2, 3};
+  const PartitionId p = inc.add_vertex(v, out);
+  EXPECT_LT(p, 4u);
+  EXPECT_EQ(inc.num_vertices(), 1001u);
+  EXPECT_EQ(inc.num_edges(), g.num_edges() + 3);
+  EXPECT_EQ(inc.partition_of(v), p);
+}
+
+TEST(Incremental, NewVertexJoinsItsNeighbors) {
+  // A vertex whose whole adjacency lives in one partition must join it.
+  const Graph g = crawl(1000, 5);
+  const auto route = spnl_route(g, 4);
+  IncrementalPartitioner inc(g, route, {.num_partitions = 4},
+                             {.expected_vertices = 1100});
+  // Pick three vertices sharing a partition.
+  std::vector<VertexId> same;
+  for (VertexId u = 0; u < 1000 && same.size() < 3; ++u) {
+    if (route[u] == route[0]) same.push_back(u);
+  }
+  const PartitionId p = inc.add_vertex(1000, same);
+  EXPECT_EQ(p, route[0]);
+}
+
+TEST(Incremental, EdgeInsertAndRemoveMaintainCut) {
+  const Graph g = crawl(500, 7);
+  IncrementalPartitioner inc(g, spnl_route(g, 4), {.num_partitions = 4});
+  // Find a cross-partition pair and a same-partition pair.
+  VertexId cross_a = kInvalidVertex, cross_b = kInvalidVertex;
+  VertexId same_a = kInvalidVertex, same_b = kInvalidVertex;
+  for (VertexId a = 0; a < 500 && (cross_a == kInvalidVertex ||
+                                   same_a == kInvalidVertex); ++a) {
+    for (VertexId b = a + 1; b < 500; ++b) {
+      if (inc.partition_of(a) != inc.partition_of(b) && cross_a == kInvalidVertex) {
+        cross_a = a;
+        cross_b = b;
+      }
+      if (inc.partition_of(a) == inc.partition_of(b) && same_a == kInvalidVertex) {
+        same_a = a;
+        same_b = b;
+      }
+    }
+  }
+  const EdgeId cut0 = inc.cut_edges();
+  inc.add_edge(cross_a, cross_b);
+  EXPECT_EQ(inc.cut_edges(), cut0 + 1);
+  inc.add_edge(same_a, same_b);
+  EXPECT_EQ(inc.cut_edges(), cut0 + 1);
+  EXPECT_TRUE(inc.remove_edge(cross_a, cross_b));
+  EXPECT_EQ(inc.cut_edges(), cut0);
+  EXPECT_FALSE(inc.remove_edge(cross_a, cross_b));  // already gone
+}
+
+TEST(Incremental, EdgeToUnknownVertexAutoRegisters) {
+  const Graph g = crawl(100, 9);
+  IncrementalPartitioner inc(g, spnl_route(g, 4), {.num_partitions = 4},
+                             {.expected_vertices = 200});
+  inc.add_edge(5, 150);
+  EXPECT_LT(inc.partition_of(150), 4u);
+  EXPECT_EQ(inc.num_vertices(), 101u);
+  // Providing the adjacency later keeps the partition, ingests edges.
+  const PartitionId before = inc.partition_of(150);
+  const std::vector<VertexId> out = {1, 2};
+  EXPECT_EQ(inc.add_vertex(150, out), before);
+  EXPECT_EQ(inc.num_edges(), g.num_edges() + 3);
+}
+
+TEST(Incremental, RefineImprovesCutAndRespectsBudget) {
+  // Start from a deliberately bad (hash-like) assignment.
+  const Graph g = crawl(3000, 11);
+  std::vector<PartitionId> bad(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) bad[v] = v % 4;
+  IncrementalPartitioner inc(g, bad, {.num_partitions = 4, .slack = 1.3});
+  const EdgeId cut0 = inc.cut_edges();
+
+  // Mark everything dirty via a no-op edge churn.
+  inc.add_edge(0, 1);
+  inc.remove_edge(0, 1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) inc.add_edge(v, (v + 1) % 3000);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) inc.remove_edge(v, (v + 1) % 3000);
+
+  const auto stats = inc.refine(200);
+  EXPECT_LE(stats.moves, 200u);
+  EXPECT_GT(stats.moves, 0u);
+  EXPECT_LT(inc.cut_edges(), cut0);
+  // The maintained counter must equal a fresh evaluation.
+  GraphBuilder builder(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.out_neighbors(v)) builder.add_edge(v, u);
+  }
+  const Graph rebuilt = builder.finish();
+  const auto metrics = evaluate_partition(rebuilt, inc.route(), 4);
+  EXPECT_EQ(metrics.cut_edges, inc.cut_edges());
+  EXPECT_LE(metrics.delta_v, 1.3 + 0.01);
+}
+
+TEST(Incremental, RefineIsStableOnGoodPartition) {
+  const Graph g = crawl(2000, 13);
+  IncrementalPartitioner inc(g, spnl_route(g, 8), {.num_partitions = 8});
+  const auto stats = inc.refine(1000);
+  // Moves may happen, but the cut must never get worse.
+  EXPECT_GE(stats.cut_improvement, 0);
+}
+
+TEST(Incremental, EmptyStartGrowsIncrementally) {
+  IncrementalPartitioner inc({.num_partitions = 4}, 100, 400);
+  const Graph g = crawl(100, 15);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    inc.add_vertex(v, g.out_neighbors(v));
+  }
+  EXPECT_EQ(inc.num_vertices(), 100u);
+  EXPECT_EQ(inc.num_edges(), g.num_edges());
+  const auto metrics = evaluate_partition(g, inc.route(), 4);
+  EXPECT_EQ(metrics.cut_edges, inc.cut_edges());
+  EXPECT_LE(metrics.delta_v, 1.35);
+}
+
+TEST(Incremental, RejectsBadConfig) {
+  const Graph g = crawl(50, 17);
+  auto route = spnl_route(g, 2);
+  EXPECT_THROW(IncrementalPartitioner(
+                   g, route,
+                   {.num_partitions = 2, .balance = BalanceMode::kEdge}),
+               std::invalid_argument);
+  route.pop_back();
+  EXPECT_THROW(IncrementalPartitioner(g, route, {.num_partitions = 2}),
+               std::invalid_argument);
+}
+
+TEST(Incremental, MemoryReported) {
+  const Graph g = crawl(1000, 19);
+  IncrementalPartitioner inc(g, spnl_route(g, 4), {.num_partitions = 4});
+  EXPECT_GT(inc.memory_footprint_bytes(), g.num_edges() * sizeof(VertexId));
+}
+
+}  // namespace
+}  // namespace spnl

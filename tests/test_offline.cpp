@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "offline/label_prop.hpp"
+#include "offline/multilevel.hpp"
+#include "partition/driver.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 8000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.9, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+double hash_ecr(const Graph& g, PartitionId k) {
+  PartitionConfig config{.num_partitions = k};
+  HashPartitioner partitioner(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  return evaluate_partition(g, run_streaming(stream, partitioner).route, k).ecr;
+}
+
+TEST(Multilevel, CompleteAndBalanced) {
+  const Graph g = crawl();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto result = multilevel_partition(g, config);
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  const auto metrics = evaluate_partition(g, result.route, 8);
+  EXPECT_LE(metrics.delta_v, config.slack + 0.05);
+  EXPECT_GT(result.levels, 1);
+  EXPECT_GT(result.peak_bytes, g.memory_footprint_bytes());
+}
+
+TEST(Multilevel, MuchBetterThanHash) {
+  const Graph g = crawl(10000, 3);
+  const PartitionConfig config{.num_partitions = 8};
+  const auto result = multilevel_partition(g, config);
+  const double ml = evaluate_partition(g, result.route, 8).ecr;
+  EXPECT_LT(ml, hash_ecr(g, 8) / 2);
+}
+
+TEST(Multilevel, RefinementImprovesOverNoRefinement) {
+  const Graph g = crawl(10000, 5);
+  const PartitionConfig config{.num_partitions = 8};
+  MultilevelOptions none;
+  none.refinement_passes = 0;
+  MultilevelOptions some;
+  some.refinement_passes = 6;
+  const double without =
+      evaluate_partition(g, multilevel_partition(g, config, none).route, 8).ecr;
+  const double with =
+      evaluate_partition(g, multilevel_partition(g, config, some).route, 8).ecr;
+  EXPECT_LE(with, without + 1e-9);
+}
+
+TEST(Multilevel, FmRefinerBeatsGreedyRefiner) {
+  const Graph g = crawl(12000, 21);
+  const PartitionConfig config{.num_partitions = 16};
+  MultilevelOptions greedy;
+  greedy.refiner = Refiner::kGreedy;
+  MultilevelOptions fm;
+  fm.refiner = Refiner::kFm;
+  const double greedy_ecr =
+      evaluate_partition(g, multilevel_partition(g, config, greedy).route, 16).ecr;
+  const auto fm_result = multilevel_partition(g, config, fm);
+  const auto fm_metrics = evaluate_partition(g, fm_result.route, 16);
+  EXPECT_LE(fm_metrics.ecr, greedy_ecr + 1e-9);
+  EXPECT_LE(fm_metrics.delta_v, config.slack + 0.05);
+}
+
+TEST(Multilevel, FmRefinerDeterministic) {
+  const Graph g = crawl(4000, 23);
+  const PartitionConfig config{.num_partitions = 8};
+  MultilevelOptions options;
+  options.refiner = Refiner::kFm;
+  EXPECT_EQ(multilevel_partition(g, config, options).route,
+            multilevel_partition(g, config, options).route);
+}
+
+TEST(Multilevel, HandlesSmallAndDegenerateGraphs) {
+  Graph empty;
+  EXPECT_TRUE(multilevel_partition(empty, {.num_partitions = 4}).route.empty());
+
+  const Graph tiny = generate_ring_lattice(10, 1);
+  const auto result = multilevel_partition(tiny, {.num_partitions = 4});
+  EXPECT_TRUE(is_complete_assignment(result.route, 4));
+}
+
+TEST(Multilevel, KOneIsTrivial) {
+  const Graph g = crawl(1000, 7);
+  const auto result = multilevel_partition(g, {.num_partitions = 1});
+  const auto metrics = evaluate_partition(g, result.route, 1);
+  EXPECT_EQ(metrics.cut_edges, 0u);
+}
+
+TEST(Multilevel, DeterministicGivenSeed) {
+  const Graph g = crawl(3000, 9);
+  const PartitionConfig config{.num_partitions = 4};
+  MultilevelOptions options;
+  options.seed = 77;
+  const auto a = multilevel_partition(g, config, options);
+  const auto b = multilevel_partition(g, config, options);
+  EXPECT_EQ(a.route, b.route);
+}
+
+TEST(Multilevel, RingPartitionNearOptimal) {
+  const Graph g = generate_ring_lattice(4000, 2);
+  const auto result = multilevel_partition(g, {.num_partitions = 4});
+  // Optimal cut for a ring with K=4 and k=2 lattice: ~12 directed edges of
+  // 8000 (plus symmetrization effects). Allow a loose factor.
+  EXPECT_LT(evaluate_partition(g, result.route, 4).ecr, 0.05);
+}
+
+TEST(LabelProp, CompleteAndBalanced) {
+  const Graph g = crawl();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto result = label_prop_partition(g, config);
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  EXPECT_LE(evaluate_partition(g, result.route, 8).delta_v, config.slack + 0.05);
+}
+
+TEST(LabelProp, ImprovesOverRandomInit) {
+  const Graph g = crawl(10000, 11);
+  const PartitionConfig config{.num_partitions = 8};
+  LabelPropOptions zero_iters;
+  zero_iters.iterations = 0;
+  const double init =
+      evaluate_partition(g, label_prop_partition(g, config, zero_iters).route, 8).ecr;
+  const double refined =
+      evaluate_partition(g, label_prop_partition(g, config).route, 8).ecr;
+  EXPECT_LT(refined, init * 0.9);
+}
+
+TEST(LabelProp, ParallelStillValidButNoisier) {
+  const Graph g = crawl(10000, 13);
+  const PartitionConfig config{.num_partitions = 8};
+  LabelPropOptions par;
+  par.num_threads = 4;
+  const auto result = label_prop_partition(g, config, par);
+  EXPECT_EQ(result.partitioner_name, "LabelProp(par)");
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  // Async sweeps can only bound balance loosely: allow extra slack.
+  EXPECT_LE(evaluate_partition(g, result.route, 8).delta_v, config.slack + 0.25);
+}
+
+TEST(LabelProp, DeterministicWhenCentralized) {
+  const Graph g = crawl(3000, 15);
+  const PartitionConfig config{.num_partitions = 4};
+  const auto a = label_prop_partition(g, config);
+  const auto b = label_prop_partition(g, config);
+  EXPECT_EQ(a.route, b.route);
+}
+
+TEST(LabelProp, ValidatesOptions) {
+  const Graph g = crawl(100, 17);
+  EXPECT_THROW(label_prop_partition(g, {.num_partitions = 0}), std::invalid_argument);
+  LabelPropOptions bad;
+  bad.num_threads = 0;
+  EXPECT_THROW(label_prop_partition(g, {.num_partitions = 2}, bad),
+               std::invalid_argument);
+}
+
+TEST(LabelProp, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(label_prop_partition(g, {.num_partitions = 4}).route.empty());
+}
+
+TEST(Offline, MemoryFootprintsAreOmegaEdges) {
+  // Table IV's point: offline partitioners hold the whole graph.
+  const Graph g = crawl(20000, 19);
+  const auto ml = multilevel_partition(g, {.num_partitions = 8});
+  const auto lp = label_prop_partition(g, {.num_partitions = 8});
+  EXPECT_GE(ml.peak_bytes, g.memory_footprint_bytes());
+  EXPECT_GE(lp.peak_bytes, g.memory_footprint_bytes());
+}
+
+}  // namespace
+}  // namespace spnl

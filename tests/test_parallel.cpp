@@ -1,0 +1,144 @@
+#include "core/parallel_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 10000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.9, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+ParallelRunResult run(const Graph& g, unsigned threads, bool use_rct = true,
+                      PartitionId k = 8) {
+  InMemoryStream stream(g);
+  PartitionConfig config{.num_partitions = k};
+  ParallelOptions options;
+  options.num_threads = threads;
+  options.use_rct = use_rct;
+  return run_parallel(stream, config, options);
+}
+
+double sequential_ecr(const Graph& g, PartitionId k = 8) {
+  PartitionConfig config{.num_partitions = k};
+  SpnlPartitioner partitioner(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  const auto route = run_streaming(stream, partitioner).route;
+  return evaluate_partition(g, route, k).ecr;
+}
+
+TEST(Parallel, SingleWorkerProducesCompleteBalancedPartition) {
+  const Graph g = crawl();
+  const auto result = run(g, 1);
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  const auto metrics = evaluate_partition(g, result.route, 8);
+  EXPECT_LE(metrics.delta_v, 1.12);
+}
+
+TEST(Parallel, MultiWorkerProducesCompleteBalancedPartition) {
+  const Graph g = crawl();
+  const auto result = run(g, 4);
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  const auto metrics = evaluate_partition(g, result.route, 8);
+  EXPECT_LE(metrics.delta_v, 1.15);
+}
+
+TEST(Parallel, QualityNearSequential) {
+  // The paper's claim: RCT keeps parallel degradation small (<= ~6%).
+  // Allow generous slack — scheduling is nondeterministic.
+  const Graph g = crawl(20000, 3);
+  const double seq = sequential_ecr(g);
+  const auto par = run(g, 4);
+  const double par_ecr = evaluate_partition(g, par.route, 8).ecr;
+  EXPECT_LT(par_ecr, seq + 0.08);
+}
+
+TEST(Parallel, RctReducesDegradation) {
+  // Averaged over a few seeds, RCT-on should not be worse than RCT-off.
+  double with_rct = 0.0, without_rct = 0.0;
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const Graph g = crawl(10000, seed);
+    with_rct += evaluate_partition(g, run(g, 4, true).route, 8).ecr;
+    without_rct += evaluate_partition(g, run(g, 4, false).route, 8).ecr;
+  }
+  EXPECT_LE(with_rct, without_rct + 0.02 * 3);
+}
+
+TEST(Parallel, DelayedVerticesAreCounted) {
+  const Graph g = crawl(20000, 9);
+  const auto result = run(g, 4);
+  // With 4 workers on a clustered stream some conflicts must be detected.
+  // (Not guaranteed on every schedule, so only sanity-bound it.)
+  EXPECT_LE(result.delayed_vertices, g.num_vertices());
+  EXPECT_LE(result.forced_vertices, result.delayed_vertices);
+}
+
+TEST(Parallel, EveryVertexPlacedExactlyOnce) {
+  const Graph g = crawl(5000, 11);
+  const auto result = run(g, 8);
+  ASSERT_EQ(result.route.size(), g.num_vertices());
+  std::vector<VertexId> counts(8, 0);
+  for (PartitionId p : result.route) {
+    ASSERT_LT(p, 8u);
+    ++counts[p];
+  }
+  VertexId total = 0;
+  for (VertexId c : counts) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Parallel, WorksWithoutLocality) {
+  const Graph g = crawl(5000, 13);
+  InMemoryStream stream(g);
+  PartitionConfig config{.num_partitions = 8};
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.use_locality = false;  // parallel SPN
+  const auto result = run_parallel(stream, config, options);
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+}
+
+TEST(Parallel, ZeroThreadsRejected) {
+  const Graph g = crawl(100, 15);
+  InMemoryStream stream(g);
+  ParallelOptions options;
+  options.num_threads = 0;
+  EXPECT_THROW(run_parallel(stream, {.num_partitions = 2}, options),
+               std::invalid_argument);
+}
+
+TEST(Parallel, TinyQueueStillCompletes) {
+  const Graph g = crawl(2000, 17);
+  InMemoryStream stream(g);
+  ParallelOptions options;
+  options.num_threads = 3;
+  options.queue_capacity = 2;
+  const auto result = run_parallel(stream, {.num_partitions = 4}, options);
+  EXPECT_TRUE(is_complete_assignment(result.route, 4));
+}
+
+TEST(Parallel, EmptyGraph) {
+  Graph g;
+  InMemoryStream stream(g);
+  ParallelOptions options;
+  options.num_threads = 2;
+  const auto result = run_parallel(stream, {.num_partitions = 4}, options);
+  EXPECT_TRUE(result.route.empty());
+}
+
+TEST(Parallel, ReportsMemoryFootprint) {
+  const Graph g = crawl(5000, 19);
+  const auto result = run(g, 2);
+  EXPECT_GT(result.peak_partitioner_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace spnl

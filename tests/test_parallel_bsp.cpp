@@ -1,0 +1,173 @@
+#include "engine/parallel_bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/algorithms.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+namespace {
+
+std::vector<PartitionId> route_for(const Graph& g, PartitionId k) {
+  PartitionConfig config{.num_partitions = k};
+  RangePartitioner partitioner(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  return run_streaming(stream, partitioner).route;
+}
+
+/// Minimal copies of the algorithm programs (the library keeps them
+/// internal); BFS via min-combiner is exactly order-insensitive, so the
+/// threaded executor must match the sequential one bit-for-bit.
+class BfsProgram final : public VertexProgram {
+ public:
+  explicit BfsProgram(VertexId source) : source_(source) {}
+  bool init(VertexId v, const Graph&, double& value) override {
+    value = v == source_ ? 0.0 : std::numeric_limits<double>::infinity();
+    return v == source_;
+  }
+  std::optional<double> emit(VertexId, double value, const Graph&) override {
+    return value + 1.0;
+  }
+  double combine(double a, double b) override { return std::min(a, b); }
+  bool apply(VertexId, double& value, std::optional<double> inbox, int,
+             const Graph&) override {
+    if (inbox && *inbox < value) {
+      value = *inbox;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  VertexId source_;
+};
+
+class PageRankProgram final : public VertexProgram {
+ public:
+  explicit PageRankProgram(int supersteps) : supersteps_(supersteps) {}
+  bool init(VertexId, const Graph& graph, double& value) override {
+    value = 1.0 / std::max<VertexId>(graph.num_vertices(), 1);
+    return true;
+  }
+  std::optional<double> emit(VertexId v, double value, const Graph& graph) override {
+    const EdgeId degree = graph.out_degree(v);
+    if (degree == 0) return std::nullopt;
+    return 0.85 * value / degree;
+  }
+  double combine(double a, double b) override { return a + b; }
+  bool apply(VertexId, double& value, std::optional<double> inbox, int superstep,
+             const Graph& graph) override {
+    value = 0.15 / graph.num_vertices() + inbox.value_or(0.0);
+    return superstep + 1 < supersteps_;
+  }
+
+ private:
+  int supersteps_;
+};
+
+TEST(PartitionedGraphTest, ShardsCoverTheGraph) {
+  const Graph g = generate_webcrawl({.num_vertices = 2000, .avg_out_degree = 6.0,
+                                     .seed = 3});
+  const auto route = route_for(g, 4);
+  PartitionedGraph pg(g, route, 4);
+  VertexId vertices = 0;
+  EdgeId edges = 0;
+  for (PartitionId p = 0; p < 4; ++p) {
+    const GraphShard& shard = pg.shard(p);
+    vertices += shard.num_local();
+    edges += shard.internal_edges + shard.external_edges;
+    // Shard adjacency matches the original per vertex.
+    for (VertexId lv = 0; lv < shard.num_local(); ++lv) {
+      const VertexId v = shard.global_ids[lv];
+      ASSERT_EQ(shard.offsets[lv + 1] - shard.offsets[lv], g.out_degree(v));
+      ASSERT_EQ(pg.owner(v), p);
+      ASSERT_EQ(pg.local_id(v), lv);
+    }
+  }
+  EXPECT_EQ(vertices, g.num_vertices());
+  EXPECT_EQ(edges, g.num_edges());
+}
+
+TEST(PartitionedGraphTest, GhostsAreRemoteAndDeduplicated) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 2);  // duplicate edge -> one ghost
+  builder.add_edge(0, 3);
+  builder.add_edge(1, 0);  // local under route below
+  const Graph g = builder.finish();
+  const std::vector<PartitionId> route = {0, 0, 1, 1};
+  PartitionedGraph pg(g, route, 2);
+  EXPECT_EQ(pg.shard(0).ghosts.size(), 2u);  // {2, 3}
+  EXPECT_EQ(pg.shard(0).internal_edges, 1u);
+  EXPECT_EQ(pg.shard(0).external_edges, 3u);
+  EXPECT_EQ(pg.total_ghosts(), 2u);
+}
+
+TEST(PartitionedGraphTest, Validates) {
+  const Graph g = generate_ring_lattice(10, 1);
+  EXPECT_THROW(PartitionedGraph(g, {0, 1}, 2), std::invalid_argument);
+  std::vector<PartitionId> bad(10, 7);
+  EXPECT_THROW(PartitionedGraph(g, bad, 2), std::invalid_argument);
+}
+
+TEST(ParallelBsp, BfsMatchesSequentialExactly) {
+  const Graph g = generate_webcrawl({.num_vertices = 5000, .avg_out_degree = 6.0,
+                                     .locality = 0.85, .seed = 5});
+  const auto route = route_for(g, 8);
+  const auto sequential = bfs_depths(g, route, 8, 0);
+
+  PartitionedGraph pg(g, route, 8);
+  BfsProgram program(0);
+  const auto parallel = run_bsp_parallel(
+      g, pg, program, {.max_supersteps = static_cast<int>(g.num_vertices()) + 1});
+  ASSERT_EQ(parallel.values.size(), sequential.values.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(parallel.values[v], sequential.values[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(parallel.stats.supersteps, sequential.stats.supersteps);
+  EXPECT_EQ(parallel.stats.local_messages, sequential.stats.local_messages);
+  EXPECT_EQ(parallel.stats.remote_messages, sequential.stats.remote_messages);
+}
+
+TEST(ParallelBsp, PageRankMatchesSequentialNumerically) {
+  const Graph g = generate_webcrawl({.num_vertices = 3000, .avg_out_degree = 8.0,
+                                     .seed = 7});
+  const auto route = route_for(g, 4);
+  const auto sequential = pagerank(g, route, 4, 10);
+
+  PartitionedGraph pg(g, route, 4);
+  PageRankProgram program(10);
+  const auto parallel = run_bsp_parallel(g, pg, program, {.max_supersteps = 10});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Summation order differs across partitions: allow reassociation error.
+    ASSERT_NEAR(parallel.values[v], sequential.values[v], 1e-9) << "vertex " << v;
+  }
+  EXPECT_EQ(parallel.stats.remote_messages, sequential.stats.remote_messages);
+}
+
+TEST(ParallelBsp, SinglePartitionHasNoRemoteTraffic) {
+  const Graph g = generate_ring_lattice(500, 2);
+  const std::vector<PartitionId> route(500, 0);
+  PartitionedGraph pg(g, route, 1);
+  PageRankProgram program(5);
+  const auto result = run_bsp_parallel(g, pg, program, {.max_supersteps = 5});
+  EXPECT_EQ(result.stats.remote_messages, 0u);
+  EXPECT_GT(result.stats.local_messages, 0u);
+}
+
+TEST(ParallelBsp, ManyPartitionsTerminate) {
+  const Graph g = generate_webcrawl({.num_vertices = 2000, .avg_out_degree = 5.0,
+                                     .seed = 9});
+  const auto route = route_for(g, 16);
+  PartitionedGraph pg(g, route, 16);
+  BfsProgram program(0);
+  const auto result = run_bsp_parallel(g, pg, program, {.max_supersteps = 3000});
+  EXPECT_GT(result.stats.supersteps, 0);
+  EXPECT_LT(result.stats.supersteps, 3000);
+}
+
+}  // namespace
+}  // namespace spnl

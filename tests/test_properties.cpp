@@ -1,0 +1,238 @@
+// Parameterized property suite: every streaming partitioner must uphold the
+// core invariants on every graph family and every K.
+//
+//  P1 completeness: every vertex gets a partition id < K.
+//  P2 balance: delta_v <= slack (+1 vertex of granularity).
+//  P3 ECR in [0,1] and consistent with a brute-force recount.
+//  P4 determinism: identical reruns produce identical route tables.
+//  P5 partition loads tracked by the partitioner equal the evaluated ones.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+#include "partition/range_partitioner.hpp"
+#include "partition/stanton_kliot.hpp"
+
+namespace spnl {
+namespace {
+
+enum class Family { kWebCrawl, kRmat, kErdosRenyi, kRing, kGrid };
+
+struct Case {
+  const char* partitioner;
+  Family family;
+  PartitionId k;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const char* family = "";
+  switch (info.param.family) {
+    case Family::kWebCrawl: family = "web"; break;
+    case Family::kRmat: family = "rmat"; break;
+    case Family::kErdosRenyi: family = "er"; break;
+    case Family::kRing: family = "ring"; break;
+    case Family::kGrid: family = "grid"; break;
+  }
+  return std::string(info.param.partitioner) + "_" + family + "_K" +
+         std::to_string(info.param.k);
+}
+
+Graph make_graph(Family family) {
+  switch (family) {
+    case Family::kWebCrawl:
+      return generate_webcrawl({.num_vertices = 4000, .avg_out_degree = 7.0,
+                                .locality = 0.85, .locality_scale = 25.0,
+                                .seed = 21});
+    case Family::kRmat:
+      return generate_rmat({.scale = 12, .num_edges = 40000, .seed = 22});
+    case Family::kErdosRenyi:
+      return generate_erdos_renyi(4000, 30000, 23);
+    case Family::kRing:
+      return generate_ring_lattice(4000, 3);
+    case Family::kGrid:
+      return generate_grid(60, 60);
+  }
+  return Graph{};
+}
+
+std::unique_ptr<StreamingPartitioner> make_partitioner(
+    const char* name, VertexId n, EdgeId m, const PartitionConfig& config) {
+  const std::string id = name;
+  if (id == "Hash") return std::make_unique<HashPartitioner>(n, m, config);
+  if (id == "Range") return std::make_unique<RangePartitioner>(n, m, config);
+  if (id == "LDG") return std::make_unique<LdgPartitioner>(n, m, config);
+  if (id == "FENNEL") return std::make_unique<FennelPartitioner>(n, m, config);
+  if (id == "SPN") return std::make_unique<SpnPartitioner>(n, m, config);
+  if (id == "SPNL") return std::make_unique<SpnlPartitioner>(n, m, config);
+  if (id == "SPNLwin") {
+    return std::make_unique<SpnlPartitioner>(n, m, config,
+                                             SpnlOptions{.num_shards = 16});
+  }
+  if (id == "SPNLcoarse") {
+    return std::make_unique<SpnlPartitioner>(
+        n, m, config,
+        SpnlOptions{.num_shards = 16, .slide = SlideMode::kCoarse});
+  }
+  if (id == "Balanced") {
+    return std::make_unique<SkPartitioner>(n, m, config, SkHeuristic::kBalanced);
+  }
+  if (id == "DG") {
+    return std::make_unique<SkPartitioner>(n, m, config,
+                                           SkHeuristic::kDeterministicGreedy);
+  }
+  if (id == "EDG") {
+    return std::make_unique<SkPartitioner>(n, m, config,
+                                           SkHeuristic::kExponentialGreedy);
+  }
+  ADD_FAILURE() << "unknown partitioner " << id;
+  return nullptr;
+}
+
+class StreamingInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StreamingInvariants, HoldsOnAllFamiliesAndK) {
+  const Case param = GetParam();
+  const Graph graph = make_graph(param.family);
+  const PartitionConfig config{.num_partitions = param.k};
+
+  auto run_once = [&] {
+    auto partitioner = make_partitioner(param.partitioner, graph.num_vertices(),
+                                        graph.num_edges(), config);
+    InMemoryStream stream(graph);
+    return run_streaming(stream, *partitioner).route;
+  };
+
+  const auto route = run_once();
+
+  // P1 completeness.
+  ASSERT_EQ(route.size(), graph.num_vertices());
+  EXPECT_TRUE(is_complete_assignment(route, param.k));
+
+  const auto metrics = evaluate_partition(graph, route, param.k);
+
+  // P2 balance (Range is exempt: it ignores runtime capacity by design, and
+  // Hash is probabilistic — both still must stay within a loose factor).
+  const std::string name = param.partitioner;
+  if (name == "Balanced") {
+    EXPECT_NEAR(metrics.delta_v, 1.0,
+                static_cast<double>(param.k) / graph.num_vertices() + 1e-9);
+  } else if (name != "Range" && name != "Hash") {
+    const double granularity =
+        static_cast<double>(param.k) / graph.num_vertices();
+    EXPECT_LE(metrics.delta_v, config.slack + granularity + 1e-9)
+        << summarize(metrics);
+  } else {
+    EXPECT_LE(metrics.delta_v, 2.0);
+  }
+
+  // P3 ECR bounds + brute-force recount.
+  EXPECT_GE(metrics.ecr, 0.0);
+  EXPECT_LE(metrics.ecr, 1.0);
+  EdgeId cut = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId u : graph.out_neighbors(v)) {
+      if (route[u] != route[v]) ++cut;
+    }
+  }
+  EXPECT_EQ(cut, metrics.cut_edges);
+
+  // P4 determinism.
+  EXPECT_EQ(run_once(), route);
+
+  // P5 load bookkeeping agrees with evaluation.
+  auto partitioner = make_partitioner(param.partitioner, graph.num_vertices(),
+                                      graph.num_edges(), config);
+  InMemoryStream stream(graph);
+  run_streaming(stream, *partitioner);
+  if (auto* greedy = dynamic_cast<GreedyStreamingBase*>(partitioner.get())) {
+    const auto again = evaluate_partition(graph, greedy->route(), param.k);
+    for (PartitionId i = 0; i < param.k; ++i) {
+      EXPECT_EQ(greedy->vertex_count(i), again.vertices_per_partition[i]);
+      EXPECT_EQ(greedy->edge_count(i), again.edges_per_partition[i]);
+    }
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const char* partitioner :
+       {"Hash", "Range", "LDG", "FENNEL", "SPN", "SPNL", "SPNLwin",
+        "SPNLcoarse", "Balanced", "DG", "EDG"}) {
+    for (Family family : {Family::kWebCrawl, Family::kRmat, Family::kErdosRenyi,
+                          Family::kRing, Family::kGrid}) {
+      for (PartitionId k : {2u, 7u, 32u}) {
+        cases.push_back({partitioner, family, k});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, StreamingInvariants,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// Edge-balance variant of the invariant suite.
+class EdgeBalanceInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EdgeBalanceInvariants, EdgeLoadsBounded) {
+  const Case param = GetParam();
+  const Graph graph = make_graph(param.family);
+  const PartitionConfig config{.num_partitions = param.k,
+                               .balance = BalanceMode::kEdge,
+                               .slack = 1.2};
+  auto partitioner = make_partitioner(param.partitioner, graph.num_vertices(),
+                                      graph.num_edges(), config);
+  InMemoryStream stream(graph);
+  const auto route = run_streaming(stream, *partitioner).route;
+  EXPECT_TRUE(is_complete_assignment(route, param.k));
+  const auto metrics = evaluate_partition(graph, route, param.k);
+  // One adjacency list may overflow the cap; bound by slack + max degree.
+  const double overflow =
+      static_cast<double>(graph.max_out_degree()) * param.k / graph.num_edges();
+  EXPECT_LE(metrics.delta_e, config.slack + overflow + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeBalance, EdgeBalanceInvariants,
+    ::testing::ValuesIn(std::vector<Case>{
+        {"LDG", Family::kWebCrawl, 8},
+        {"FENNEL", Family::kWebCrawl, 8},
+        {"SPN", Family::kWebCrawl, 8},
+        {"SPNL", Family::kWebCrawl, 8},
+        {"SPNL", Family::kRmat, 16},
+        {"SPN", Family::kRing, 4},
+    }),
+    case_name);
+
+// Window sweep: quality must degrade gracefully, never corrupt invariants.
+class WindowSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WindowSweep, SpnlValidAtEveryShardCount) {
+  const std::uint32_t shards = GetParam();
+  const Graph graph = make_graph(Family::kWebCrawl);
+  const PartitionConfig config{.num_partitions = 8};
+  SpnlPartitioner partitioner(graph.num_vertices(), graph.num_edges(), config,
+                              SpnlOptions{.num_shards = shards});
+  InMemoryStream stream(graph);
+  const auto route = run_streaming(stream, partitioner).route;
+  EXPECT_TRUE(is_complete_assignment(route, 8));
+  EXPECT_LE(evaluate_partition(graph, route, 8).delta_v, config.slack + 0.01);
+  // Memory must shrink monotonically in X.
+  EXPECT_LE(partitioner.gamma().window_size(),
+            (graph.num_vertices() + shards - 1) / shards);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, WindowSweep,
+                         ::testing::Values(1u, 2u, 8u, 64u, 512u, 4096u));
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,153 @@
+#include "core/rct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace spnl {
+namespace {
+
+OwnedVertexRecord record(VertexId id, std::vector<VertexId> out = {}) {
+  return {id, std::move(out)};
+}
+
+TEST(Rct, RegisterAndCapacity) {
+  Rct rct(2);
+  EXPECT_TRUE(rct.register_vertex(1));
+  EXPECT_TRUE(rct.register_vertex(2));
+  EXPECT_FALSE(rct.register_vertex(3));  // full
+  EXPECT_EQ(rct.size(), 2u);
+}
+
+TEST(Rct, DuplicateRegistrationRejected) {
+  Rct rct(4);
+  EXPECT_TRUE(rct.register_vertex(1));
+  EXPECT_FALSE(rct.register_vertex(1));
+}
+
+TEST(Rct, BumpOnlyAffectsInFlight) {
+  Rct rct(4);
+  rct.register_vertex(1);
+  rct.bump_if_present(1);
+  rct.bump_if_present(2);  // not registered: dropped
+  EXPECT_EQ(rct.count(1), 1u);
+  EXPECT_EQ(rct.count(2), 0u);
+}
+
+TEST(Rct, MeanNonzeroCount) {
+  Rct rct(8);
+  rct.register_vertex(1);
+  rct.register_vertex(2);
+  rct.register_vertex(3);
+  rct.bump_if_present(1);
+  rct.bump_if_present(1);
+  rct.bump_if_present(1);
+  rct.bump_if_present(2);
+  // counters: 3, 1, 0 -> mean of non-zero = 2.
+  EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 2.0);
+}
+
+TEST(Rct, ShouldDelayUsesThreshold) {
+  Rct rct(8);
+  rct.register_vertex(1);
+  rct.register_vertex(2);
+  rct.bump_if_present(1);
+  rct.bump_if_present(1);
+  rct.bump_if_present(2);
+  // mean = 1.5; vertex 1 (count 2) delayed, vertex 2 (count 1) not.
+  EXPECT_TRUE(rct.should_delay(1));
+  EXPECT_FALSE(rct.should_delay(2));
+  EXPECT_FALSE(rct.should_delay(99));  // untracked
+}
+
+TEST(Rct, PlacementDecrementsAndReleases) {
+  // Fig. 6 scenario: vertex 1 depends on 2, 3, 4 (they are its in-flight
+  // in-neighbors). Parking 1, then placing 2-4 releases it.
+  Rct rct(8);
+  for (VertexId v : {1u, 2u, 3u, 4u}) rct.register_vertex(v);
+  // Scoring 2, 3, 4: each has out-edge to 1.
+  rct.bump_if_present(1);
+  rct.bump_if_present(1);
+  rct.bump_if_present(1);
+  ASSERT_TRUE(rct.should_delay(1));
+  EXPECT_TRUE(rct.park(record(1, {})));
+
+  EXPECT_TRUE(rct.on_placed(2, std::vector<VertexId>{1}).empty());
+  EXPECT_TRUE(rct.on_placed(3, std::vector<VertexId>{1}).empty());
+  const auto released = rct.on_placed(4, std::vector<VertexId>{1});
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].id, 1u);
+  EXPECT_EQ(rct.parked_size(), 0u);
+}
+
+TEST(Rct, ParkFailsWhenUntracked) {
+  Rct rct(4);
+  auto r = record(9, {1, 2});
+  EXPECT_FALSE(rct.park(std::move(r)));
+  // Failed park leaves the record usable.
+  EXPECT_EQ(r.id, 9u);
+  EXPECT_EQ(r.out.size(), 2u);
+}
+
+TEST(Rct, ParkCapacityBound) {
+  Rct rct(1);
+  rct.register_vertex(1);
+  EXPECT_TRUE(rct.park(record(1)));
+  // Parked set is at capacity 1 now.
+  auto r2 = record(1);
+  EXPECT_FALSE(rct.park(std::move(r2)));
+}
+
+TEST(Rct, DrainParkedSortedById) {
+  Rct rct(8);
+  for (VertexId v : {5u, 2u, 9u}) {
+    rct.register_vertex(v);
+    rct.bump_if_present(v);
+    EXPECT_TRUE(rct.park(record(v)));
+  }
+  const auto rest = rct.drain_parked();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0].id, 2u);
+  EXPECT_EQ(rest[1].id, 5u);
+  EXPECT_EQ(rest[2].id, 9u);
+  EXPECT_EQ(rct.parked_size(), 0u);
+}
+
+TEST(Rct, PlacedVertexWithNonzeroCounterKeepsStatsConsistent) {
+  Rct rct(8);
+  rct.register_vertex(1);
+  rct.register_vertex(2);
+  rct.bump_if_present(1);
+  // Place 1 while its own counter is non-zero: stats must not go stale.
+  rct.on_placed(1, std::vector<VertexId>{});
+  EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 0.0);
+  rct.bump_if_present(2);
+  EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 1.0);
+}
+
+TEST(Rct, ConcurrentBumpAndPlace) {
+  Rct rct(64);
+  for (VertexId v = 0; v < 32; ++v) rct.register_vertex(v);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        rct.bump_if_present(static_cast<VertexId>((t * 7 + i) % 32));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < 32; ++v) total += rct.count(v);
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST(Rct, ZeroCapacityClampsToOne) {
+  Rct rct(0);
+  EXPECT_EQ(rct.capacity(), 1u);
+  EXPECT_TRUE(rct.register_vertex(1));
+  EXPECT_FALSE(rct.register_vertex(2));
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,124 @@
+#include "graph/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace spnl {
+namespace {
+
+bool is_permutation_of_iota(const std::vector<VertexId>& p) {
+  std::vector<VertexId> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(Reorder, ApplyPermutationRelabelsEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  const Graph g = builder.finish();
+  // 0->2, 1->0, 2->1
+  const Graph renamed = apply_permutation(g, {2, 0, 1});
+  // old edge (0,1) becomes (2,0)
+  ASSERT_EQ(renamed.out_degree(2), 1u);
+  EXPECT_EQ(renamed.out_neighbors(2)[0], 0u);
+  // old edge (1,2) becomes (0,1)
+  ASSERT_EQ(renamed.out_degree(0), 1u);
+  EXPECT_EQ(renamed.out_neighbors(0)[0], 1u);
+}
+
+TEST(Reorder, ApplyPermutationValidates) {
+  const Graph g = generate_ring_lattice(4, 1);
+  EXPECT_THROW(apply_permutation(g, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(apply_permutation(g, {0, 1, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(apply_permutation(g, {0, 1, 2, 9}), std::invalid_argument);
+}
+
+TEST(Reorder, PermutationPreservesStructure) {
+  const Graph g = generate_webcrawl({.num_vertices = 1000, .avg_out_degree = 6.0, .seed = 8});
+  const auto perm = random_order(g.num_vertices(), 42);
+  const Graph shuffled = apply_permutation(g, perm);
+  EXPECT_EQ(shuffled.num_edges(), g.num_edges());
+  // degree multiset preserved
+  std::vector<EdgeId> da, db;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    da.push_back(g.out_degree(v));
+    db.push_back(shuffled.out_degree(v));
+  }
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);
+}
+
+TEST(Reorder, OrdersArePermutations) {
+  const Graph g = generate_webcrawl({.num_vertices = 500, .avg_out_degree = 5.0, .seed = 1});
+  EXPECT_TRUE(is_permutation_of_iota(bfs_order(g)));
+  EXPECT_TRUE(is_permutation_of_iota(dfs_order(g)));
+  EXPECT_TRUE(is_permutation_of_iota(random_order(500, 7)));
+  EXPECT_TRUE(is_permutation_of_iota(degree_order(g)));
+}
+
+TEST(Reorder, BfsRootGetsIdZero) {
+  const Graph g = generate_ring_lattice(10, 1);
+  const auto order = bfs_order(g, 5);
+  EXPECT_EQ(order[5], 0u);
+}
+
+TEST(Reorder, BfsCoversDisconnectedComponents) {
+  GraphBuilder builder(6);
+  builder.add_edge(0, 1);
+  builder.add_edge(4, 5);
+  const Graph g = builder.finish();
+  EXPECT_TRUE(is_permutation_of_iota(bfs_order(g)));
+}
+
+TEST(Reorder, RandomRenumberDestroysLocality) {
+  const Graph g = generate_webcrawl({.num_vertices = 20000, .avg_out_degree = 8.0,
+                                     .locality = 0.95, .locality_scale = 40.0,
+                                     .seed = 2});
+  const auto before = locality_stats(g);
+  const auto after = locality_stats(random_renumber(g, 3));
+  EXPECT_LT(before.mean_normalized_gap, 0.1);
+  EXPECT_GT(after.mean_normalized_gap, 0.2);  // random ~ 1/3
+}
+
+TEST(Reorder, BfsRenumberRestoresLocality) {
+  const Graph g = generate_webcrawl({.num_vertices = 20000, .avg_out_degree = 8.0,
+                                     .locality = 0.95, .locality_scale = 40.0,
+                                     .seed = 2});
+  const Graph shuffled = random_renumber(g, 3);
+  const Graph restored = bfs_renumber(shuffled);
+  // BFS levels are wide, so the recovered locality is real but far from the
+  // generator's: require a clear improvement, not parity.
+  EXPECT_LT(locality_stats(restored).mean_normalized_gap,
+            locality_stats(shuffled).mean_normalized_gap * 0.75);
+}
+
+TEST(Reorder, DegreeOrderSortsDescending) {
+  GraphBuilder builder(3);
+  builder.add_edge(1, 0);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);
+  const Graph g = builder.finish();  // degrees: 0, 2, 1
+  const auto order = degree_order(g);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+  EXPECT_EQ(order[0], 2u);
+}
+
+TEST(Reorder, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(bfs_order(g).empty());
+  EXPECT_TRUE(dfs_order(g).empty());
+}
+
+}  // namespace
+}  // namespace spnl

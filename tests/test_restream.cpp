@@ -1,0 +1,111 @@
+#include "partition/restream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 8000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.85, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+TEST(Restream, OnePassEqualsLdg) {
+  const Graph g = crawl(3000, 3);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto restreamed = restream_partition(stream, config, {.passes = 1});
+  LdgPartitioner ldg(g.num_vertices(), g.num_edges(), config);
+  stream.reset();
+  const auto ldg_route = run_streaming(stream, ldg).route;
+  EXPECT_EQ(restreamed, ldg_route);
+}
+
+TEST(Restream, MorePassesImproveCut) {
+  const Graph g = crawl(10000, 5);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto one = restream_partition(stream, config, {.passes = 1});
+  stream.reset();
+  const auto three = restream_partition(stream, config, {.passes = 3});
+  const double ecr1 = evaluate_partition(g, one, 8).ecr;
+  const double ecr3 = evaluate_partition(g, three, 8).ecr;
+  EXPECT_LT(ecr3, ecr1);
+}
+
+TEST(Restream, StaysBalanced) {
+  const Graph g = crawl(5000, 7);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto route = restream_partition(stream, config, {.passes = 4});
+  EXPECT_TRUE(is_complete_assignment(route, 8));
+  EXPECT_LE(evaluate_partition(g, route, 8).delta_v, config.slack + 0.01);
+}
+
+TEST(Restream, SpnlSeedAtLeastAsGoodStart) {
+  const Graph g = crawl(10000, 9);
+  const PartitionConfig config{.num_partitions = 16};
+  InMemoryStream stream(g);
+  const auto ldg_seeded = restream_partition(stream, config, {.passes = 2});
+  stream.reset();
+  const auto spnl_seeded =
+      restream_partition(stream, config, {.passes = 2, .seed_with_spnl = true});
+  // SPNL seeding should not be substantially worse.
+  EXPECT_LE(evaluate_partition(g, spnl_seeded, 16).ecr,
+            evaluate_partition(g, ldg_seeded, 16).ecr + 0.05);
+}
+
+TEST(Restream, FennelRuleRunsAndStaysBalanced) {
+  const Graph g = crawl(5000, 13);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto route = restream_partition(
+      stream, config, {.passes = 3, .rule = RestreamRule::kFennel});
+  EXPECT_TRUE(is_complete_assignment(route, 8));
+  EXPECT_LE(evaluate_partition(g, route, 8).delta_v, config.slack + 0.01);
+}
+
+TEST(Restream, PartialRestreamKeepsMostAssignments) {
+  const Graph g = crawl(5000, 15);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto full = restream_partition(stream, config, {.passes = 1});
+  stream.reset();
+  const auto partial = restream_partition(
+      stream, config, {.passes = 2, .restream_fraction = 0.1});
+  // With 10% re-streamed, at least ~80% of vertices keep their pass-1 home.
+  VertexId same = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (full[v] == partial[v]) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / g.num_vertices(), 0.8);
+  EXPECT_TRUE(is_complete_assignment(partial, 8));
+}
+
+TEST(Restream, PartialFractionValidated) {
+  const Graph g = crawl(100, 17);
+  InMemoryStream stream(g);
+  EXPECT_THROW(restream_partition(stream, {.num_partitions = 2},
+                                  {.passes = 2, .restream_fraction = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(restream_partition(stream, {.num_partitions = 2},
+                                  {.passes = 2, .restream_fraction = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(Restream, RejectsZeroPasses) {
+  const Graph g = crawl(100, 11);
+  InMemoryStream stream(g);
+  EXPECT_THROW(restream_partition(stream, {.num_partitions = 2}, {.passes = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,90 @@
+// Semantic ground-truth checks for the Γ expectation machinery: with the
+// full table (X=1), at the moment vertex v arrives, Γ_i(v) must equal
+// |V_i^pt ∩ N_in(v)| — the number of v's in-neighbors already placed into
+// P_i (computed independently from the reversed graph). With a window
+// (X>1), Γ_i(v) must equal the same count restricted to in-neighbors placed
+// while v was inside the window.
+#include <gtest/gtest.h>
+
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/generators.hpp"
+
+namespace spnl {
+namespace {
+
+class GammaGroundTruth : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GammaGroundTruth, SpnGammaEqualsPlacedInNeighborCount) {
+  const std::uint32_t shards = GetParam();
+  const Graph g = generate_webcrawl({.num_vertices = 2000, .avg_out_degree = 7.0,
+                                     .locality = 0.8, .locality_scale = 40.0,
+                                     .seed = 31});
+  const Graph rev = g.reversed();
+  const PartitionId k = 8;
+  const PartitionConfig config{.num_partitions = k};
+  SpnPartitioner partitioner(g.num_vertices(), g.num_edges(), config,
+                             SpnOptions{.num_shards = shards});
+  const VertexId window = (g.num_vertices() + shards - 1) / shards;
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Expected Γ_i(v) before v is placed: in-neighbors u < v (already
+    // placed) whose placement happened while v was in the window, i.e.
+    // v < u's-arrival-head + window <=> v - u < window... the window at u's
+    // placement time starts at u, so v is counted iff v < u + window.
+    std::vector<std::uint32_t> expected(k, 0);
+    for (VertexId u : rev.out_neighbors(v)) {
+      if (u >= v) continue;  // not yet placed
+      if (v - u >= window) continue;  // v was outside the window then
+      ++expected[partitioner.route()[u]];
+    }
+    for (PartitionId i = 0; i < k; ++i) {
+      ASSERT_EQ(partitioner.gamma().get(i, v), expected[i])
+          << "v=" << v << " i=" << i << " shards=" << shards;
+    }
+    partitioner.place(v, g.out_neighbors(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, GammaGroundTruth,
+                         ::testing::Values(1u, 2u, 10u, 100u, 500u));
+
+TEST(GammaGroundTruth, SpnlSharesTheSameGammaSemantics) {
+  const Graph g = generate_webcrawl({.num_vertices = 1500, .avg_out_degree = 6.0,
+                                     .locality = 0.85, .locality_scale = 30.0,
+                                     .seed = 33});
+  const Graph rev = g.reversed();
+  const PartitionId k = 4;
+  SpnlPartitioner partitioner(g.num_vertices(), g.num_edges(),
+                              {.num_partitions = k}, SpnlOptions{.num_shards = 1});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<std::uint32_t> expected(k, 0);
+    for (VertexId u : rev.out_neighbors(v)) {
+      if (u < v) ++expected[partitioner.route()[u]];
+    }
+    for (PartitionId i = 0; i < k; ++i) {
+      ASSERT_EQ(partitioner.gamma().get(i, v), expected[i]) << "v=" << v;
+    }
+    partitioner.place(v, g.out_neighbors(v));
+  }
+}
+
+TEST(GammaGroundTruth, LambdaSweepKeepsInvariants) {
+  const Graph g = generate_webcrawl({.num_vertices = 3000, .avg_out_degree = 6.0,
+                                     .seed = 35});
+  for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    SpnPartitioner partitioner(g.num_vertices(), g.num_edges(),
+                               {.num_partitions = 8},
+                               SpnOptions{.lambda = lambda});
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const PartitionId p = partitioner.place(v, g.out_neighbors(v));
+      ASSERT_LT(p, 8u);
+    }
+    VertexId total = 0;
+    for (PartitionId i = 0; i < 8; ++i) total += partitioner.vertex_count(i);
+    EXPECT_EQ(total, g.num_vertices()) << "lambda=" << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,160 @@
+#include "core/spnl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spn.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "partition/driver.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 10000, double locality = 0.92, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = locality, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+std::vector<PartitionId> run_spnl(const Graph& g, const PartitionConfig& config,
+                                  SpnlOptions options = {}) {
+  SpnlPartitioner partitioner(g.num_vertices(), g.num_edges(), config, options);
+  InMemoryStream stream(g);
+  return run_streaming(stream, partitioner).route;
+}
+
+std::vector<PartitionId> run_spn(const Graph& g, const PartitionConfig& config,
+                                 SpnOptions options = {}) {
+  SpnPartitioner partitioner(g.num_vertices(), g.num_edges(), config, options);
+  InMemoryStream stream(g);
+  return run_streaming(stream, partitioner).route;
+}
+
+TEST(Spnl, CompleteAndBalanced) {
+  const Graph g = crawl();
+  const PartitionConfig config{.num_partitions = 8};
+  const auto route = run_spnl(g, config);
+  EXPECT_TRUE(is_complete_assignment(route, 8));
+  EXPECT_LE(evaluate_partition(g, route, 8).delta_v, config.slack + 0.01);
+}
+
+TEST(Spnl, EtaZeroPolicyMatchesSpn) {
+  // With the logical term disabled, SPNL must reproduce SPN exactly.
+  const Graph g = crawl(5000, 0.9, 3);
+  const PartitionConfig config{.num_partitions = 8};
+  const auto spnl = run_spnl(g, config, {.eta_policy = EtaPolicy::kZero});
+  const auto spn = run_spn(g, config);
+  EXPECT_EQ(spnl, spn);
+}
+
+TEST(Spnl, EtaStartsAtOneAndDecays) {
+  const PartitionConfig config{.num_partitions = 4, .slack = 2.0};
+  SpnlPartitioner partitioner(100, 0, config);
+  EXPECT_DOUBLE_EQ(partitioner.eta(0), 1.0);  // nothing placed yet
+  for (VertexId v = 0; v < 50; ++v) partitioner.place(v, {});
+  // Partitions have been filling; eta must have dropped somewhere.
+  double min_eta = 1.0;
+  for (PartitionId i = 0; i < 4; ++i) min_eta = std::min(min_eta, partitioner.eta(i));
+  EXPECT_LT(min_eta, 1.0);
+}
+
+TEST(Spnl, PaperExampleFigure4) {
+  // Fig. 4 (0-indexed): 15 vertices, K=3, logical ranges {0-4},{5-9},{10-14}.
+  // Physical: V1={2,4}, V2={0,1}, V3={3,5}. Arriving vertex 6 with
+  // N_out={5,8,9}: placed in-neighbors 1 (P2) and 5 (P3) give Γ(6)=(0,1,1);
+  // placed out-neighbor 5 in P3 gives (0,0,1); logical out-neighbors 8,9 in
+  // range 2 (partition 1) give (0,2,0). Unweighted total (0,3,2) -> P2.
+  const PartitionConfig config{.num_partitions = 3, .slack = 3.0};
+  SpnlOptions options{.lambda = 0.5, .num_shards = 1};
+  SpnlPartitioner partitioner(15, 18, config, options);
+  const std::vector<std::vector<VertexId>> adj = {
+      {5, 7, 8}, {3, 6, 7}, {3, 4, 10}, {10, 11, 14}, {1, 2, 13}, {3, 6, 12},
+  };
+  for (VertexId v = 0; v < 6; ++v) partitioner.place(v, adj[v]);
+  // Verify logical table matches the range pre-assignment.
+  EXPECT_EQ(partitioner.logical_table().partition_of(8), 1u);
+  EXPECT_EQ(partitioner.logical_table().partition_of(9), 1u);
+  // Γ(6) accumulated from vertices placed with 6 in their out-list.
+  std::uint32_t gamma_total = 0;
+  for (PartitionId i = 0; i < 3; ++i) gamma_total += partitioner.gamma().get(i, 6);
+  EXPECT_EQ(gamma_total, 2u);  // vertices 1 and 5 point at 6
+}
+
+TEST(Spnl, TracksRangesOnPerfectLocalityGraph) {
+  // A ring lattice streamed in order: SPNL should essentially reproduce
+  // range partitioning (near-minimal cut).
+  const Graph g = generate_ring_lattice(8000, 4);
+  const PartitionConfig config{.num_partitions = 8};
+  const auto spnl = evaluate_partition(g, run_spnl(g, config), 8);
+  // Ring with K=8: only boundary edges cut; ECR well under 5%.
+  EXPECT_LT(spnl.ecr, 0.05);
+}
+
+TEST(Spnl, BeatsSpnOnStrongLocalityGraph) {
+  const Graph g = crawl(20000, 0.96, 5);
+  const PartitionConfig config{.num_partitions = 32};
+  const auto spnl = evaluate_partition(g, run_spnl(g, config), 32);
+  const auto spn = evaluate_partition(g, run_spn(g, config), 32);
+  EXPECT_LE(spnl.ecr, spn.ecr * 1.05);  // at least comparable, usually better
+}
+
+TEST(Spnl, LogicalCountsReachZeroAtEnd) {
+  const Graph g = crawl(2000, 0.9, 7);
+  const PartitionConfig config{.num_partitions = 4};
+  SpnlPartitioner partitioner(g.num_vertices(), g.num_edges(), config);
+  InMemoryStream stream(g);
+  run_streaming(stream, partitioner);
+  for (PartitionId i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(partitioner.eta(i), 0.0);
+}
+
+TEST(Spnl, EtaPolicies) {
+  const Graph g = crawl(3000, 0.9, 9);
+  const PartitionConfig config{.num_partitions = 8};
+  for (EtaPolicy policy : {EtaPolicy::kPaper, EtaPolicy::kLinear,
+                           EtaPolicy::kConstant, EtaPolicy::kZero}) {
+    const auto route = run_spnl(g, config, {.eta_policy = policy});
+    EXPECT_TRUE(is_complete_assignment(route, 8));
+  }
+}
+
+TEST(Spnl, ShuffledNumberingHurtsQuality) {
+  // Destroying id locality invalidates the logical pre-assignment: SPNL on
+  // the shuffled graph must be clearly worse (the locality ablation).
+  const Graph g = crawl(15000, 0.95, 11);
+  const Graph shuffled = random_renumber(g, 123);
+  const PartitionConfig config{.num_partitions = 16};
+  const auto local = evaluate_partition(g, run_spnl(g, config), 16);
+  const auto destroyed = evaluate_partition(shuffled, run_spnl(shuffled, config), 16);
+  EXPECT_LT(local.ecr, destroyed.ecr);
+}
+
+TEST(Spnl, RejectsBadLambda) {
+  const PartitionConfig config{.num_partitions = 2};
+  EXPECT_THROW(SpnlPartitioner(10, 10, config, {.lambda = 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Spnl, Deterministic) {
+  const Graph g = crawl(3000, 0.9, 13);
+  const PartitionConfig config{.num_partitions = 8};
+  EXPECT_EQ(run_spnl(g, config), run_spnl(g, config));
+}
+
+TEST(Spnl, WorksWithEdgeBalance) {
+  const Graph g = crawl(5000, 0.9, 15);
+  const PartitionConfig config{.num_partitions = 8, .balance = BalanceMode::kEdge};
+  const auto metrics = evaluate_partition(g, run_spnl(g, config), 8);
+  EXPECT_LT(metrics.delta_e, 1.5);
+}
+
+TEST(Spnl, KLargerThanAvailableVerticesStillCompletes) {
+  const Graph g = crawl(100, 0.9, 17);
+  const PartitionConfig config{.num_partitions = 64, .slack = 2.0};
+  const auto route = run_spnl(g, config);
+  EXPECT_TRUE(is_complete_assignment(route, 64));
+}
+
+}  // namespace
+}  // namespace spnl

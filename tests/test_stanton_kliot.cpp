@@ -1,0 +1,113 @@
+#include "partition/stanton_kliot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "partition/driver.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 6000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.88, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+std::vector<PartitionId> run_sk(const Graph& g, SkHeuristic heuristic,
+                                PartitionId k) {
+  PartitionConfig config{.num_partitions = k};
+  SkPartitioner partitioner(g.num_vertices(), g.num_edges(), config, heuristic, &g);
+  InMemoryStream stream(g);
+  return run_streaming(stream, partitioner).route;
+}
+
+TEST(StantonKliot, AllHeuristicsCompleteAndBalanced) {
+  const Graph g = crawl();
+  for (SkHeuristic h : {SkHeuristic::kBalanced, SkHeuristic::kDeterministicGreedy,
+                        SkHeuristic::kExponentialGreedy, SkHeuristic::kTriangles}) {
+    const auto route = run_sk(g, h, 8);
+    EXPECT_TRUE(is_complete_assignment(route, 8));
+    EXPECT_LE(evaluate_partition(g, route, 8).delta_v, 1.11);
+  }
+}
+
+TEST(StantonKliot, BalancedIsPerfectlyBalancedAndTopologyBlind) {
+  const Graph g = crawl(4000, 3);
+  const auto route = run_sk(g, SkHeuristic::kBalanced, 8);
+  const auto metrics = evaluate_partition(g, route, 8);
+  EXPECT_NEAR(metrics.delta_v, 1.0, 0.01);
+  // Round-robin by load: quality near hash.
+  EXPECT_GT(metrics.ecr, 0.7);
+}
+
+TEST(StantonKliot, GreedyFamilyBeatsBalanced) {
+  const Graph g = crawl(8000, 5);
+  const double balanced =
+      evaluate_partition(g, run_sk(g, SkHeuristic::kBalanced, 8), 8).ecr;
+  for (SkHeuristic h : {SkHeuristic::kDeterministicGreedy,
+                        SkHeuristic::kExponentialGreedy, SkHeuristic::kTriangles}) {
+    EXPECT_LT(evaluate_partition(g, run_sk(g, h, 8), 8).ecr, balanced * 0.8);
+  }
+}
+
+TEST(StantonKliot, TrianglesRequiresGraph) {
+  PartitionConfig config{.num_partitions = 2};
+  EXPECT_THROW(SkPartitioner(10, 10, config, SkHeuristic::kTriangles, nullptr),
+               std::invalid_argument);
+  // Others work without it.
+  SkPartitioner ok(10, 10, config, SkHeuristic::kBalanced, nullptr);
+  EXPECT_EQ(ok.name(), "Balanced");
+}
+
+TEST(StantonKliot, TriangleScoreCountsClosedWedges) {
+  // v=3 arrives with neighbors {0, 1}; 0 and 1 are placed together in P0
+  // and there is an edge (0, 1): the triangle score must prefer P0 even if
+  // another partition also holds one neighbor.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(3, 0);
+  builder.add_edge(3, 1);
+  builder.add_edge(3, 2);
+  const Graph g = builder.finish();
+  PartitionConfig config{.num_partitions = 2, .slack = 3.0};
+  SkPartitioner partitioner(4, 4, config, SkHeuristic::kTriangles, &g);
+  // Force placements: 0, 1 -> (scores zero) spread by load: 0->P0, 1->P1?
+  // To control the layout, place 0,1,2 with explicit empty lists and check
+  // the decision for 3 given the real route.
+  partitioner.place(0, g.out_neighbors(0));  // P0 (first, ties to lowest)
+  partitioner.place(1, std::span<const VertexId>{});
+  partitioner.place(2, std::span<const VertexId>{});
+  const PartitionId p0 = partitioner.route()[0];
+  const PartitionId p1 = partitioner.route()[1];
+  const PartitionId chosen = partitioner.place(3, g.out_neighbors(3));
+  if (p0 == p1) {
+    EXPECT_EQ(chosen, p0);  // wedge closed: triangle bonus decides
+  } else {
+    EXPECT_TRUE(chosen == p0 || chosen == p1);
+  }
+}
+
+TEST(StantonKliot, ExponentialGreedyRespectsCapacityHarder) {
+  const Graph g = crawl(4000, 7);
+  const auto edg = evaluate_partition(
+      g, run_sk(g, SkHeuristic::kExponentialGreedy, 8), 8);
+  const auto dg = evaluate_partition(
+      g, run_sk(g, SkHeuristic::kDeterministicGreedy, 8), 8);
+  // Both bounded by the hard cap; EDG's soft penalty should not be worse on
+  // balance.
+  EXPECT_LE(edg.delta_v, dg.delta_v + 0.05);
+}
+
+TEST(StantonKliot, Deterministic) {
+  const Graph g = crawl(3000, 9);
+  EXPECT_EQ(run_sk(g, SkHeuristic::kExponentialGreedy, 8),
+            run_sk(g, SkHeuristic::kExponentialGreedy, 8));
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,104 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+
+namespace spnl {
+namespace {
+
+TEST(Stats, DegreeStatsUniformGraph) {
+  const Graph g = generate_ring_lattice(100, 4);
+  const auto stats = out_degree_stats(g);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_EQ(stats.median, 4u);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-9);
+}
+
+TEST(Stats, GiniDetectsSkew) {
+  GraphBuilder builder(10);
+  for (VertexId u = 1; u < 10; ++u) builder.add_edge(0, u);  // one hub
+  const auto stats = out_degree_stats(builder.finish());
+  EXPECT_GT(stats.gini, 0.8);
+}
+
+TEST(Stats, EmptyGraphSafe) {
+  Graph g;
+  const auto degrees = out_degree_stats(g);
+  EXPECT_EQ(degrees.mean, 0.0);
+  const auto locality = locality_stats(g);
+  EXPECT_EQ(locality.mean_normalized_gap, 0.0);
+}
+
+TEST(Stats, LocalityOfRingIsTight) {
+  const Graph g = generate_ring_lattice(1000, 2);
+  const auto stats = locality_stats(g, 10);
+  // All gaps are 1 or 2 except the wrap-around edges.
+  EXPECT_GT(stats.fraction_within_window, 0.99);
+  EXPECT_LT(stats.mean_normalized_gap, 0.01);
+}
+
+TEST(Stats, DefaultWindowIsOnePercent) {
+  const Graph g = generate_ring_lattice(1000, 1);
+  EXPECT_EQ(locality_stats(g).window, 10u);
+}
+
+TEST(Stats, HistogramBucketsAndTail) {
+  GraphBuilder builder(4);
+  for (VertexId u = 1; u < 4; ++u) builder.add_edge(0, u);  // degree 3
+  builder.add_edge(1, 0);                                   // degree 1
+  const auto hist = degree_histogram(builder.finish(), 2);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);  // vertices 2, 3
+  EXPECT_EQ(hist[1], 1u);  // vertex 1
+  EXPECT_EQ(hist[2], 1u);  // vertex 0, clamped into the tail bucket
+}
+
+TEST(Stats, DescribeContainsCounts) {
+  const Graph g = generate_ring_lattice(10, 1);
+  const std::string text = describe(g, "ring");
+  EXPECT_NE(text.find("ring"), std::string::npos);
+  EXPECT_NE(text.find("|V|=10"), std::string::npos);
+}
+
+TEST(Datasets, EightSpecsWithPaperSizes) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs.front().name, "stanford");
+  EXPECT_EQ(specs.back().name, "uk2007");
+  for (const auto& spec : specs) {
+    EXPECT_GT(spec.paper_num_vertices, 0u);
+    EXPECT_GT(spec.paper_num_edges, spec.paper_num_vertices);
+  }
+}
+
+TEST(Datasets, LookupByName) {
+  EXPECT_EQ(dataset_by_name("uk2002").name, "uk2002");
+  EXPECT_THROW(dataset_by_name("nope"), std::out_of_range);
+}
+
+TEST(Datasets, ScaleShrinksGraph) {
+  const auto& spec = dataset_by_name("stanford");
+  const Graph big = load_dataset(spec, 0.2);
+  const Graph small = load_dataset(spec, 0.1);
+  EXPECT_NEAR(static_cast<double>(big.num_vertices()) / small.num_vertices(), 2.0, 0.1);
+  EXPECT_THROW(load_dataset(spec, 0.0), std::invalid_argument);
+}
+
+TEST(Datasets, SkewedSpecsAreSkewed) {
+  const Graph eu = load_dataset(dataset_by_name("eu2015"), 0.2);
+  const Graph uk = load_dataset(dataset_by_name("uk2002"), 0.2);
+  EXPECT_GT(out_degree_stats(eu).gini, out_degree_stats(uk).gini);
+}
+
+TEST(Datasets, StrongLocalitySpecsAreLocal) {
+  const Graph uk07 = load_dataset(dataset_by_name("uk2007"), 0.1);
+  const Graph stan = load_dataset(dataset_by_name("stanford"), 1.0);
+  EXPECT_LT(locality_stats(uk07).mean_normalized_gap,
+            locality_stats(stan).mean_normalized_gap);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/bounded_queue.hpp"
+#include "util/cli.hpp"
+#include "util/memory.hpp"
+#include "util/table_printer.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  timer.restart();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(AccumTimer, AccumulatesAcrossIntervals) {
+  AccumTimer timer;
+  EXPECT_EQ(timer.seconds(), 0.0);
+  timer.resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.pause();
+  const double first = timer.seconds();
+  EXPECT_GT(first, 0.0);
+  timer.resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.pause();
+  EXPECT_GT(timer.seconds(), first);
+}
+
+TEST(AccumTimer, DoubleResumePauseIsIdempotent) {
+  AccumTimer timer;
+  timer.resume();
+  timer.resume();
+  timer.pause();
+  timer.pause();
+  EXPECT_GE(timer.seconds(), 0.0);
+}
+
+TEST(Memory, RssReadable) {
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+}
+
+TEST(Memory, FormatBytes) {
+  EXPECT_EQ(format_bytes(500), "500B");
+  EXPECT_EQ(format_bytes(1536), "1.50KB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00MB");
+}
+
+TEST(Memory, VectorBytesTracksCapacity) {
+  std::vector<int> v;
+  v.reserve(100);
+  EXPECT_EQ(vector_bytes(v), 100 * sizeof(int));
+}
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, TryPopEmptyReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> queue(4);
+  queue.push(7);
+  queue.close();
+  EXPECT_EQ(queue.pop(), 7);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_FALSE(queue.push(9));
+}
+
+TEST(BoundedQueue, BlocksWhenFullUntilConsumed) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers) {
+  BoundedQueue<int> queue(16);
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum += *item;
+        ++count;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+TEST(TablePrinter, FormatsAlignedTable) {
+  TablePrinter table({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(TablePrinter::fmt(-3), "-3");
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  // Note: a bare flag followed by a non-flag token ("--flag pos") reads the
+  // token as the flag's value by design, so positionals come first.
+  const char* argv[] = {"prog", "pos", "--k=8", "--name", "foo", "--flag"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("k", 0), 8);
+  EXPECT_EQ(args.get("name", ""), "foo");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(Cli, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get_double("missing", 0.5), 0.5);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,93 @@
+#include "partition/window_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "partition/driver.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+Graph crawl(VertexId n = 8000, std::uint64_t seed = 1) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 8.0,
+                            .locality = 0.88, .locality_scale = 30.0,
+                            .seed = seed});
+}
+
+TEST(WindowStream, CompleteAndBalanced) {
+  const Graph g = crawl();
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto result = window_stream_partition(stream, config, {.window_size = 512});
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  EXPECT_LE(evaluate_partition(g, result.route, 8).delta_v, config.slack + 0.01);
+}
+
+TEST(WindowStream, WindowOneEqualsLdg) {
+  // A window of one candidate degenerates to plain LDG (same scoring, same
+  // order).
+  const Graph g = crawl(3000, 3);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto windowed = window_stream_partition(stream, config, {.window_size = 1});
+  LdgPartitioner ldg(g.num_vertices(), g.num_edges(), config);
+  stream.reset();
+  const auto ldg_route = run_streaming(stream, ldg).route;
+  EXPECT_EQ(windowed.route, ldg_route);
+}
+
+TEST(WindowStream, HelpsOnAdversarialOrder) {
+  // On a randomly ordered stream, picking confident vertices first should
+  // beat strict arrival order.
+  const Graph g = random_renumber(crawl(10000, 5), 77);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  LdgPartitioner ldg(g.num_vertices(), g.num_edges(), config);
+  const double plain =
+      evaluate_partition(g, run_streaming(stream, ldg).route, 8).ecr;
+  stream.reset();
+  const auto windowed =
+      window_stream_partition(stream, config, {.window_size = 2048});
+  const double selected = evaluate_partition(g, windowed.route, 8).ecr;
+  EXPECT_LT(selected, plain);
+}
+
+TEST(WindowStream, LogicalPriorRuns) {
+  const Graph g = crawl(4000, 7);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream stream(g);
+  const auto result = window_stream_partition(
+      stream, config, {.window_size = 256, .logical_weight = 0.5});
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+}
+
+TEST(WindowStream, WindowLargerThanGraph) {
+  const Graph g = crawl(300, 9);
+  const PartitionConfig config{.num_partitions = 4};
+  InMemoryStream stream(g);
+  const auto result = window_stream_partition(stream, config, {.window_size = 10000});
+  EXPECT_TRUE(is_complete_assignment(result.route, 4));
+}
+
+TEST(WindowStream, ZeroWindowRejected) {
+  const Graph g = crawl(100, 11);
+  InMemoryStream stream(g);
+  EXPECT_THROW(
+      window_stream_partition(stream, {.num_partitions = 2}, {.window_size = 0}),
+      std::invalid_argument);
+}
+
+TEST(WindowStream, Deterministic) {
+  const Graph g = crawl(3000, 13);
+  const PartitionConfig config{.num_partitions = 8};
+  InMemoryStream s1(g), s2(g);
+  EXPECT_EQ(window_stream_partition(s1, config, {.window_size = 128}).route,
+            window_stream_partition(s2, config, {.window_size = 128}).route);
+}
+
+}  // namespace
+}  // namespace spnl

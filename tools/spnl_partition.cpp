@@ -1,0 +1,197 @@
+// spnl_partition — command-line front end for the whole partitioner suite.
+//
+// Usage:
+//   spnl_partition <graph-file> --k=32 [--algo=spnl] [--out=route.txt]
+//                  [--lambda=0.5] [--shards=0] [--balance=vertex|edge]
+//                  [--slack=1.1] [--threads=1] [--passes=1] [--buffer=0]
+//                  [--format=adj|edgelist|binary] [--window=0] [--quiet]
+//
+// Algorithms: hash, range, ldg, fennel, spn, spnl (default), balanced, dg,
+// edg, triangles, multilevel, labelprop. --threads > 1 selects parallel
+// SPNL / parallel label-prop; --passes > 1 wraps streaming algos in
+// re-streaming; --buffer > 0 uses the hybrid buffered mode; --window > 0
+// uses WSGP-style most-confident-first selection.
+//
+// Prints ECR / δv / δe / PT / MC and writes the route table when --out is
+// given. Exit code 0 on success.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/parallel_driver.hpp"
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "offline/label_prop.hpp"
+#include "offline/multilevel.hpp"
+#include "partition/buffered.hpp"
+#include "partition/driver.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+#include "partition/range_partitioner.hpp"
+#include "partition/restream.hpp"
+#include "partition/stanton_kliot.hpp"
+#include "partition/window_stream.hpp"
+#include "util/cli.hpp"
+#include "util/memory.hpp"
+
+namespace {
+
+using namespace spnl;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spnl_partition <graph-file> --k=K [--algo=spnl] "
+               "[--out=route.txt]\n"
+               "  [--lambda=0.5] [--shards=0] [--balance=vertex|edge] "
+               "[--slack=1.1]\n"
+               "  [--threads=1] [--passes=1] [--buffer=0] [--window=0] "
+               "[--format=adj|edgelist|binary] [--quiet]\n"
+               "algos: hash range ldg fennel spn spnl balanced dg edg "
+               "triangles multilevel labelprop\n");
+  return 2;
+}
+
+Graph load_graph(const std::string& path, const std::string& format) {
+  if (format == "edgelist") return read_edge_list(path, /*compact_ids=*/true);
+  if (format == "binary") return read_binary(path);
+  if (format == "adj") {
+    FileAdjacencyStream stream(path);
+    return materialize(stream);
+  }
+  throw std::runtime_error("unknown --format " + format);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().size() != 1) return usage();
+
+  const auto k = static_cast<PartitionId>(args.get_int("k", 0));
+  if (k == 0) return usage();
+  const std::string algo = args.get("algo", "spnl");
+  const std::string format = args.get("format", "adj");
+  const bool quiet = args.get_bool("quiet", false);
+
+  PartitionConfig config;
+  config.num_partitions = k;
+  config.slack = args.get_double("slack", 1.1);
+  config.balance = args.get("balance", "vertex") == "edge" ? BalanceMode::kEdge
+                                                           : BalanceMode::kVertex;
+  const double lambda = args.get_double("lambda", 0.5);
+  const auto shards = static_cast<std::uint32_t>(args.get_int("shards", 0));
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 1));
+  const int passes = static_cast<int>(args.get_int("passes", 1));
+  const auto buffer = static_cast<VertexId>(args.get_int("buffer", 0));
+  const auto window = static_cast<VertexId>(args.get_int("window", 0));
+
+  try {
+    const Graph graph = load_graph(args.positional()[0], format);
+    if (!quiet) std::printf("%s\n", describe(graph, args.positional()[0]).c_str());
+
+    std::vector<PartitionId> route;
+    double seconds = 0.0;
+    std::size_t bytes = 0;
+
+    InMemoryStream stream(graph);
+    if (algo == "multilevel") {
+      const auto result = multilevel_partition(graph, config);
+      route = result.route;
+      seconds = result.partition_seconds;
+      bytes = result.peak_bytes;
+    } else if (algo == "labelprop") {
+      LabelPropOptions options;
+      options.num_threads = threads;
+      const auto result = label_prop_partition(graph, config, options);
+      route = result.route;
+      seconds = result.partition_seconds;
+      bytes = result.peak_bytes;
+    } else if (window > 0) {
+      const auto result = window_stream_partition(
+          stream, config,
+          {.window_size = window,
+           .logical_weight = algo == "spnl" ? 0.5 : 0.0});
+      route = result.route;
+      seconds = result.partition_seconds;
+      bytes = result.peak_bytes;
+    } else if (buffer > 0) {
+      BufferedOptions options;
+      options.buffer_size = buffer;
+      options.seed_rule =
+          algo == "ldg" ? BufferSeedRule::kLdg : BufferSeedRule::kSpnl;
+      const auto result = buffered_partition(stream, config, options);
+      route = result.route;
+      seconds = result.partition_seconds;
+      bytes = result.peak_bytes;
+    } else if (passes > 1) {
+      RestreamOptions options;
+      options.passes = passes;
+      options.seed_with_spnl = algo == "spnl";
+      route = restream_partition(stream, config, options);
+    } else if (threads > 1 && (algo == "spnl" || algo == "spn")) {
+      ParallelOptions options;
+      options.num_threads = threads;
+      options.use_locality = algo == "spnl";
+      options.spnl.lambda = lambda;
+      options.spnl.num_shards = shards;
+      const auto result = run_parallel(stream, config, options);
+      route = result.route;
+      seconds = result.partition_seconds;
+      bytes = result.peak_partitioner_bytes;
+    } else {
+      std::unique_ptr<StreamingPartitioner> partitioner;
+      const VertexId n = graph.num_vertices();
+      const EdgeId m = graph.num_edges();
+      if (algo == "hash") {
+        partitioner = std::make_unique<HashPartitioner>(n, m, config);
+      } else if (algo == "range") {
+        partitioner = std::make_unique<RangePartitioner>(n, m, config);
+      } else if (algo == "ldg") {
+        partitioner = std::make_unique<LdgPartitioner>(n, m, config);
+      } else if (algo == "fennel") {
+        partitioner = std::make_unique<FennelPartitioner>(n, m, config);
+      } else if (algo == "spn") {
+        partitioner = std::make_unique<SpnPartitioner>(
+            n, m, config, SpnOptions{.lambda = lambda, .num_shards = shards});
+      } else if (algo == "spnl") {
+        partitioner = std::make_unique<SpnlPartitioner>(
+            n, m, config, SpnlOptions{.lambda = lambda, .num_shards = shards});
+      } else if (algo == "balanced") {
+        partitioner = std::make_unique<SkPartitioner>(n, m, config,
+                                                      SkHeuristic::kBalanced);
+      } else if (algo == "dg") {
+        partitioner = std::make_unique<SkPartitioner>(
+            n, m, config, SkHeuristic::kDeterministicGreedy);
+      } else if (algo == "edg") {
+        partitioner = std::make_unique<SkPartitioner>(
+            n, m, config, SkHeuristic::kExponentialGreedy);
+      } else if (algo == "triangles") {
+        partitioner = std::make_unique<SkPartitioner>(
+            n, m, config, SkHeuristic::kTriangles, &graph);
+      } else {
+        return usage();
+      }
+      const RunResult run = run_streaming(stream, *partitioner);
+      route = run.route;
+      seconds = run.partition_seconds;
+      bytes = run.peak_partitioner_bytes;
+    }
+
+    const auto metrics = evaluate_partition(graph, route, k);
+    std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
+                summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
+    if (args.has("out")) {
+      write_route_table(route, args.get("out", ""));
+      if (!quiet) std::printf("wrote %s\n", args.get("out", "").c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
