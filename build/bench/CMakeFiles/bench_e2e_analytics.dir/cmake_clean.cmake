@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_analytics.dir/bench_e2e_analytics.cpp.o"
+  "CMakeFiles/bench_e2e_analytics.dir/bench_e2e_analytics.cpp.o.d"
+  "bench_e2e_analytics"
+  "bench_e2e_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

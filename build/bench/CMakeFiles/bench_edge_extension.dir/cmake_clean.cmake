@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edge_extension.dir/bench_edge_extension.cpp.o"
+  "CMakeFiles/bench_edge_extension.dir/bench_edge_extension.cpp.o.d"
+  "bench_edge_extension"
+  "bench_edge_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

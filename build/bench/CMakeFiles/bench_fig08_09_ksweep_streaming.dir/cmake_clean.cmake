@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_09_ksweep_streaming.dir/bench_fig08_09_ksweep_streaming.cpp.o"
+  "CMakeFiles/bench_fig08_09_ksweep_streaming.dir/bench_fig08_09_ksweep_streaming.cpp.o.d"
+  "bench_fig08_09_ksweep_streaming"
+  "bench_fig08_09_ksweep_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_09_ksweep_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_ksweep_offline.dir/bench_fig10_11_ksweep_offline.cpp.o"
+  "CMakeFiles/bench_fig10_11_ksweep_offline.dir/bench_fig10_11_ksweep_offline.cpp.o.d"
+  "bench_fig10_11_ksweep_offline"
+  "bench_fig10_11_ksweep_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_ksweep_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

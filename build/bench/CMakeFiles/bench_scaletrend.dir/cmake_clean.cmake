@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaletrend.dir/bench_scaletrend.cpp.o"
+  "CMakeFiles/bench_scaletrend.dir/bench_scaletrend.cpp.o.d"
+  "bench_scaletrend"
+  "bench_scaletrend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaletrend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

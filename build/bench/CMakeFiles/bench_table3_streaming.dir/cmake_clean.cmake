@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_streaming.dir/bench_table3_streaming.cpp.o"
+  "CMakeFiles/bench_table3_streaming.dir/bench_table3_streaming.cpp.o.d"
+  "bench_table3_streaming"
+  "bench_table3_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

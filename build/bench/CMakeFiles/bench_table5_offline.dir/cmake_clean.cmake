@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_offline.dir/bench_table5_offline.cpp.o"
+  "CMakeFiles/bench_table5_offline.dir/bench_table5_offline.cpp.o.d"
+  "bench_table5_offline"
+  "bench_table5_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

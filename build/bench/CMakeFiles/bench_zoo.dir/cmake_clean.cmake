@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zoo.dir/bench_zoo.cpp.o"
+  "CMakeFiles/bench_zoo.dir/bench_zoo.cpp.o.d"
+  "bench_zoo"
+  "bench_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_pipeline.dir/disk_pipeline.cpp.o"
+  "CMakeFiles/disk_pipeline.dir/disk_pipeline.cpp.o.d"
+  "disk_pipeline"
+  "disk_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

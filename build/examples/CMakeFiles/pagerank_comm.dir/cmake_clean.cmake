@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_comm.dir/pagerank_comm.cpp.o"
+  "CMakeFiles/pagerank_comm.dir/pagerank_comm.cpp.o.d"
+  "pagerank_comm"
+  "pagerank_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/simulator.cpp" "src/CMakeFiles/spnl.dir/cluster/simulator.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/cluster/simulator.cpp.o.d"
+  "/root/repo/src/core/concurrent_gamma.cpp" "src/CMakeFiles/spnl.dir/core/concurrent_gamma.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/concurrent_gamma.cpp.o.d"
+  "/root/repo/src/core/distributed_sim.cpp" "src/CMakeFiles/spnl.dir/core/distributed_sim.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/distributed_sim.cpp.o.d"
+  "/root/repo/src/core/gamma_table.cpp" "src/CMakeFiles/spnl.dir/core/gamma_table.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/gamma_table.cpp.o.d"
+  "/root/repo/src/core/parallel_driver.cpp" "src/CMakeFiles/spnl.dir/core/parallel_driver.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/parallel_driver.cpp.o.d"
+  "/root/repo/src/core/rct.cpp" "src/CMakeFiles/spnl.dir/core/rct.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/rct.cpp.o.d"
+  "/root/repo/src/core/spn.cpp" "src/CMakeFiles/spnl.dir/core/spn.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/spn.cpp.o.d"
+  "/root/repo/src/core/spnl.cpp" "src/CMakeFiles/spnl.dir/core/spnl.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/core/spnl.cpp.o.d"
+  "/root/repo/src/dynamic/incremental.cpp" "src/CMakeFiles/spnl.dir/dynamic/incremental.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/dynamic/incremental.cpp.o.d"
+  "/root/repo/src/edge/edge_partitioners.cpp" "src/CMakeFiles/spnl.dir/edge/edge_partitioners.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/edge/edge_partitioners.cpp.o.d"
+  "/root/repo/src/edge/edge_partitioning.cpp" "src/CMakeFiles/spnl.dir/edge/edge_partitioning.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/edge/edge_partitioning.cpp.o.d"
+  "/root/repo/src/engine/algorithms.cpp" "src/CMakeFiles/spnl.dir/engine/algorithms.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/engine/algorithms.cpp.o.d"
+  "/root/repo/src/engine/bsp.cpp" "src/CMakeFiles/spnl.dir/engine/bsp.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/engine/bsp.cpp.o.d"
+  "/root/repo/src/engine/parallel_bsp.cpp" "src/CMakeFiles/spnl.dir/engine/parallel_bsp.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/engine/parallel_bsp.cpp.o.d"
+  "/root/repo/src/engine/partitioned_graph.cpp" "src/CMakeFiles/spnl.dir/engine/partitioned_graph.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/engine/partitioned_graph.cpp.o.d"
+  "/root/repo/src/graph/adjacency_stream.cpp" "src/CMakeFiles/spnl.dir/graph/adjacency_stream.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/adjacency_stream.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/spnl.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/spnl.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/spnl.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/spnl.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/CMakeFiles/spnl.dir/graph/reorder.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/reorder.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/spnl.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/offline/label_prop.cpp" "src/CMakeFiles/spnl.dir/offline/label_prop.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/offline/label_prop.cpp.o.d"
+  "/root/repo/src/offline/multilevel.cpp" "src/CMakeFiles/spnl.dir/offline/multilevel.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/offline/multilevel.cpp.o.d"
+  "/root/repo/src/partition/buffered.cpp" "src/CMakeFiles/spnl.dir/partition/buffered.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/buffered.cpp.o.d"
+  "/root/repo/src/partition/driver.cpp" "src/CMakeFiles/spnl.dir/partition/driver.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/driver.cpp.o.d"
+  "/root/repo/src/partition/fennel.cpp" "src/CMakeFiles/spnl.dir/partition/fennel.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/fennel.cpp.o.d"
+  "/root/repo/src/partition/hash_partitioner.cpp" "src/CMakeFiles/spnl.dir/partition/hash_partitioner.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/hash_partitioner.cpp.o.d"
+  "/root/repo/src/partition/ldg.cpp" "src/CMakeFiles/spnl.dir/partition/ldg.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/ldg.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/CMakeFiles/spnl.dir/partition/metrics.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/metrics.cpp.o.d"
+  "/root/repo/src/partition/partitioning.cpp" "src/CMakeFiles/spnl.dir/partition/partitioning.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/partitioning.cpp.o.d"
+  "/root/repo/src/partition/range_partitioner.cpp" "src/CMakeFiles/spnl.dir/partition/range_partitioner.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/range_partitioner.cpp.o.d"
+  "/root/repo/src/partition/restream.cpp" "src/CMakeFiles/spnl.dir/partition/restream.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/restream.cpp.o.d"
+  "/root/repo/src/partition/stanton_kliot.cpp" "src/CMakeFiles/spnl.dir/partition/stanton_kliot.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/stanton_kliot.cpp.o.d"
+  "/root/repo/src/partition/window_stream.cpp" "src/CMakeFiles/spnl.dir/partition/window_stream.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/partition/window_stream.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/spnl.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/memory.cpp" "src/CMakeFiles/spnl.dir/util/memory.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/util/memory.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/spnl.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/spnl.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/util/table_printer.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/spnl.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/spnl.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

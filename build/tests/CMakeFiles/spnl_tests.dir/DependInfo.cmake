@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_partitioners.cpp" "tests/CMakeFiles/spnl_tests.dir/test_baseline_partitioners.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_baseline_partitioners.cpp.o.d"
+  "/root/repo/tests/test_bsp.cpp" "tests/CMakeFiles/spnl_tests.dir/test_bsp.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_bsp.cpp.o.d"
+  "/root/repo/tests/test_buffered.cpp" "tests/CMakeFiles/spnl_tests.dir/test_buffered.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_buffered.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/spnl_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_distributed_sim.cpp" "tests/CMakeFiles/spnl_tests.dir/test_distributed_sim.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_distributed_sim.cpp.o.d"
+  "/root/repo/tests/test_edge_partitioning.cpp" "tests/CMakeFiles/spnl_tests.dir/test_edge_partitioning.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_edge_partitioning.cpp.o.d"
+  "/root/repo/tests/test_fuzz_models.cpp" "tests/CMakeFiles/spnl_tests.dir/test_fuzz_models.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_fuzz_models.cpp.o.d"
+  "/root/repo/tests/test_gamma_table.cpp" "tests/CMakeFiles/spnl_tests.dir/test_gamma_table.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_gamma_table.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/spnl_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/spnl_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/spnl_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hostgraph.cpp" "tests/CMakeFiles/spnl_tests.dir/test_hostgraph.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_hostgraph.cpp.o.d"
+  "/root/repo/tests/test_incremental.cpp" "tests/CMakeFiles/spnl_tests.dir/test_incremental.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/spnl_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/spnl_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/spnl_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_offline.cpp" "tests/CMakeFiles/spnl_tests.dir/test_offline.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_offline.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/spnl_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_parallel_bsp.cpp" "tests/CMakeFiles/spnl_tests.dir/test_parallel_bsp.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_parallel_bsp.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/spnl_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rct.cpp" "tests/CMakeFiles/spnl_tests.dir/test_rct.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_rct.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/spnl_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_restream.cpp" "tests/CMakeFiles/spnl_tests.dir/test_restream.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_restream.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/spnl_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_spn.cpp" "tests/CMakeFiles/spnl_tests.dir/test_spn.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_spn.cpp.o.d"
+  "/root/repo/tests/test_spn_semantics.cpp" "tests/CMakeFiles/spnl_tests.dir/test_spn_semantics.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_spn_semantics.cpp.o.d"
+  "/root/repo/tests/test_spnl.cpp" "tests/CMakeFiles/spnl_tests.dir/test_spnl.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_spnl.cpp.o.d"
+  "/root/repo/tests/test_stanton_kliot.cpp" "tests/CMakeFiles/spnl_tests.dir/test_stanton_kliot.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_stanton_kliot.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/spnl_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_streams.cpp" "tests/CMakeFiles/spnl_tests.dir/test_streams.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_streams.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/spnl_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_window_stream.cpp" "tests/CMakeFiles/spnl_tests.dir/test_window_stream.cpp.o" "gcc" "tests/CMakeFiles/spnl_tests.dir/test_window_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spnl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/spnl_tests[1]_include.cmake")
+add_test(tools.gen_and_partition "/usr/bin/cmake" "-DSPNL_GEN=/root/repo/build/tools/spnl_gen" "-DSPNL_PARTITION=/root/repo/build/tools/spnl_partition" "-DSPNL_ANALYZE=/root/repo/build/tools/spnl_analyze" "-DWORK_DIR=/root/repo/build/tool_smoke" "-P" "/root/repo/tests/tool_smoke.cmake")
+set_tests_properties(tools.gen_and_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")

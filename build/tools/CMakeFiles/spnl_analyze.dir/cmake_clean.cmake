@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnl_analyze.dir/spnl_analyze.cpp.o"
+  "CMakeFiles/spnl_analyze.dir/spnl_analyze.cpp.o.d"
+  "spnl_analyze"
+  "spnl_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnl_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

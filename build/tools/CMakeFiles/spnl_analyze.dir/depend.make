@@ -1,0 +1,2 @@
+# Empty dependencies file for spnl_analyze.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnl_gen.dir/spnl_gen.cpp.o"
+  "CMakeFiles/spnl_gen.dir/spnl_gen.cpp.o.d"
+  "spnl_gen"
+  "spnl_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnl_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spnl_partition.dir/spnl_partition.cpp.o"
+  "CMakeFiles/spnl_partition.dir/spnl_partition.cpp.o.d"
+  "spnl_partition"
+  "spnl_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spnl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
