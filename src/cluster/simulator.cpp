@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace spnl {
 
 ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
                                  const ClusterModel& model) {
+  return simulate_cluster(job, k, model, ClusterFaultModel{});
+}
+
+ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
+                                 const ClusterModel& model,
+                                 const ClusterFaultModel& faults) {
+  if (faults.failure_prob < 0.0 || faults.failure_prob > 1.0) {
+    throw std::invalid_argument("simulate_cluster: failure_prob must be in [0,1]");
+  }
+  if (faults.recovery_seconds < 0.0) {
+    throw std::invalid_argument("simulate_cluster: recovery_seconds must be >= 0");
+  }
   if (job.traffic.size() != job.compute.size()) {
     throw std::invalid_argument("simulate_cluster: inconsistent recording");
   }
@@ -16,6 +30,7 @@ ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
   ClusterTimeline timeline;
   timeline.supersteps.reserve(job.traffic.size());
 
+  Rng fault_rng(faults.seed);
   std::vector<std::uint64_t> sends(k), receives(k);
   for (std::size_t step = 0; step < job.traffic.size(); ++step) {
     const auto& matrix = job.traffic[step];
@@ -51,6 +66,25 @@ ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
         model.overlap
             ? std::max(timing.compute_seconds, timing.network_seconds)
             : timing.compute_seconds + timing.network_seconds;
+
+    // Injected worker failures: each failed worker pays the recovery cost;
+    // the superstep barrier means everyone waits for the LAST recovery, and
+    // (optionally) the whole superstep re-executes afterwards. One draw per
+    // worker per superstep in fixed order keeps the timeline seeded.
+    if (faults.failure_prob > 0.0) {
+      const double clean_superstep = timing.total_seconds;
+      for (PartitionId w = 0; w < k; ++w) {
+        if (fault_rng.next_double() < faults.failure_prob) ++timing.failures;
+      }
+      if (timing.failures > 0) {
+        timing.recovery_seconds =
+            faults.recovery_seconds +
+            (faults.restart_superstep ? clean_superstep : 0.0);
+        timing.total_seconds += timing.recovery_seconds;
+        timeline.worker_failures += timing.failures;
+        timeline.recovery_seconds += timing.recovery_seconds;
+      }
+    }
 
     timeline.compute_seconds += timing.compute_seconds;
     timeline.network_seconds += timing.network_seconds;

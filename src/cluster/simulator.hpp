@@ -33,10 +33,26 @@ struct ClusterModel {
   bool overlap = false;
 };
 
+/// Seeded worker-failure model layered onto the BSP timing simulation: each
+/// worker independently fails with failure_prob per superstep. A failure
+/// costs recovery_seconds (restart + state reload from the latest
+/// checkpoint) and, because BSP supersteps are all-or-nothing, re-executes
+/// the superstep when restart_superstep is set. Deterministic per seed.
+struct ClusterFaultModel {
+  double failure_prob = 0.0;
+  double recovery_seconds = 0.5;
+  bool restart_superstep = true;
+  std::uint64_t seed = 17;
+};
+
 struct SuperstepTiming {
   double compute_seconds = 0.0;
   double network_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Worker failures injected into this superstep and the recovery +
+  /// re-execution time they added (0 when no fault model is active).
+  std::uint32_t failures = 0;
+  double recovery_seconds = 0.0;
 };
 
 struct ClusterTimeline {
@@ -44,6 +60,8 @@ struct ClusterTimeline {
   double total_seconds = 0.0;
   double compute_seconds = 0.0;  ///< Σ per-superstep compute phases
   double network_seconds = 0.0;  ///< Σ per-superstep network phases
+  std::uint64_t worker_failures = 0;   ///< Σ injected failures
+  double recovery_seconds = 0.0;       ///< Σ recovery + re-execution time
   double network_fraction() const {
     return total_seconds == 0.0 ? 0.0 : network_seconds / total_seconds;
   }
@@ -54,5 +72,10 @@ struct ClusterTimeline {
 /// matrices' dimension.
 ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
                                  const ClusterModel& model = {});
+
+/// As above, with seeded worker failures folded into the timeline.
+ClusterTimeline simulate_cluster(const BspResult& job, PartitionId k,
+                                 const ClusterModel& model,
+                                 const ClusterFaultModel& faults);
 
 }  // namespace spnl

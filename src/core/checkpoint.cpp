@@ -1,0 +1,127 @@
+#include "core/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+namespace spnl {
+
+namespace {
+
+constexpr std::uint64_t kCheckpointMagic = 0x53504e4c434b5031ULL;  // "SPNLCKP1"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void StateReader::expect_u32(std::uint32_t expected, const char* what) {
+  const std::uint32_t got = get_u32();
+  if (got != expected) {
+    throw CheckpointError(std::string("checkpoint: ") + what + " mismatch (snapshot " +
+                          std::to_string(got) + ", current " +
+                          std::to_string(expected) + ")");
+  }
+}
+
+void StateReader::expect_u64(std::uint64_t expected, const char* what) {
+  const std::uint64_t got = get_u64();
+  if (got != expected) {
+    throw CheckpointError(std::string("checkpoint: ") + what + " mismatch (snapshot " +
+                          std::to_string(got) + ", current " +
+                          std::to_string(expected) + ")");
+  }
+}
+
+void StateReader::expect_string(const std::string& expected, const char* what) {
+  const std::string got = get_string();
+  if (got != expected) {
+    throw CheckpointError(std::string("checkpoint: ") + what + " mismatch (snapshot \"" +
+                          got + "\", current \"" + expected + "\")");
+  }
+}
+
+void write_checkpoint_file(const std::string& path, const StateWriter& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw CheckpointError("checkpoint: cannot open for write: " + tmp);
+    const std::uint64_t magic = kCheckpointMagic;
+    const std::uint32_t version = kCheckpointVersion;
+    const std::uint64_t size = payload.bytes().size();
+    const std::uint32_t crc = crc32(payload.bytes().data(), payload.bytes().size());
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write(reinterpret_cast<const char*>(payload.bytes().data()),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) throw CheckpointError("checkpoint: write error: " + tmp);
+  }
+  // Atomic publish: readers either see the old snapshot or the new one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw CheckpointError("checkpoint: rename failed: " + tmp + " -> " + path);
+  }
+}
+
+StateReader read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("checkpoint: cannot open: " + path);
+
+  std::uint64_t magic = 0, size = 0;
+  std::uint32_t version = 0, crc = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in || magic != kCheckpointMagic) {
+    throw CheckpointError("checkpoint: bad header: " + path);
+  }
+  if (version != kCheckpointVersion) {
+    throw CheckpointError("checkpoint: unsupported version " +
+                          std::to_string(version) + ": " + path);
+  }
+
+  // Bound the payload by the actual file size before allocating.
+  const std::streampos payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(in.tellg() - payload_start);
+  if (size != available) {
+    throw CheckpointError("checkpoint: truncated file (payload " +
+                          std::to_string(available) + " of " + std::to_string(size) +
+                          " bytes): " + path);
+  }
+  in.seekg(payload_start);
+
+  std::vector<std::uint8_t> payload(size);
+  in.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(size));
+  if (!in) throw CheckpointError("checkpoint: read error: " + path);
+  if (crc32(payload.data(), payload.size()) != crc) {
+    throw CheckpointError("checkpoint: CRC mismatch (corrupt snapshot): " + path);
+  }
+  return StateReader(std::move(payload));
+}
+
+}  // namespace spnl

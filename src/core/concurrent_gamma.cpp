@@ -48,4 +48,31 @@ void ConcurrentGammaWindow::advance_to(VertexId head) {
   base_.store(head, std::memory_order_relaxed);
 }
 
+void ConcurrentGammaWindow::save(StateWriter& out) const {
+  const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;
+  std::vector<std::uint32_t> counters(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    counters[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  out.put_u32(num_partitions_);
+  out.put_u32(window_size_);
+  out.put_u32(base_.load(std::memory_order_relaxed));
+  out.put_vec(counters);
+}
+
+void ConcurrentGammaWindow::restore(StateReader& in) {
+  in.expect_u32(num_partitions_, "gamma partition count");
+  in.expect_u32(window_size_, "gamma window size");
+  const VertexId base = in.get_u32();
+  const auto counters = in.get_vec<std::uint32_t>();
+  const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;
+  if (counters.size() != total) {
+    throw CheckpointError("gamma restore: counter table size mismatch");
+  }
+  base_.store(base, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < total; ++i) {
+    counters_[i].store(counters[i], std::memory_order_relaxed);
+  }
+}
+
 }  // namespace spnl

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 
+#include "core/checkpoint.hpp"
 #include "graph/types.hpp"
 
 namespace spnl {
@@ -47,6 +48,11 @@ class ConcurrentGammaWindow {
     return static_cast<std::size_t>(window_size_) * num_partitions_ *
            sizeof(std::atomic<std::uint32_t>);
   }
+
+  /// Checkpoint support. Callers must quiesce all writers first (the
+  /// parallel driver snapshots under its pipeline-wide exclusive lock).
+  void save(StateWriter& out) const;
+  void restore(StateReader& in);
 
  private:
   bool contains(VertexId u) const {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "partition/range_partitioner.hpp"
+#include "util/rng.hpp"
 
 namespace spnl {
 
@@ -15,6 +16,7 @@ struct WorkerView {
   std::vector<VertexId> loads;        // snapshot + own updates
   std::vector<OwnedVertexRecord> slice;
   std::size_t cursor = 0;
+  bool crashed = false;
 };
 
 PartitionId score_and_pick(const WorkerView& view, const OwnedVertexRecord& record,
@@ -59,6 +61,19 @@ DistributedSimResult distributed_stream_partition(
   if (options.mode == DistributedMode::kPeriodicSync && options.sync_interval == 0) {
     throw std::invalid_argument("distributed_stream_partition: sync_interval >= 1");
   }
+  for (double p : {options.faults.drop_sync_prob, options.faults.delay_sync_prob,
+                   options.faults.duplicate_sync_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(
+          "distributed_stream_partition: fault probabilities must be in [0,1]");
+    }
+  }
+  for (const WorkerCrash& crash : options.faults.crashes) {
+    if (crash.worker >= options.num_workers) {
+      throw std::invalid_argument(
+          "distributed_stream_partition: crash names an unknown worker");
+    }
+  }
   const VertexId n = stream.num_vertices();
   const EdgeId m = stream.num_edges();
   const PartitionId k = config.num_partitions;
@@ -91,6 +106,81 @@ DistributedSimResult distributed_stream_partition(
   };
   for (auto& view : workers) snapshot(view);
 
+  // One-epoch-old copy of the global state, delivered instead of the fresh
+  // snapshot when a sync message is "delayed". Refreshed at each sync point.
+  std::vector<PartitionId> prev_route = result.route;
+  std::vector<VertexId> prev_loads = global_loads;
+
+  Rng fault_rng(options.faults.seed);
+  std::vector<char> crash_fired(options.faults.crashes.size(), 0);
+  std::uint64_t total_placements = 0;
+
+  // Crash handling: fire every due crash, then dispose of the dead workers'
+  // remaining slices according to the recovery policy.
+  auto apply_due_crashes = [&] {
+    for (std::size_t c = 0; c < options.faults.crashes.size(); ++c) {
+      const WorkerCrash& crash = options.faults.crashes[c];
+      if (crash_fired[c] || total_placements < crash.at_placement) continue;
+      WorkerView& victim = workers[crash.worker];
+      crash_fired[c] = 1;
+      if (victim.crashed) continue;  // already dead from an earlier event
+      victim.crashed = true;
+      ++result.worker_crashes;
+      const std::size_t remaining = victim.slice.size() - victim.cursor;
+
+      WorkerView* survivor = nullptr;
+      if (options.recovery == RecoveryPolicy::kReassign) {
+        for (unsigned w = 0; w < W; ++w) {
+          if (!workers[w].crashed) {
+            survivor = &workers[w];
+            break;
+          }
+        }
+      }
+      if (survivor != nullptr && remaining > 0) {
+        // Reassign the slice remainder; the survivor rebuilds its view from
+        // the committed global route (the durable state a real system would
+        // recover from), discarding whatever staleness it had accumulated.
+        survivor->slice.insert(survivor->slice.end(),
+                               std::make_move_iterator(victim.slice.begin() +
+                                                       static_cast<std::ptrdiff_t>(
+                                                           victim.cursor)),
+                               std::make_move_iterator(victim.slice.end()));
+        snapshot(*survivor);
+        result.recovered_placements += remaining;
+      } else {
+        result.lost_placements += remaining;
+      }
+      victim.slice.clear();
+      victim.cursor = 0;
+    }
+  };
+
+  // Sync delivery with seeded message faults. RNG draws happen in a fixed
+  // (worker-index) order regardless of outcome, keeping runs replayable.
+  auto deliver_sync = [&](WorkerView& view) {
+    if (!options.faults.has_sync_faults()) {
+      snapshot(view);
+      return;
+    }
+    const double roll = fault_rng.next_double();
+    const double drop = options.faults.drop_sync_prob;
+    const double delay = options.faults.delay_sync_prob;
+    if (roll < drop) {
+      ++result.dropped_syncs;  // refresh lost: view keeps aging
+    } else if (roll < drop + delay) {
+      view.route = prev_route;  // one-epoch-old snapshot arrives instead
+      view.loads = prev_loads;
+      ++result.delayed_syncs;
+    } else {
+      snapshot(view);
+      if (fault_rng.next_double() < options.faults.duplicate_sync_prob) {
+        snapshot(view);  // idempotent re-application of the same snapshot
+        ++result.duplicated_syncs;
+      }
+    }
+  };
+
   // Fresh (oracle) view used only to count stale-influenced decisions.
   WorkerView oracle;
 
@@ -100,9 +190,10 @@ DistributedSimResult distributed_stream_partition(
   bool progress = true;
   while (progress) {
     progress = false;
+    apply_due_crashes();
     for (unsigned w = 0; w < W; ++w) {
       WorkerView& view = workers[w];
-      if (view.cursor >= view.slice.size()) continue;
+      if (view.crashed || view.cursor >= view.slice.size()) continue;
       progress = true;
       const OwnedVertexRecord& record = view.slice[view.cursor++];
       const PartitionId pid = score_and_pick(view, record, k, capacity, logical,
@@ -120,10 +211,16 @@ DistributedSimResult distributed_stream_partition(
       ++global_loads[pid];
       view.route[record.id] = pid;
       ++view.loads[pid];
+      ++total_placements;
+      apply_due_crashes();
 
       if (options.mode == DistributedMode::kPeriodicSync &&
           ++since_sync >= options.sync_interval) {
-        for (auto& other : workers) snapshot(other);
+        for (auto& other : workers) {
+          if (!other.crashed) deliver_sync(other);
+        }
+        prev_route = result.route;
+        prev_loads = global_loads;
         since_sync = 0;
       }
     }

@@ -12,12 +12,22 @@
 //    of the global route/loads every sync_interval placements, modeling
 //    broadcast updates over a network (staleness in between).
 //
+// Fault injection: a seeded FaultPlan perturbs the run the way a real
+// cluster would — workers crash and lose their private state mid-stream,
+// sync snapshots are dropped, delayed by one refresh epoch, or delivered
+// twice. Recovery policies either abandon the crashed worker's remaining
+// slice (kNone) or reassign it to a surviving worker whose view is rebuilt
+// from the committed global route (kReassign — checkpoint-style recovery).
+// Everything stays seed-deterministic: the same options always produce the
+// same route and the same fault/recovery counters.
+//
 // The simulation is single-threaded and deterministic (round-robin worker
 // schedule): it isolates the QUALITY effect of distributed state, which is
 // the paper's argument; wall-clock behavior is out of scope here.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/adjacency_stream.hpp"
 #include "partition/partitioning.hpp"
@@ -29,6 +39,41 @@ enum class DistributedMode {
   kPeriodicSync,
 };
 
+/// What happens to a crashed worker's unprocessed slice remainder.
+enum class RecoveryPolicy {
+  kNone,      ///< records are lost; their vertices stay kUnassigned
+  kReassign,  ///< a surviving worker adopts the slice, rebuilding its view
+              ///< from the committed global route
+};
+
+/// A scripted worker crash: worker `worker` dies (losing its private view)
+/// the first time the global placement count reaches `at_placement`.
+struct WorkerCrash {
+  unsigned worker = 0;
+  std::uint64_t at_placement = 0;
+};
+
+/// Seeded fault schedule. Sync-message faults draw from one deterministic
+/// RNG in a fixed order, so a plan replays identically run after run.
+struct FaultPlan {
+  std::vector<WorkerCrash> crashes;
+  /// Per-worker-per-sync probability the refresh is silently lost.
+  double drop_sync_prob = 0.0;
+  /// Per-worker-per-sync probability the refresh delivers the PREVIOUS
+  /// epoch's snapshot (one-epoch network delay -> extra staleness).
+  double delay_sync_prob = 0.0;
+  /// Per-worker-per-sync probability the refresh is delivered twice
+  /// (snapshot application must be idempotent; counted to prove coverage).
+  double duplicate_sync_prob = 0.0;
+  std::uint64_t seed = 0x5eed;
+
+  bool has_sync_faults() const {
+    return drop_sync_prob > 0.0 || delay_sync_prob > 0.0 ||
+           duplicate_sync_prob > 0.0;
+  }
+  bool any() const { return !crashes.empty() || has_sync_faults(); }
+};
+
 struct DistributedSimOptions {
   unsigned num_workers = 4;
   DistributedMode mode = DistributedMode::kPeriodicSync;
@@ -36,6 +81,10 @@ struct DistributedSimOptions {
   VertexId sync_interval = 1024;
   /// Score with the LDG rule (false) or the SPNL rule (true).
   bool use_spnl_scoring = true;
+  /// Fault schedule (empty = clean run, bit-identical to the pre-fault
+  /// behavior) and what to do about crashes.
+  FaultPlan faults;
+  RecoveryPolicy recovery = RecoveryPolicy::kReassign;
 };
 
 struct DistributedSimResult {
@@ -43,6 +92,16 @@ struct DistributedSimResult {
   /// Placements decided against stale state that a fresh view would have
   /// decided differently (a staleness-impact indicator).
   std::uint64_t stale_decisions = 0;
+  /// Fault accounting.
+  std::uint64_t worker_crashes = 0;
+  /// Slice records abandoned by a crash (kNone): their vertices remain
+  /// kUnassigned in the route.
+  std::uint64_t lost_placements = 0;
+  /// Slice records adopted by a surviving worker after a crash (kReassign).
+  std::uint64_t recovered_placements = 0;
+  std::uint64_t dropped_syncs = 0;
+  std::uint64_t delayed_syncs = 0;
+  std::uint64_t duplicated_syncs = 0;
 };
 
 DistributedSimResult distributed_stream_partition(AdjacencyStream& stream,

@@ -60,4 +60,28 @@ std::size_t GammaWindow::memory_footprint_bytes() const {
   return vector_bytes(counters_);
 }
 
+void GammaWindow::save(StateWriter& out) const {
+  out.put_u32(num_vertices_);
+  out.put_u32(num_partitions_);
+  out.put_u32(num_shards_);
+  out.put_u32(static_cast<std::uint32_t>(mode_));
+  out.put_u32(window_size_);
+  out.put_u32(base_);
+  out.put_vec(counters_);
+}
+
+void GammaWindow::restore(StateReader& in) {
+  in.expect_u32(num_vertices_, "gamma vertex count");
+  in.expect_u32(num_partitions_, "gamma partition count");
+  in.expect_u32(num_shards_, "gamma shard count");
+  in.expect_u32(static_cast<std::uint32_t>(mode_), "gamma slide mode");
+  in.expect_u32(window_size_, "gamma window size");
+  base_ = in.get_u32();
+  auto counters = in.get_vec<std::uint32_t>();
+  if (counters.size() != counters_.size()) {
+    throw CheckpointError("gamma restore: counter table size mismatch");
+  }
+  counters_ = std::move(counters);
+}
+
 }  // namespace spnl

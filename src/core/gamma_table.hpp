@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "graph/types.hpp"
 
 namespace spnl {
@@ -82,6 +83,11 @@ class GammaWindow {
   SlideMode slide_mode() const { return mode_; }
 
   std::size_t memory_footprint_bytes() const;
+
+  /// Checkpoint the window (configuration guards + base + counters) /
+  /// restore it into an identically configured window.
+  void save(StateWriter& out) const;
+  void restore(StateReader& in);
 
  private:
   VertexId slot_of(VertexId u) const { return u % window_size_; }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "core/concurrent_gamma.hpp"
 #include "core/rct.hpp"
 #include "partition/range_partitioner.hpp"
@@ -234,6 +237,115 @@ class Worker {
   std::vector<double> physical_, logical_, scores_;
 };
 
+constexpr const char* kParTag = "par-driver";
+
+/// Serializes the quiesced pipeline: stream cursor, configuration guards,
+/// shared tables, Γ window and the parked RCT records. Callers must hold the
+/// pipeline's exclusive lock (no worker mid-placement).
+StateWriter snapshot_parallel(const SharedState& state, const Rct& rct,
+                              std::uint32_t shards, std::uint64_t produced) {
+  StateWriter out;
+  out.put_string(kParTag);
+  out.put_u64(produced);
+  out.put_u32(state.num_vertices);
+  out.put_u32(state.config.num_partitions);
+  out.put_u32(static_cast<std::uint32_t>(state.config.balance));
+  out.put_u32(shards);
+  out.put_u32(state.options.use_rct ? 1 : 0);
+  out.put_u32(state.options.use_locality ? 1 : 0);
+  out.put_u32(static_cast<std::uint32_t>(state.options.spnl.estimator));
+  out.put_u32(static_cast<std::uint32_t>(state.options.spnl.eta_policy));
+
+  std::vector<PartitionId> route(state.num_vertices);
+  for (VertexId v = 0; v < state.num_vertices; ++v) {
+    route[v] = state.route[v].load(std::memory_order_relaxed);
+  }
+  out.put_vec(route);
+  const PartitionId k = state.config.num_partitions;
+  std::vector<std::uint64_t> counts(k);
+  for (PartitionId i = 0; i < k; ++i) counts[i] = state.vertex_counts[i].load();
+  out.put_vec(counts);
+  for (PartitionId i = 0; i < k; ++i) counts[i] = state.edge_counts[i].load();
+  out.put_vec(counts);
+  for (PartitionId i = 0; i < k; ++i) counts[i] = state.logical_counts[i].load();
+  out.put_vec(counts);
+  out.put_u64(state.placed_total.load());
+  out.put_u64(state.delayed.load());
+  out.put_u64(state.forced.load());
+  state.gamma.save(out);
+
+  const auto parked = rct.snapshot_parked();
+  out.put_u64(parked.size());
+  for (const auto& p : parked) {
+    out.put_u32(p.id);
+    out.put_u32(p.counter);
+    out.put_vec(p.out);
+  }
+  return out;
+}
+
+/// Restores a snapshot into freshly constructed pipeline state; returns the
+/// stream cursor (records already consumed by the checkpointed run).
+std::uint64_t restore_parallel(const std::string& path, SharedState& state, Rct& rct,
+                               WatermarkTracker& watermark, std::uint32_t shards) {
+  StateReader in = read_checkpoint_file(path);
+  in.expect_string(kParTag, "driver kind");
+  const std::uint64_t produced = in.get_u64();
+  in.expect_u32(state.num_vertices, "vertex count");
+  in.expect_u32(state.config.num_partitions, "partition count");
+  in.expect_u32(static_cast<std::uint32_t>(state.config.balance), "balance mode");
+  in.expect_u32(shards, "gamma shard count");
+  in.expect_u32(state.options.use_rct ? 1 : 0, "use_rct");
+  in.expect_u32(state.options.use_locality ? 1 : 0, "use_locality");
+  in.expect_u32(static_cast<std::uint32_t>(state.options.spnl.estimator), "estimator");
+  in.expect_u32(static_cast<std::uint32_t>(state.options.spnl.eta_policy),
+                "eta policy");
+
+  const auto route = in.get_vec<PartitionId>();
+  const auto vertex_counts = in.get_vec<std::uint64_t>();
+  const auto edge_counts = in.get_vec<std::uint64_t>();
+  const auto logical_counts = in.get_vec<std::uint64_t>();
+  const PartitionId k = state.config.num_partitions;
+  if (route.size() != state.num_vertices || vertex_counts.size() != k ||
+      edge_counts.size() != k || logical_counts.size() != k) {
+    throw CheckpointError("run_parallel: snapshot table sizes do not match");
+  }
+  for (VertexId v = 0; v < state.num_vertices; ++v) {
+    state.route[v].store(route[v], std::memory_order_relaxed);
+  }
+  for (PartitionId i = 0; i < k; ++i) {
+    state.vertex_counts[i].store(vertex_counts[i], std::memory_order_relaxed);
+    state.edge_counts[i].store(edge_counts[i], std::memory_order_relaxed);
+    state.logical_counts[i].store(logical_counts[i], std::memory_order_relaxed);
+  }
+  state.placed_total.store(in.get_u64(), std::memory_order_relaxed);
+  state.delayed.store(in.get_u64(), std::memory_order_relaxed);
+  state.forced.store(in.get_u64(), std::memory_order_relaxed);
+  state.gamma.restore(in);
+
+  const std::uint64_t parked_count = in.get_u64();
+  std::vector<Rct::ParkedState> parked;
+  parked.reserve(parked_count);
+  for (std::uint64_t i = 0; i < parked_count; ++i) {
+    Rct::ParkedState p;
+    p.id = in.get_u32();
+    p.counter = in.get_u32();
+    p.out = in.get_vec<VertexId>();
+    parked.push_back(std::move(p));
+  }
+  if (!parked.empty() && !state.options.use_rct) {
+    throw CheckpointError("run_parallel: snapshot has parked records but RCT is off");
+  }
+  rct.restore_parked(std::move(parked));
+
+  // Rebuild the completion low-watermark by replaying placed ids in
+  // increasing order — the same marks the live run would have set.
+  for (VertexId v = 0; v < state.num_vertices; ++v) {
+    if (route[v] != kUnassigned) watermark.mark_done(v);
+  }
+  return produced;
+}
+
 }  // namespace
 
 ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& config,
@@ -258,10 +370,50 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
                              options.num_threads + 16);
   BoundedQueue<OwnedVertexRecord> queue(options.queue_capacity);
 
+  Checkpointer checkpointer(options.checkpoint_path, options.checkpoint_every);
+  std::uint64_t resumed_at = 0;
+  if (!options.resume_from.empty()) {
+    resumed_at = restore_parallel(options.resume_from, state, rct, watermark, shards);
+    // Fast-forward past the committed prefix; those records' placements are
+    // already in the restored route (parked ones re-park from the snapshot).
+    for (std::uint64_t i = 0; i < resumed_at; ++i) {
+      if (!stream.next()) {
+        throw CheckpointError(
+            "run_parallel: stream ended before the snapshot cursor (" +
+            std::to_string(resumed_at) + " records)");
+      }
+    }
+  }
+
+  // Workers hold the pipeline lock shared for the span of each placement;
+  // the producer takes it exclusively to quiesce for a snapshot. A record
+  // popped but not yet locked is detected by the accounting check below
+  // (committed + parked < produced), so a snapshot can never observe a
+  // half-applied placement.
+  std::shared_mutex pipeline_mutex;
+  std::uint64_t produced = resumed_at;
+
+  auto quiesce_and_snapshot = [&] {
+    for (;;) {
+      {
+        std::unique_lock lock(pipeline_mutex);
+        const std::uint64_t accounted =
+            state.placed_total.load(std::memory_order_acquire) + rct.parked_size();
+        if (accounted == produced) {
+          checkpointer.write(snapshot_parallel(state, rct, shards, produced));
+          return;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
   Timer timer;
   std::thread producer([&] {
     while (auto record = stream.next()) {
       queue.push(OwnedVertexRecord::from(*record));
+      ++produced;
+      if (checkpointer.due(produced)) quiesce_and_snapshot();
     }
     queue.close();
   });
@@ -271,7 +423,10 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   for (unsigned t = 0; t < options.num_threads; ++t) {
     workers.emplace_back([&] {
       Worker worker(state, rct_ptr, watermark);
-      while (auto record = queue.pop()) worker.process(std::move(*record));
+      while (auto record = queue.pop()) {
+        std::shared_lock lock(pipeline_mutex);
+        worker.process(std::move(*record));
+      }
     });
   }
   producer.join();
@@ -299,6 +454,8 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
       3 * config.num_partitions * sizeof(std::uint64_t);
   result.delayed_vertices = state.delayed.load();
   result.forced_vertices = state.forced.load();
+  result.checkpoints_written = checkpointer.snapshots_taken();
+  result.resumed_at = resumed_at;
   return result;
 }
 

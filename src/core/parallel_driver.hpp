@@ -36,6 +36,18 @@ struct ParallelOptions {
   bool use_locality = true;
   /// Heuristic parameters shared with the sequential SPNL.
   SpnlOptions spnl;
+  /// Fault tolerance: every checkpoint_every produced records the producer
+  /// quiesces the pipeline (waits until every produced record is committed
+  /// or parked and no worker is mid-placement) and snapshots the shared
+  /// state — route, loads, Γ window, logical counts, parked RCT records and
+  /// the stream cursor — into checkpoint_path (atomic rename-on-write).
+  /// 0 / empty disables.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  /// Restore a snapshot before streaming; the stream is fast-forwarded past
+  /// the committed prefix. With one worker thread the resumed run's route is
+  /// byte-identical to the uninterrupted run.
+  std::string resume_from;
 };
 
 struct ParallelRunResult {
@@ -46,6 +58,10 @@ struct ParallelRunResult {
   std::uint64_t delayed_vertices = 0;
   /// Parked vertices force-placed after the stream ended (cyclic waits).
   std::uint64_t forced_vertices = 0;
+  /// Snapshots written during this run (0 when checkpointing is off).
+  std::uint64_t checkpoints_written = 0;
+  /// Stream position the run was resumed from (0 for a fresh run).
+  std::uint64_t resumed_at = 0;
 };
 
 /// Runs the parallel partitioner over the stream. The stream is consumed

@@ -1,6 +1,7 @@
 #include "core/rct.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace spnl {
 
@@ -113,6 +114,36 @@ std::vector<OwnedVertexRecord> Rct::drain_parked() {
   std::sort(rest.begin(), rest.end(),
             [](const auto& a, const auto& b) { return a.id < b.id; });
   return rest;
+}
+
+std::vector<Rct::ParkedState> Rct::snapshot_parked() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ParkedState> parked;
+  parked.reserve(parked_.size());
+  for (const auto& [id, record] : parked_) {
+    auto entry = entries_.find(id);
+    const std::uint32_t counter =
+        entry == entries_.end() ? 0 : entry->second.counter;
+    parked.push_back({id, counter, record.out});
+  }
+  std::sort(parked.begin(), parked.end(),
+            [](const ParkedState& a, const ParkedState& b) { return a.id < b.id; });
+  return parked;
+}
+
+void Rct::restore_parked(std::vector<ParkedState> parked) {
+  std::lock_guard lock(mutex_);
+  if (!entries_.empty() || !parked_.empty()) {
+    throw std::logic_error("Rct::restore_parked: table not empty");
+  }
+  for (auto& p : parked) {
+    entries_.emplace(p.id, Entry{p.counter, /*parked=*/true});
+    if (p.counter > 0) {
+      nonzero_sum_ += p.counter;
+      ++nonzero_count_;
+    }
+    parked_.emplace(p.id, OwnedVertexRecord{p.id, std::move(p.out)});
+  }
 }
 
 std::size_t Rct::size() const {

@@ -66,6 +66,25 @@ class Rct {
   /// forced tail is placed in stream order).
   std::vector<OwnedVertexRecord> drain_parked();
 
+  /// One parked vertex's full state for checkpointing: the record plus its
+  /// live dependency counter (counters of parked vertices only drain when
+  /// their still-parked in-neighbors are placed, so they must survive a
+  /// resume).
+  struct ParkedState {
+    VertexId id = kInvalidVertex;
+    std::uint32_t counter = 0;
+    std::vector<VertexId> out;
+  };
+
+  /// Snapshot of the parked set, sorted by id. At a quiesce point (no record
+  /// in flight) the parked set IS the table's entire state: every non-parked
+  /// registered vertex has been placed and erased.
+  std::vector<ParkedState> snapshot_parked() const;
+
+  /// Rebuilds the parked set (entries, counters, records) from a snapshot.
+  /// The table must be empty (fresh) — throws std::logic_error otherwise.
+  void restore_parked(std::vector<ParkedState> parked);
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
   std::size_t parked_size() const;

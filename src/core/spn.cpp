@@ -68,4 +68,14 @@ std::size_t SpnPartitioner::memory_footprint_bytes() const {
          gamma_.memory_footprint_bytes();
 }
 
+void SpnPartitioner::save_state(StateWriter& out) const {
+  GreedyStreamingBase::save_state(out);
+  gamma_.save(out);
+}
+
+void SpnPartitioner::restore_state(StateReader& in) {
+  GreedyStreamingBase::restore_state(in);
+  gamma_.restore(in);
+}
+
 }  // namespace spnl

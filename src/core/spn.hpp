@@ -50,6 +50,8 @@ class SpnPartitioner final : public GreedyStreamingBase {
   PartitionId place(VertexId v, std::span<const VertexId> out) override;
   std::string name() const override { return "SPN"; }
   std::size_t memory_footprint_bytes() const override;
+  void save_state(StateWriter& out) const override;
+  void restore_state(StateReader& in) override;
 
   const GammaWindow& gamma() const { return gamma_; }
   double lambda() const { return options_.lambda; }

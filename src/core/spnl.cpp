@@ -102,6 +102,24 @@ PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
   return pid;
 }
 
+void SpnlPartitioner::save_state(StateWriter& out) const {
+  GreedyStreamingBase::save_state(out);
+  gamma_.save(out);
+  out.put_vec(logical_counts_);
+  out.put_u32(placed_total_);
+}
+
+void SpnlPartitioner::restore_state(StateReader& in) {
+  GreedyStreamingBase::restore_state(in);
+  gamma_.restore(in);
+  auto logical_counts = in.get_vec<VertexId>();
+  if (logical_counts.size() != logical_counts_.size()) {
+    throw CheckpointError("SPNL restore: logical table size mismatch");
+  }
+  logical_counts_ = std::move(logical_counts);
+  placed_total_ = in.get_u32();
+}
+
 std::size_t SpnlPartitioner::memory_footprint_bytes() const {
   return GreedyStreamingBase::memory_footprint_bytes() +
          gamma_.memory_footprint_bytes() + vector_bytes(logical_counts_) +

@@ -3,7 +3,7 @@
 #include <charconv>
 #include <cstdint>
 #include <fstream>
-#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 namespace spnl {
@@ -13,7 +13,7 @@ namespace {
 constexpr std::uint64_t kBinaryMagic = 0x53504e4c47523031ULL;  // "SPNLGR01"
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + ": " + path);
+  throw IoError(what + ": " + path);
 }
 
 bool parse_pair(const std::string& line, std::uint64_t& a, std::uint64_t& b) {
@@ -53,6 +53,11 @@ Graph read_edge_list(const std::string& path, bool compact_ids) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::uint64_t a = 0, b = 0;
     if (!parse_pair(line, a, b)) fail("read_edge_list: malformed line in", path);
+    // Without compaction the raw id becomes the VertexId directly; ids at or
+    // above kInvalidVertex would silently wrap into valid-looking vertices.
+    if (!compact_ids && (a >= kInvalidVertex || b >= kInvalidVertex)) {
+      fail("read_edge_list: vertex id overflows VertexId in", path);
+    }
     builder.add_edge(map_id(a), map_id(b));
   }
   return builder.finish();
@@ -98,13 +103,24 @@ void write_binary(const Graph& graph, const std::string& path) {
 }
 
 Graph read_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) fail("read_binary: cannot open", path);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
   std::uint64_t magic = 0, n = 0, m = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  if (!in || magic != kBinaryMagic) fail("read_binary: bad header in", path);
+  if (!in) fail("read_binary: truncated header in", path);
+  if (magic != kBinaryMagic) fail("read_binary: bad magic in", path);
+  // Validate the header against what is actually on disk BEFORE allocating:
+  // a corrupt n/m would otherwise request terabytes or read past the end.
+  if (n >= kInvalidVertex) fail("read_binary: vertex count overflows VertexId in", path);
+  const std::uint64_t expected =
+      3 * sizeof(std::uint64_t) + (n + 1) * sizeof(EdgeId) + m * sizeof(VertexId);
+  if (file_size != expected) {
+    fail("read_binary: file size does not match header (truncated or corrupt)", path);
+  }
   std::vector<EdgeId> offsets(n + 1);
   std::vector<VertexId> targets(m);
   in.read(reinterpret_cast<char*>(offsets.data()),
@@ -112,6 +128,18 @@ Graph read_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(targets.data()),
           static_cast<std::streamsize>(targets.size() * sizeof(VertexId)));
   if (!in) fail("read_binary: truncated file", path);
+  // Structural CSR invariants: offsets start at 0, never decrease, and cover
+  // exactly m targets; every target names an existing vertex.
+  if (offsets.front() != 0) fail("read_binary: offsets[0] != 0 in", path);
+  for (std::size_t v = 1; v < offsets.size(); ++v) {
+    if (offsets[v] < offsets[v - 1]) {
+      fail("read_binary: non-monotone offset array in", path);
+    }
+  }
+  if (offsets.back() != m) fail("read_binary: offsets.back() != edge count in", path);
+  for (VertexId target : targets) {
+    if (target >= n) fail("read_binary: edge target out of range in", path);
+  }
   return Graph(std::move(offsets), std::move(targets));
 }
 
@@ -132,10 +160,41 @@ std::vector<PartitionId> read_route_table(const std::string& path) {
     if (line.empty() || line[0] == '#') continue;
     std::uint64_t v = 0, p = 0;
     if (!parse_pair(line, v, p)) fail("read_route_table: malformed line in", path);
+    if (v >= kInvalidVertex) fail("read_route_table: vertex id overflows VertexId in", path);
+    if (p >= kUnassigned) fail("read_route_table: partition id overflows PartitionId in", path);
     if (v >= route.size()) route.resize(v + 1, kUnassigned);
+    if (route[v] != kUnassigned) fail("read_route_table: duplicate vertex in", path);
     route[v] = static_cast<PartitionId>(p);
   }
   return route;
+}
+
+std::vector<PartitionId> read_route_table(const std::string& path, PartitionId k) {
+  std::vector<PartitionId> route = read_route_table(path);
+  try {
+    validate_route(route, k);
+  } catch (const IoError& e) {
+    throw IoError(std::string(e.what()) + " (" + path + ")");
+  }
+  return route;
+}
+
+void validate_route(const std::vector<PartitionId>& route, PartitionId k,
+                    VertexId num_vertices) {
+  if (num_vertices > 0 && route.size() != num_vertices) {
+    throw IoError("validate_route: route covers " + std::to_string(route.size()) +
+                  " vertices, expected " + std::to_string(num_vertices));
+  }
+  for (std::size_t v = 0; v < route.size(); ++v) {
+    if (route[v] == kUnassigned) {
+      throw IoError("validate_route: vertex " + std::to_string(v) + " is unassigned");
+    }
+    if (route[v] >= k) {
+      throw IoError("validate_route: vertex " + std::to_string(v) +
+                    " routed to partition " + std::to_string(route[v]) +
+                    " but k = " + std::to_string(k));
+    }
+  }
 }
 
 }  // namespace spnl

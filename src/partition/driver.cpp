@@ -6,18 +6,87 @@
 
 namespace spnl {
 
-RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner) {
-  RunResult result;
-  result.partitioner_name = partitioner.name();
+namespace {
 
-  Timer timer;
+constexpr const char* kSeqTag = "seq-driver";
+
+/// Serializes driver progress + partitioner state into one payload.
+StateWriter snapshot_sequential(const StreamingPartitioner& partitioner,
+                                std::uint64_t placed) {
+  StateWriter out;
+  out.put_string(kSeqTag);
+  out.put_string(partitioner.name());
+  out.put_u64(placed);
+  partitioner.save_state(out);
+  return out;
+}
+
+/// Pumps records from the stream, checkpointing on cadence. `placed` carries
+/// the restored prefix count on resume so cadence stays aligned with the
+/// uninterrupted run.
+void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
+           Checkpointer& checkpointer, std::uint64_t placed, RunResult& result) {
   while (auto record = stream.next()) {
     partitioner.place(record->id, record->out);
+    ++placed;
     ++result.vertices_placed;
+    if (checkpointer.due(placed)) {
+      checkpointer.write(snapshot_sequential(partitioner, placed));
+    }
   }
+  result.checkpoints_written = checkpointer.snapshots_taken();
+}
+
+}  // namespace
+
+RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
+                        const StreamingCheckpointOptions& checkpoint) {
+  RunResult result;
+  result.partitioner_name = partitioner.name();
+  Checkpointer checkpointer(checkpoint.path, checkpoint.every);
+  if (checkpointer.enabled() && !partitioner.supports_checkpoint()) {
+    throw CheckpointError("run_streaming: " + partitioner.name() +
+                          " does not support checkpoints");
+  }
+
+  Timer timer;
+  drain(stream, partitioner, checkpointer, 0, result);
   result.partition_seconds = timer.seconds();
   // Streaming structures only grow or stay flat, so the end-of-run footprint
   // is the peak.
+  result.peak_partitioner_bytes = partitioner.memory_footprint_bytes();
+  result.route = partitioner.route();
+  return result;
+}
+
+RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
+                           const std::string& checkpoint_path,
+                           const StreamingCheckpointOptions& checkpoint) {
+  RunResult result;
+  result.partitioner_name = partitioner.name();
+
+  StateReader in = read_checkpoint_file(checkpoint_path);
+  in.expect_string(kSeqTag, "driver kind");
+  in.expect_string(partitioner.name(), "partitioner");
+  const std::uint64_t placed = in.get_u64();
+  partitioner.restore_state(in);
+  result.resumed_at = placed;
+
+  Checkpointer checkpointer(checkpoint.path, checkpoint.every);
+
+  Timer timer;
+  // Fast-forward past the committed prefix: those records' placements are
+  // already in the restored route table.
+  for (std::uint64_t i = 0; i < placed; ++i) {
+    if (!stream.next()) {
+      throw CheckpointError(
+          "resume_streaming: stream ended before the snapshot cursor (" +
+          std::to_string(placed) + " records)");
+    }
+  }
+  result.vertices_placed = static_cast<VertexId>(placed);
+  drain(stream, partitioner, checkpointer, placed, result);
+  result.partition_seconds = timer.seconds();
   result.peak_partitioner_bytes = partitioner.memory_footprint_bytes();
   result.route = partitioner.route();
   return result;

@@ -1,12 +1,19 @@
 // Sequential streaming driver: pumps a stream through a partitioner while
 // measuring the paper's PT (first record load -> complete route table) and
 // MC (partitioner structure bytes) metrics.
+//
+// Fault tolerance: the driver can snapshot the partitioner's full decision
+// state (route, loads, Γ window, SPNL logical tables) plus the stream cursor
+// every N placements, and resume_streaming() continues an interrupted run
+// from the latest snapshot with a byte-identical final route.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "graph/adjacency_stream.hpp"
 #include "partition/partitioning.hpp"
 
@@ -18,10 +25,32 @@ struct RunResult {
   double partition_seconds = 0.0;   ///< PT
   std::size_t peak_partitioner_bytes = 0;  ///< MC (algorithm structures)
   VertexId vertices_placed = 0;
+  /// Snapshots written during this run (0 when checkpointing is off).
+  std::uint64_t checkpoints_written = 0;
+  /// Stream position the run was resumed from (0 for a fresh run).
+  std::uint64_t resumed_at = 0;
+};
+
+/// Checkpoint cadence for run_streaming / resume_streaming: snapshot the
+/// partitioner state into `path` every `every` placements (0 = disabled).
+struct StreamingCheckpointOptions {
+  std::string path;
+  std::uint64_t every = 0;
 };
 
 /// Drains the stream through the partitioner. The stream is consumed from
 /// its current position; callers reset() beforehand if reusing streams.
-RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner);
+RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
+                        const StreamingCheckpointOptions& checkpoint = {});
+
+/// Resumes an interrupted run: restores the partitioner from
+/// `checkpoint_path`, fast-forwards `stream` (which must be reset and emit
+/// the same record order as the original run) past the already-committed
+/// prefix, and drains the remainder. `checkpoint` optionally continues
+/// snapshotting. Throws CheckpointError on a corrupt/mismatched snapshot or
+/// if the stream is shorter than the snapshot cursor.
+RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
+                           const std::string& checkpoint_path,
+                           const StreamingCheckpointOptions& checkpoint = {});
 
 }  // namespace spnl

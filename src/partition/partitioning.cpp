@@ -90,6 +90,33 @@ void GreedyStreamingBase::commit(VertexId v, std::span<const VertexId> out,
   edge_counts_[pid] += out.size();
 }
 
+void GreedyStreamingBase::save_state(StateWriter& out) const {
+  out.put_u64(num_vertices_);
+  out.put_u64(num_edges_);
+  out.put_u32(config_.num_partitions);
+  out.put_u32(static_cast<std::uint32_t>(config_.balance));
+  out.put_vec(route_);
+  out.put_vec(vertex_counts_);
+  out.put_vec(edge_counts_);
+}
+
+void GreedyStreamingBase::restore_state(StateReader& in) {
+  in.expect_u64(num_vertices_, "vertex count");
+  in.expect_u64(num_edges_, "edge count");
+  in.expect_u32(config_.num_partitions, "partition count");
+  in.expect_u32(static_cast<std::uint32_t>(config_.balance), "balance mode");
+  auto route = in.get_vec<PartitionId>();
+  auto vertex_counts = in.get_vec<VertexId>();
+  auto edge_counts = in.get_vec<EdgeId>();
+  if (route.size() != route_.size() || vertex_counts.size() != vertex_counts_.size() ||
+      edge_counts.size() != edge_counts_.size()) {
+    throw CheckpointError("restore_state: table sizes do not match configuration");
+  }
+  route_ = std::move(route);
+  vertex_counts_ = std::move(vertex_counts);
+  edge_counts_ = std::move(edge_counts);
+}
+
 std::size_t GreedyStreamingBase::memory_footprint_bytes() const {
   return vector_bytes(route_) + vector_bytes(vertex_counts_) +
          vector_bytes(edge_counts_) + vector_bytes(scores_);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "graph/types.hpp"
 
 namespace spnl {
@@ -49,6 +50,19 @@ class StreamingPartitioner {
   virtual std::size_t memory_footprint_bytes() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint support. A partitioner that overrides save_state/restore_state
+  /// guarantees that an instance constructed with the same parameters and
+  /// restored from a snapshot continues the stream with decisions identical
+  /// to the uninterrupted run (the kill-and-resume determinism contract).
+  virtual bool supports_checkpoint() const { return false; }
+  virtual void save_state(StateWriter&) const {
+    throw CheckpointError("save_state: " + name() + " does not support checkpoints");
+  }
+  virtual void restore_state(StateReader&) {
+    throw CheckpointError("restore_state: " + name() +
+                          " does not support checkpoints");
+  }
 };
 
 /// Shared machinery for greedy streaming heuristics: the route table,
@@ -62,6 +76,12 @@ class GreedyStreamingBase : public StreamingPartitioner {
 
   const std::vector<PartitionId>& route() const override { return route_; }
   std::size_t memory_footprint_bytes() const override;
+
+  /// Base state (route + loads) with structural guards on n/m/K/balance.
+  /// Derived partitioners with extra state call these first, then append.
+  bool supports_checkpoint() const override { return true; }
+  void save_state(StateWriter& out) const override;
+  void restore_state(StateReader& in) override;
 
   PartitionId num_partitions() const { return config_.num_partitions; }
   VertexId vertex_count(PartitionId i) const { return vertex_counts_[i]; }

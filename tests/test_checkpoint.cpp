@@ -1,0 +1,391 @@
+// Checkpoint/resume: container integrity (magic/version/CRC/truncation) and
+// the core contract — a run killed at an arbitrary placement and resumed
+// from its latest snapshot produces a byte-identical route to an
+// uninterrupted run, for the sequential greedy partitioners and the RCT
+// parallel driver.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel_driver.hpp"
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "partition/driver.hpp"
+#include "partition/ldg.hpp"
+#include "partition/metrics.hpp"
+
+namespace spnl {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "spnl_checkpoint_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+/// Yields only the first `limit` records of the wrapped stream — simulates a
+/// process killed mid-stream (everything after the kill point is never seen).
+class TruncatedStream final : public AdjacencyStream {
+ public:
+  TruncatedStream(AdjacencyStream& inner, std::uint64_t limit)
+      : inner_(&inner), limit_(limit) {}
+
+  std::optional<VertexRecord> next() override {
+    if (emitted_ >= limit_) return std::nullopt;
+    ++emitted_;
+    return inner_->next();
+  }
+  void reset() override {
+    inner_->reset();
+    emitted_ = 0;
+  }
+  VertexId num_vertices() const override { return inner_->num_vertices(); }
+  EdgeId num_edges() const override { return inner_->num_edges(); }
+
+ private:
+  AdjacencyStream* inner_;
+  std::uint64_t limit_;
+  std::uint64_t emitted_ = 0;
+};
+
+Graph test_graph(VertexId n = 3000) {
+  return generate_webcrawl({.num_vertices = n, .avg_out_degree = 6.0,
+                            .locality = 0.85, .locality_scale = 25.0,
+                            .seed = 11});
+}
+
+// ---------------------------------------------------------------------------
+// Payload stream primitives.
+
+TEST(CheckpointState, WriterReaderRoundTrip) {
+  StateWriter out;
+  out.put_u32(42);
+  out.put_u64(0xdeadbeefcafeULL);
+  out.put_f64(3.5);
+  out.put_string("spnl");
+  out.put_vec(std::vector<std::uint32_t>{1, 2, 3});
+  out.put_vec(std::vector<double>{});
+
+  StateReader in(out.bytes());
+  EXPECT_EQ(in.get_u32(), 42u);
+  EXPECT_EQ(in.get_u64(), 0xdeadbeefcafeULL);
+  EXPECT_DOUBLE_EQ(in.get_f64(), 3.5);
+  EXPECT_EQ(in.get_string(), "spnl");
+  EXPECT_EQ(in.get_vec<std::uint32_t>(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(in.get_vec<double>().empty());
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(CheckpointState, ReaderUnderflowThrows) {
+  StateWriter out;
+  out.put_u32(7);
+  StateReader in(out.bytes());
+  in.get_u32();
+  EXPECT_THROW(in.get_u64(), CheckpointError);
+}
+
+TEST(CheckpointState, VectorLengthBeyondPayloadThrows) {
+  StateWriter out;
+  out.put_u64(std::uint64_t{1} << 40);  // claims 2^40 elements, payload has none
+  StateReader in(out.bytes());
+  EXPECT_THROW(in.get_vec<std::uint32_t>(), CheckpointError);
+}
+
+TEST(CheckpointState, ExpectGuardsNameTheMismatch) {
+  StateWriter out;
+  out.put_u32(8);
+  out.put_string("spn");
+  StateReader in(out.bytes());
+  try {
+    in.expect_u32(16, "partition count");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("partition count"), std::string::npos);
+  }
+}
+
+TEST(CheckpointState, Crc32MatchesKnownVector) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+}
+
+// ---------------------------------------------------------------------------
+// Container integrity.
+
+TEST_F(CheckpointTest, ContainerRoundTrip) {
+  StateWriter out;
+  out.put_string("hello");
+  out.put_u64(99);
+  write_checkpoint_file(path("ok.ckpt"), out);
+  StateReader in = read_checkpoint_file(path("ok.ckpt"));
+  EXPECT_EQ(in.get_string(), "hello");
+  EXPECT_EQ(in.get_u64(), 99u);
+}
+
+TEST_F(CheckpointTest, MissingFileThrows) {
+  EXPECT_THROW(read_checkpoint_file(path("nope.ckpt")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, CorruptedPayloadFailsCrc) {
+  StateWriter out;
+  out.put_vec(std::vector<std::uint64_t>(64, 7));
+  write_checkpoint_file(path("c.ckpt"), out);
+  // Flip one payload byte (past the 24-byte header).
+  std::fstream f(path("c.ckpt"), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(40);
+  char b = 0;
+  f.seekg(40);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0xff);
+  f.seekp(40);
+  f.write(&b, 1);
+  f.close();
+  EXPECT_THROW(read_checkpoint_file(path("c.ckpt")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, TruncatedFileThrows) {
+  StateWriter out;
+  out.put_vec(std::vector<std::uint64_t>(64, 7));
+  write_checkpoint_file(path("t.ckpt"), out);
+  const auto size = std::filesystem::file_size(path("t.ckpt"));
+  std::filesystem::resize_file(path("t.ckpt"), size / 2);
+  EXPECT_THROW(read_checkpoint_file(path("t.ckpt")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, BadMagicThrows) {
+  StateWriter out;
+  out.put_u32(1);
+  write_checkpoint_file(path("m.ckpt"), out);
+  std::fstream f(path("m.ckpt"), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(0);
+  f.write("XXXXXXXX", 8);
+  f.close();
+  EXPECT_THROW(read_checkpoint_file(path("m.ckpt")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, VersionSkewThrows) {
+  StateWriter out;
+  out.put_u32(1);
+  write_checkpoint_file(path("v.ckpt"), out);
+  std::fstream f(path("v.ckpt"), std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t future_version = 999;
+  f.seekp(8);  // version field follows the u64 magic
+  f.write(reinterpret_cast<const char*>(&future_version), sizeof(future_version));
+  f.close();
+  EXPECT_THROW(read_checkpoint_file(path("v.ckpt")), CheckpointError);
+}
+
+TEST(CheckpointerPolicy, CadenceAndEnablement) {
+  Checkpointer off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.due(100));
+  Checkpointer every50("x.ckpt", 50);
+  EXPECT_TRUE(every50.enabled());
+  EXPECT_FALSE(every50.due(0));
+  EXPECT_FALSE(every50.due(49));
+  EXPECT_TRUE(every50.due(50));
+  EXPECT_TRUE(every50.due(250));
+  EXPECT_FALSE(every50.due(251));
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume determinism, sequential drivers.
+
+template <typename MakePartitioner>
+void expect_kill_resume_identical(const Graph& g, const std::string& ckpt,
+                                  MakePartitioner make) {
+  const PartitionId k = 8;
+  // Reference: uninterrupted run.
+  std::vector<PartitionId> reference;
+  {
+    auto p = make(g, k);
+    InMemoryStream stream(g);
+    reference = run_streaming(stream, *p).route;
+  }
+  validate_route(reference, k, g.num_vertices());
+
+  const std::uint64_t every = 256;
+  for (const std::uint64_t kill_at : {std::uint64_t{300}, std::uint64_t{1024},
+                                      std::uint64_t{2905}}) {
+    // Phase 1: run until the "crash", snapshotting every 256 placements.
+    {
+      auto p = make(g, k);
+      InMemoryStream inner(g);
+      TruncatedStream stream(inner, kill_at);
+      const RunResult partial =
+          run_streaming(stream, *p, {.path = ckpt, .every = every});
+      EXPECT_EQ(partial.checkpoints_written, kill_at / every);
+    }
+    // Phase 2: a fresh process resumes from the latest snapshot.
+    auto p = make(g, k);
+    InMemoryStream stream(g);
+    const RunResult resumed = resume_streaming(stream, *p, ckpt);
+    EXPECT_EQ(resumed.resumed_at, (kill_at / every) * every);
+    EXPECT_EQ(resumed.route, reference)
+        << "route diverged after resume at kill point " << kill_at;
+  }
+}
+
+TEST_F(CheckpointTest, KillAndResumeSpnIsByteIdentical) {
+  const Graph g = test_graph();
+  expect_kill_resume_identical(g, path("spn.ckpt"), [](const Graph& gr, PartitionId k) {
+    return std::make_unique<SpnPartitioner>(gr.num_vertices(), gr.num_edges(),
+                                            PartitionConfig{.num_partitions = k},
+                                            SpnOptions{});
+  });
+}
+
+TEST_F(CheckpointTest, KillAndResumeSpnlIsByteIdentical) {
+  const Graph g = test_graph();
+  expect_kill_resume_identical(g, path("spnl.ckpt"), [](const Graph& gr, PartitionId k) {
+    return std::make_unique<SpnlPartitioner>(gr.num_vertices(), gr.num_edges(),
+                                             PartitionConfig{.num_partitions = k},
+                                             SpnlOptions{});
+  });
+}
+
+TEST_F(CheckpointTest, KillAndResumeLdgIsByteIdentical) {
+  const Graph g = test_graph();
+  expect_kill_resume_identical(g, path("ldg.ckpt"), [](const Graph& gr, PartitionId k) {
+    return std::make_unique<LdgPartitioner>(gr.num_vertices(), gr.num_edges(),
+                                            PartitionConfig{.num_partitions = k});
+  });
+}
+
+TEST_F(CheckpointTest, ResumeIntoWrongPartitionerThrows) {
+  const Graph g = test_graph(500);
+  const PartitionId k = 4;
+  {
+    SpnPartitioner p(g.num_vertices(), g.num_edges(),
+                     PartitionConfig{.num_partitions = k}, SpnOptions{});
+    InMemoryStream stream(g);
+    run_streaming(stream, p, {.path = path("w.ckpt"), .every = 100});
+  }
+  LdgPartitioner wrong(g.num_vertices(), g.num_edges(),
+                       PartitionConfig{.num_partitions = k});
+  InMemoryStream stream(g);
+  EXPECT_THROW(resume_streaming(stream, wrong, path("w.ckpt")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, ResumeWithShorterStreamThrows) {
+  const Graph g = test_graph(500);
+  const PartitionId k = 4;
+  {
+    SpnPartitioner p(g.num_vertices(), g.num_edges(),
+                     PartitionConfig{.num_partitions = k}, SpnOptions{});
+    InMemoryStream stream(g);
+    run_streaming(stream, p, {.path = path("s.ckpt"), .every = 100});
+  }
+  SpnPartitioner p(g.num_vertices(), g.num_edges(),
+                   PartitionConfig{.num_partitions = k}, SpnOptions{});
+  InMemoryStream inner(g);
+  TruncatedStream shorter(inner, 50);  // shorter than the snapshot cursor (500)
+  EXPECT_THROW(resume_streaming(shorter, p, path("s.ckpt")), CheckpointError);
+}
+
+TEST_F(CheckpointTest, CheckpointingRequiresSupport) {
+  // A partitioner without save/restore support must be rejected up front,
+  // not fail at the first snapshot.
+  class Opaque final : public StreamingPartitioner {
+   public:
+    PartitionId place(VertexId v, std::span<const VertexId>) override {
+      if (v >= route_.size()) route_.resize(v + 1, 0);
+      return 0;
+    }
+    const std::vector<PartitionId>& route() const override { return route_; }
+    std::size_t memory_footprint_bytes() const override { return 0; }
+    std::string name() const override { return "opaque"; }
+
+   private:
+    std::vector<PartitionId> route_;
+  };
+  Opaque p;
+  const Graph g = test_graph(100);
+  InMemoryStream stream(g);
+  EXPECT_THROW(run_streaming(stream, p, {.path = path("o.ckpt"), .every = 10}),
+               CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume determinism, RCT parallel driver (1 worker thread ->
+// deterministic schedule; the quiesce protocol guarantees snapshot
+// consistency at any thread count).
+
+TEST_F(CheckpointTest, KillAndResumeParallelDriverIsByteIdentical) {
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  ParallelOptions base;
+  base.num_threads = 1;
+
+  std::vector<PartitionId> reference;
+  {
+    InMemoryStream stream(g);
+    reference = run_parallel(stream, config, base).route;
+  }
+  validate_route(reference, 8, g.num_vertices());
+
+  const std::uint64_t every = 512;
+  for (const std::uint64_t kill_at : {std::uint64_t{700}, std::uint64_t{1600},
+                                      std::uint64_t{2700}}) {
+    {
+      ParallelOptions opts = base;
+      opts.checkpoint_path = path("par.ckpt");
+      opts.checkpoint_every = every;
+      InMemoryStream inner(g);
+      TruncatedStream stream(inner, kill_at);
+      const auto partial = run_parallel(stream, config, opts);
+      EXPECT_GE(partial.checkpoints_written, kill_at / every);
+    }
+    ParallelOptions opts = base;
+    opts.resume_from = path("par.ckpt");
+    InMemoryStream stream(g);
+    const auto resumed = run_parallel(stream, config, opts);
+    EXPECT_EQ(resumed.resumed_at, (kill_at / every) * every);
+    EXPECT_EQ(resumed.route, reference)
+        << "parallel route diverged after resume at kill point " << kill_at;
+  }
+}
+
+TEST_F(CheckpointTest, ParallelCheckpointUnderContentionStaysConsistent) {
+  // With several workers the route is schedule-dependent, so byte equality
+  // is out of scope — but every snapshot must restore into a valid state
+  // that completes the remaining stream into a complete assignment.
+  const Graph g = test_graph(4000);
+  const PartitionConfig config{.num_partitions = 8};
+  ParallelOptions opts;
+  opts.num_threads = 4;
+  opts.checkpoint_path = path("mt.ckpt");
+  opts.checkpoint_every = 777;
+  {
+    InMemoryStream inner(g);
+    TruncatedStream stream(inner, 3000);
+    const auto partial = run_parallel(stream, config, opts);
+    ASSERT_GE(partial.checkpoints_written, 1u);
+  }
+  ParallelOptions resume;
+  resume.num_threads = 4;
+  resume.resume_from = path("mt.ckpt");
+  InMemoryStream stream(g);
+  const auto result = run_parallel(stream, config, resume);
+  EXPECT_GT(result.resumed_at, 0u);
+  validate_route(result.route, 8, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace spnl

@@ -106,6 +106,38 @@ TEST(DistributedSim, Deterministic) {
   EXPECT_EQ(run(g, options).route, run(g, options).route);
 }
 
+TEST(DistributedSim, StalenessGrowsWithSyncIntervalOnClusteredGraph) {
+  // Same monotonicity claim on a hostgraph — tight clusters make stale views
+  // costlier (neighbors land in the window other workers haven't seen), so
+  // the staleness signal must grow across the whole interval sweep, and the
+  // realized cut must not improve while it does.
+  const Graph g = generate_hostgraph({.num_vertices = 10000,
+                                      .mean_host_size = 150.0,
+                                      .avg_out_degree = 8.0,
+                                      .intra_host = 0.9,
+                                      .seed = 21});
+  const PartitionId k = 8;
+  std::uint64_t prev_stale = 0;
+  double first_ecr = 0.0, last_ecr = 0.0;
+  bool first = true;
+  for (const VertexId interval : {64u, 512u, 4096u}) {
+    DistributedSimOptions options;
+    options.sync_interval = interval;
+    const auto result = run(g, options, k);
+    EXPECT_GT(result.stale_decisions, prev_stale)
+        << "staleness did not grow at sync_interval=" << interval;
+    prev_stale = result.stale_decisions;
+    const double ecr = evaluate_partition(g, result.route, k).ecr;
+    if (first) {
+      first_ecr = ecr;
+      first = false;
+    }
+    last_ecr = ecr;
+  }
+  EXPECT_GE(last_ecr + 0.02, first_ecr)
+      << "rare sync should not beat frequent sync on a clustered graph";
+}
+
 TEST(DistributedSim, MoreWorkersThanVertices) {
   const Graph g = crawl(20, 13);
   DistributedSimOptions options;

@@ -5,6 +5,10 @@
 //                  [--lambda=0.5] [--shards=0] [--balance=vertex|edge]
 //                  [--slack=1.1] [--threads=1] [--passes=1] [--buffer=0]
 //                  [--format=adj|edgelist|binary] [--window=0] [--quiet]
+//                  [--checkpoint=ckpt.bin] [--checkpoint-every=N]
+//                  [--resume-from=ckpt.bin]
+//                  [--workers=W] [--sync-interval=N] [--recover=reassign|none]
+//                  [--inject-faults=crash:W@T,drop:P,delay:P,dup:P,seed:S]
 //
 // Algorithms: hash, range, ldg, fennel, spn, spnl (default), balanced, dg,
 // edg, triangles, multilevel, labelprop. --threads > 1 selects parallel
@@ -12,12 +16,21 @@
 // re-streaming; --buffer > 0 uses the hybrid buffered mode; --window > 0
 // uses WSGP-style most-confident-first selection.
 //
+// Robustness flags: --checkpoint + --checkpoint-every snapshot the
+// partitioner state every N placements (sequential greedy algos and the
+// parallel driver); --resume-from continues an interrupted run from a
+// snapshot and produces the same route the uninterrupted run would have.
+// --workers switches to the distributed simulation; --inject-faults feeds it
+// a seeded fault plan (scripted worker crashes and lossy sync messages).
+//
 // Prints ECR / δv / δe / PT / MC and writes the route table when --out is
 // given. Exit code 0 on success.
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "core/distributed_sim.hpp"
 #include "core/parallel_driver.hpp"
 #include "core/spn.hpp"
 #include "core/spnl.hpp"
@@ -51,9 +64,60 @@ int usage() {
                "[--slack=1.1]\n"
                "  [--threads=1] [--passes=1] [--buffer=0] [--window=0] "
                "[--format=adj|edgelist|binary] [--quiet]\n"
+               "  [--checkpoint=ckpt.bin] [--checkpoint-every=N] "
+               "[--resume-from=ckpt.bin]\n"
+               "  [--workers=W] [--sync-interval=N] [--recover=reassign|none]\n"
+               "  [--inject-faults=crash:W@T,drop:P,delay:P,dup:P,seed:S]\n"
                "algos: hash range ldg fennel spn spnl balanced dg edg "
                "triangles multilevel labelprop\n");
   return 2;
+}
+
+// Parses the comma-separated fault spec: "crash:W@T" (repeatable),
+// "drop:P" / "delay:P" / "dup:P" (probabilities), "seed:S".
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("--inject-faults: expected key:value in '" + item + "'");
+    }
+    const std::string key = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    try {
+      if (key == "crash") {
+        const std::size_t at = value.find('@');
+        if (at == std::string::npos) {
+          throw std::runtime_error("crash wants W@T");
+        }
+        WorkerCrash crash;
+        crash.worker = static_cast<unsigned>(std::stoul(value.substr(0, at)));
+        crash.at_placement = std::stoull(value.substr(at + 1));
+        plan.crashes.push_back(crash);
+      } else if (key == "drop") {
+        plan.drop_sync_prob = std::stod(value);
+      } else if (key == "delay") {
+        plan.delay_sync_prob = std::stod(value);
+      } else if (key == "dup") {
+        plan.duplicate_sync_prob = std::stod(value);
+      } else if (key == "seed") {
+        plan.seed = std::stoull(value);
+      } else {
+        throw std::runtime_error("unknown fault key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("--inject-faults: bad value in '" + item + "'");
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("--inject-faults: value out of range in '" + item + "'");
+    }
+  }
+  return plan;
 }
 
 Graph load_graph(const std::string& path, const std::string& format) {
@@ -90,6 +154,12 @@ int main(int argc, char** argv) {
   const auto buffer = static_cast<VertexId>(args.get_int("buffer", 0));
   const auto window = static_cast<VertexId>(args.get_int("window", 0));
 
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  const auto checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  const std::string resume_from = args.get("resume-from", "");
+  const auto workers = static_cast<unsigned>(args.get_int("workers", 0));
+
   try {
     const Graph graph = load_graph(args.positional()[0], format);
     if (!quiet) std::printf("%s\n", describe(graph, args.positional()[0]).c_str());
@@ -99,7 +169,35 @@ int main(int argc, char** argv) {
     std::size_t bytes = 0;
 
     InMemoryStream stream(graph);
-    if (algo == "multilevel") {
+    if (workers > 0) {
+      // Distributed simulation with optional seeded fault injection.
+      DistributedSimOptions options;
+      options.num_workers = workers;
+      options.sync_interval =
+          static_cast<VertexId>(args.get_int("sync-interval", 1024));
+      options.use_spnl_scoring = algo == "spnl";
+      options.recovery = args.get("recover", "reassign") == "none"
+                             ? RecoveryPolicy::kNone
+                             : RecoveryPolicy::kReassign;
+      if (args.has("inject-faults")) {
+        options.faults = parse_fault_plan(args.get("inject-faults", ""));
+      }
+      const auto result = distributed_stream_partition(stream, config, options);
+      route = result.route;
+      if (!quiet) {
+        std::printf(
+            "distributed: workers=%u stale_decisions=%llu crashes=%llu "
+            "lost=%llu recovered=%llu dropped_syncs=%llu delayed_syncs=%llu "
+            "duplicated_syncs=%llu\n",
+            workers, static_cast<unsigned long long>(result.stale_decisions),
+            static_cast<unsigned long long>(result.worker_crashes),
+            static_cast<unsigned long long>(result.lost_placements),
+            static_cast<unsigned long long>(result.recovered_placements),
+            static_cast<unsigned long long>(result.dropped_syncs),
+            static_cast<unsigned long long>(result.delayed_syncs),
+            static_cast<unsigned long long>(result.duplicated_syncs));
+      }
+    } else if (algo == "multilevel") {
       const auto result = multilevel_partition(graph, config);
       route = result.route;
       seconds = result.partition_seconds;
@@ -139,10 +237,18 @@ int main(int argc, char** argv) {
       options.use_locality = algo == "spnl";
       options.spnl.lambda = lambda;
       options.spnl.num_shards = shards;
+      options.checkpoint_path = checkpoint_path;
+      options.checkpoint_every = checkpoint_every;
+      options.resume_from = resume_from;
       const auto result = run_parallel(stream, config, options);
       route = result.route;
       seconds = result.partition_seconds;
       bytes = result.peak_partitioner_bytes;
+      if (!quiet && (result.checkpoints_written > 0 || result.resumed_at > 0)) {
+        std::printf("checkpoints_written=%llu resumed_at=%llu\n",
+                    static_cast<unsigned long long>(result.checkpoints_written),
+                    static_cast<unsigned long long>(result.resumed_at));
+      }
     } else {
       std::unique_ptr<StreamingPartitioner> partitioner;
       const VertexId n = graph.num_vertices();
@@ -176,15 +282,36 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
-      const RunResult run = run_streaming(stream, *partitioner);
+      StreamingCheckpointOptions checkpoint;
+      checkpoint.path = checkpoint_path;
+      checkpoint.every = checkpoint_every;
+      const RunResult run =
+          resume_from.empty()
+              ? run_streaming(stream, *partitioner, checkpoint)
+              : resume_streaming(stream, *partitioner, resume_from, checkpoint);
       route = run.route;
       seconds = run.partition_seconds;
       bytes = run.peak_partitioner_bytes;
+      if (!quiet && (run.checkpoints_written > 0 || run.resumed_at > 0)) {
+        std::printf("checkpoints_written=%llu resumed_at=%llu\n",
+                    static_cast<unsigned long long>(run.checkpoints_written),
+                    static_cast<unsigned long long>(run.resumed_at));
+      }
     }
 
-    const auto metrics = evaluate_partition(graph, route, k);
-    std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
-                summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
+    // A lost-slice run (--workers with --recover=none) legitimately leaves
+    // holes; every other path must produce a complete assignment.
+    const bool may_have_holes = workers > 0 && args.get("recover", "reassign") == "none";
+    if (!may_have_holes) validate_route(route, k, graph.num_vertices());
+    if (may_have_holes && !is_complete_assignment(route, k)) {
+      std::printf("%s K=%u route incomplete (placements lost to crashes); "
+                  "quality metrics skipped\n",
+                  algo.c_str(), k);
+    } else {
+      const auto metrics = evaluate_partition(graph, route, k);
+      std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
+                  summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
+    }
     if (args.has("out")) {
       write_route_table(route, args.get("out", ""));
       if (!quiet) std::printf("wrote %s\n", args.get("out", "").c_str());
