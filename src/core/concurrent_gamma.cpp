@@ -31,19 +31,23 @@ void ConcurrentGammaWindow::advance_to(VertexId head) {
   VertexId base = base_.load(std::memory_order_relaxed);
   if (head <= base) return;
   const VertexId steps = head - base;
+  auto clear_rows = [this](VertexId first_slot, VertexId rows) {
+    auto* begin = counters_.get() +
+                  static_cast<std::size_t>(first_slot) * num_partitions_;
+    const std::size_t count = static_cast<std::size_t>(rows) * num_partitions_;
+    for (std::size_t i = 0; i < count; ++i) {
+      begin[i].store(0, std::memory_order_relaxed);
+    }
+  };
   if (steps >= window_size_) {
-    const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;
-    for (std::size_t i = 0; i < total; ++i) {
-      counters_[i].store(0, std::memory_order_relaxed);
-    }
+    clear_rows(0, window_size_);
   } else {
-    for (VertexId id = base; id < head; ++id) {
-      auto* slot = counters_.get() +
-                   static_cast<std::size_t>(slot_of(id)) * num_partitions_;
-      for (PartitionId p = 0; p < num_partitions_; ++p) {
-        slot[p].store(0, std::memory_order_relaxed);
-      }
-    }
+    // Retiring ids [base, head) occupy at most two contiguous slot runs (the
+    // ring wraps at W): clear them as ranges instead of per-id modulo walks.
+    const VertexId first = slot_of(base);
+    const VertexId head_rows = std::min<VertexId>(steps, window_size_ - first);
+    clear_rows(first, head_rows);
+    if (steps > head_rows) clear_rows(0, steps - head_rows);
   }
   base_.store(head, std::memory_order_relaxed);
 }

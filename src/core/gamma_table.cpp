@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "util/memory.hpp"
@@ -27,11 +28,19 @@ std::uint32_t GammaWindow::recommended_shards(VertexId num_vertices, PartitionId
                                               double alpha, double beta) {
   const double by_parts = alpha * k;
   const double by_size = static_cast<double>(num_vertices) / (beta * k);
-  const double x = std::min(by_parts, by_size);
-  return static_cast<std::uint32_t>(std::max(1.0, std::floor(x)));
+  const double x = std::floor(std::min(by_parts, by_size));
+  // Clamp into uint32 range before the cast: extreme alpha/beta (or a tiny
+  // beta*k product) push x past 2^32, where the bare double -> uint32 cast is
+  // undefined behaviour. The !(x > 1) form also routes NaN (e.g. 0/0 from
+  // num_vertices == 0 with beta == 0) to the safe full-table answer.
+  if (!(x > 1.0)) return 1;
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+  if (x >= kMax) return std::numeric_limits<std::uint32_t>::max();
+  return static_cast<std::uint32_t>(x);
 }
 
-void GammaWindow::advance_to(VertexId head) {
+void GammaWindow::advance_general(VertexId head) {
   if (mode_ == SlideMode::kCoarse) {
     // Shard-by-shard: the window only moves when the head crosses into the
     // next shard, and then jumps to that shard's start. Mid-shard arrivals
@@ -43,17 +52,32 @@ void GammaWindow::advance_to(VertexId head) {
   const VertexId steps = head - base_;
   if (steps >= window_size_) {
     // The whole window is retired: one bulk clear.
-    std::fill(counters_.begin(), counters_.end(), 0u);
+    std::memset(counters_.data(), 0, counters_.size() * sizeof(std::uint32_t));
     base_ = head;
+    base_slot_ = slot_of(base_);
     return;
   }
-  for (VertexId id = base_; id < head; ++id) {
-    // Slot of the retiring id `id` is reused by future id `id + W`: zero it.
-    auto* slot = counters_.data() +
-                 static_cast<std::size_t>(slot_of(id)) * num_partitions_;
-    std::fill(slot, slot + num_partitions_, 0u);
+  // The retiring ids [base_, head) occupy the contiguous ring-slot run
+  // [base_ % W, base_ % W + steps), wrapping at W — at most two contiguous
+  // row ranges, each cleared with one memset (their slots are reused by the
+  // future ids id + W entering the window).
+  const VertexId first = base_slot_;
+  const VertexId head_rows = std::min<VertexId>(steps, window_size_ - first);
+  std::memset(counters_.data() + static_cast<std::size_t>(first) * num_partitions_,
+              0,
+              static_cast<std::size_t>(head_rows) * num_partitions_ *
+                  sizeof(std::uint32_t));
+  const VertexId wrapped_rows = steps - head_rows;
+  if (wrapped_rows > 0) {
+    std::memset(counters_.data(), 0,
+                static_cast<std::size_t>(wrapped_rows) * num_partitions_ *
+                    sizeof(std::uint32_t));
   }
   base_ = head;
+  // One modulo per slide instead of one per out-neighbor: row_offset()
+  // derives any in-window slot from base_slot_ with an add and a compare.
+  base_slot_ = first + steps;
+  if (base_slot_ >= window_size_) base_slot_ -= window_size_;
 }
 
 std::size_t GammaWindow::memory_footprint_bytes() const {
@@ -77,6 +101,7 @@ void GammaWindow::restore(StateReader& in) {
   in.expect_u32(static_cast<std::uint32_t>(mode_), "gamma slide mode");
   in.expect_u32(window_size_, "gamma window size");
   base_ = in.get_u32();
+  base_slot_ = slot_of(base_);
   auto counters = in.get_vec<std::uint32_t>();
   if (counters.size() != counters_.size()) {
     throw CheckpointError("gamma restore: counter table size mismatch");

@@ -50,7 +50,22 @@ class GammaWindow {
   /// `head`'s own row can be discarded mid-shard — the accuracy loss the
   /// paper describes). Counters of retired ids are discarded; slots that
   /// wrap around to future ids are zeroed. Never moves backwards.
-  void advance_to(VertexId head);
+  ///
+  /// The fine-mode steady state — every arrival retires exactly one row —
+  /// is inlined here so the in-order place() path pays a short clear loop
+  /// instead of a cross-TU call + memset. (With W == 1 the single row is the
+  /// whole table, so the fast path is still exact.)
+  void advance_to(VertexId head) {
+    if (mode_ == SlideMode::kFine && head == base_ + 1) {
+      std::uint32_t* row =
+          counters_.data() + static_cast<std::size_t>(base_slot_) * num_partitions_;
+      for (PartitionId i = 0; i < num_partitions_; ++i) row[i] = 0;
+      base_ = head;
+      if (++base_slot_ == window_size_) base_slot_ = 0;
+      return;
+    }
+    advance_general(head);
+  }
 
   /// Γ_p(u) += 1 if u is inside the window; silently dropped otherwise —
   /// exactly the accuracy/memory trade-off of Fig. 5.
@@ -77,6 +92,29 @@ class GammaWindow {
                static_cast<std::uint64_t>(base_) + window_size_;
   }
 
+  // Raw-row access for the fused scoring kernel (core/score_kernel.hpp): the
+  // kernel computes contains() + the slot once per out-neighbor during the
+  // scoring pass and reuses the offset for both the kNeighborSum row read
+  // and the post-commit increment. Offsets are valid only while the window
+  // does not advance (the sequential place() path holds that invariant).
+
+  /// Offset of u's K-counter row in data(); caller must check contains(u).
+  /// For an in-window u the ring slot is base_slot_ + (u - base_) wrapped
+  /// once at W — an add and a compare instead of slot_of()'s hardware divide
+  /// (W is a runtime value, so u % W costs ~20 cycles on the hot path).
+  std::size_t row_offset(VertexId u) const {
+    std::uint64_t slot = std::uint64_t{base_slot_} + (u - base_);
+    if (slot >= window_size_) slot -= window_size_;
+    return static_cast<std::size_t>(slot) * num_partitions_;
+  }
+
+  const std::uint32_t* data() const { return counters_.data(); }
+
+  /// Γ_p += 1 at a row offset previously obtained from row_offset().
+  void increment_at(std::size_t row_offset, PartitionId p) {
+    ++counters_[row_offset + p];
+  }
+
   VertexId base() const { return base_; }
   VertexId window_size() const { return window_size_; }
   std::uint32_t num_shards() const { return num_shards_; }
@@ -92,12 +130,18 @@ class GammaWindow {
  private:
   VertexId slot_of(VertexId u) const { return u % window_size_; }
 
+  /// Multi-step / coarse-mode slide: at most two contiguous memset ranges.
+  void advance_general(VertexId head);
+
   VertexId num_vertices_;
   PartitionId num_partitions_;
   std::uint32_t num_shards_;
   SlideMode mode_;
   VertexId window_size_;
   VertexId base_ = 0;
+  /// slot_of(base_), maintained by advance_to/restore so row_offset() never
+  /// divides.
+  VertexId base_slot_ = 0;
   std::vector<std::uint32_t> counters_;  // window_size_ x num_partitions_
 };
 

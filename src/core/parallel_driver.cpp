@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <stdexcept>
 #include <thread>
@@ -93,13 +94,17 @@ struct SharedState {
 
 class Worker {
  public:
-  Worker(SharedState& state, Rct* rct, WatermarkTracker& watermark)
-      : state_(state), rct_(rct), watermark_(watermark) {}
+  /// `perf` is a caller-owned, caller-thread-local sink (PerfStats is not
+  /// thread-safe); nullptr disables instrumentation.
+  Worker(SharedState& state, Rct* rct, WatermarkTracker& watermark,
+         PerfStats* perf = nullptr)
+      : state_(state), rct_(rct), watermark_(watermark), perf_(perf) {}
 
   /// Score + pick; bumps RCT counters of in-flight out-neighbors along the
   /// out-list traversal (the "no additional runtime cost" counting of the
   /// paper).
   PartitionId choose(const OwnedVertexRecord& record, bool bump_rct) {
+    PerfScope scope(perf_, PerfStage::kScore);
     const PartitionId k = state_.config.num_partitions;
     const double lambda = state_.options.spnl.lambda;
     physical_.assign(k, 0.0);
@@ -181,16 +186,28 @@ class Worker {
   }
 
   void commit(const OwnedVertexRecord& record, PartitionId pid) {
-    state_.route[record.id].store(pid, std::memory_order_relaxed);
-    state_.vertex_counts[pid].fetch_add(1, std::memory_order_relaxed);
-    state_.edge_counts[pid].fetch_add(record.out.size(), std::memory_order_relaxed);
-    state_.placed_total.fetch_add(1, std::memory_order_relaxed);
-    if (state_.options.use_locality) {
-      const PartitionId lp = state_.logical.partition_of(record.id);
-      state_.logical_counts[lp].fetch_sub(1, std::memory_order_relaxed);
+    {
+      PerfScope t(perf_, PerfStage::kCommit);
+      state_.route[record.id].store(pid, std::memory_order_relaxed);
+      state_.vertex_counts[pid].fetch_add(1, std::memory_order_relaxed);
+      state_.edge_counts[pid].fetch_add(record.out.size(), std::memory_order_relaxed);
+      state_.placed_total.fetch_add(1, std::memory_order_relaxed);
+      if (state_.options.use_locality) {
+        const PartitionId lp = state_.logical.partition_of(record.id);
+        state_.logical_counts[lp].fetch_sub(1, std::memory_order_relaxed);
+      }
     }
-    for (VertexId u : record.out) state_.gamma.increment(pid, u);
-    state_.gamma.advance_to(watermark_.mark_done(record.id));
+    {
+      // No stashed row offsets here, unlike the sequential kernel: other
+      // workers may slide the shared window between choose() and commit(),
+      // so each increment re-checks membership by id.
+      PerfScope t(perf_, PerfStage::kGammaIncrement);
+      for (VertexId u : record.out) state_.gamma.increment(pid, u);
+    }
+    {
+      PerfScope t(perf_, PerfStage::kWindowAdvance);
+      state_.gamma.advance_to(watermark_.mark_done(record.id));
+    }
   }
 
   /// Place a record and everything its placement releases from the RCT.
@@ -234,6 +251,7 @@ class Worker {
   SharedState& state_;
   Rct* rct_;
   WatermarkTracker& watermark_;
+  PerfStats* perf_;
   std::vector<double> physical_, logical_, scores_;
 };
 
@@ -420,21 +438,37 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
 
   std::vector<std::thread> workers;
   workers.reserve(options.num_threads);
+  std::mutex perf_merge_mutex;
   for (unsigned t = 0; t < options.num_threads; ++t) {
     workers.emplace_back([&] {
-      Worker worker(state, rct_ptr, watermark);
-      while (auto record = queue.pop()) {
+      // PerfStats is not thread-safe: each worker accumulates into a private
+      // instance and merges it into the shared sink once, after its loop.
+      PerfStats local_perf;
+      PerfStats* perf = options.perf != nullptr ? &local_perf : nullptr;
+      Worker worker(state, rct_ptr, watermark, perf);
+      for (;;) {
+        std::optional<OwnedVertexRecord> record;
+        {
+          PerfScope wait(perf, PerfStage::kQueueWait);
+          record = queue.pop();
+        }
+        if (!record) break;
         std::shared_lock lock(pipeline_mutex);
         worker.process(std::move(*record));
+      }
+      if (perf != nullptr) {
+        std::lock_guard lock(perf_merge_mutex);
+        options.perf->merge(local_perf);
       }
     });
   }
   producer.join();
   for (auto& w : workers) w.join();
 
-  // Cyclically-parked leftovers: force-place in id order.
+  // Cyclically-parked leftovers: force-place in id order. Single-threaded by
+  // now, so the shared sink can be used directly.
   if (options.use_rct) {
-    Worker finisher(state, rct_ptr, watermark);
+    Worker finisher(state, rct_ptr, watermark, options.perf);
     auto rest = rct.drain_parked();
     state.forced.fetch_add(rest.size(), std::memory_order_relaxed);
     for (auto& record : rest) {

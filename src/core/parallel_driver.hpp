@@ -48,6 +48,11 @@ struct ParallelOptions {
   /// the committed prefix. With one worker thread the resumed run's route is
   /// byte-identical to the uninterrupted run.
   std::string resume_from;
+  /// Per-stage instrumentation sink (not owned; nullptr = off, zero hot-path
+  /// cost). Each worker accumulates into a private PerfStats and merges it
+  /// here after the pipeline joins, so stage nanos are summed across threads
+  /// (kQueueWait additionally covers time blocked on the bounded queue).
+  PerfStats* perf = nullptr;
 };
 
 struct ParallelRunResult {

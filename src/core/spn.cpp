@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/score_kernel.hpp"
+
 namespace spnl {
 
 namespace {
@@ -26,40 +28,87 @@ PartitionId SpnPartitioner::place(VertexId v, std::span<const VertexId> out) {
   const PartitionId k = num_partitions();
   const double lambda = options_.lambda;
 
-  // Fine-grained slide: the window now starts at the arriving vertex, so its
-  // own Γ row is still live for the in-neighbor estimate below.
-  gamma_.advance_to(v);
-
-  // Out-neighbor term: distribution of already placed out-neighbors.
-  scores_.assign(k, 0.0);
+  // Prefetch pass: the route entries and Γ rows this record touches are
+  // scattered (tens of MB at recommended shard counts), so they are almost
+  // always cache misses. A vertex's ring slot is u % W regardless of the
+  // window base, so the row addresses are already final before the slide —
+  // issuing the prefetches here overlaps the misses with the row-retirement
+  // clear and the scoring arithmetic. Membership is re-evaluated after the
+  // slide; a prefetch of a row that then retires (or a miss on one that just
+  // entered) only costs a wasted hint.
+  const std::uint32_t* gamma_data = gamma_.data();
+  const PartitionId* route = route_.data();
+  const std::size_t route_size = route_.size();
   for (VertexId u : out) {
-    if (u < route_.size() && route_[u] != kUnassigned) {
-      scores_[route_[u]] += lambda;
-    }
+    if (u < route_size) prefetch_read(route + u);
+    if (gamma_.contains(u)) prefetch_write(gamma_data + gamma_.row_offset(u));
   }
 
-  // In-neighbor expectation term.
-  if (options_.estimator == InNeighborEstimator::kSelf) {
-    const auto row = gamma_.row(v);
-    for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
-      scores_[i] += (1.0 - lambda) * row[i];
-    }
-  } else {
+  {
+    // Fine-grained slide: the window now starts at the arriving vertex, so
+    // its own Γ row is still live for the in-neighbor estimate below.
+    PerfScope t(perf_, PerfStage::kWindowAdvance);
+    gamma_.advance_to(v);
+  }
+
+  PartitionId pid;
+  auto& gamma_rows = scratch_.gamma_rows;
+  {
+    PerfScope t(perf_, PerfStage::kScore);
+
+    // Stash pass over the out-list: each neighbor's post-slide Γ-window
+    // membership and row offset, computed once and reused by the
+    // kNeighborSum reads and the post-commit increments.
+    scores_.assign(k, 0.0);
+    gamma_rows.clear();
     for (VertexId u : out) {
-      const auto row = gamma_.row(u);
-      for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
-        scores_[i] += (1.0 - lambda) * row[i];
+      if (gamma_.contains(u)) gamma_rows.push_back(gamma_.row_offset(u));
+    }
+
+    // λ term: distribution of already placed out-neighbors. Per-bucket
+    // accumulation chains are unchanged from the reference, so the sums are
+    // bit-identical.
+    for (VertexId u : out) {
+      if (u < route_size && route[u] != kUnassigned) {
+        scores_[route[u]] += lambda;
       }
     }
+
+    // In-neighbor expectation term.
+    if (options_.estimator == InNeighborEstimator::kSelf) {
+      if (gamma_.contains(v)) {
+        const std::uint32_t* row = gamma_data + gamma_.row_offset(v);
+        for (PartitionId i = 0; i < k; ++i) {
+          scores_[i] += (1.0 - lambda) * row[i];
+        }
+      }
+    } else {
+      for (const std::size_t offset : gamma_rows) {
+        const std::uint32_t* row = gamma_data + offset;
+        for (PartitionId i = 0; i < k; ++i) {
+          scores_[i] += (1.0 - lambda) * row[i];
+        }
+      }
+    }
+
+    compute_loads(config_.balance, vertex_counts_, edge_counts_, capacity_,
+                  edge_capacity_, scratch_.loads);
+    pid = weigh_and_pick(scores_, scratch_.loads, capacity_);
   }
 
-  for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
-  const PartitionId pid = pick_best(scores_);
-  commit(v, out, pid);
+  {
+    PerfScope t(perf_, PerfStage::kCommit);
+    commit(v, out, pid);
+  }
 
-  // Algorithm 1, lines 5-7: placing v raises P_pid's expectation for every
-  // out-neighbor of v (counts for retired/out-of-window ids are dropped).
-  for (VertexId u : out) gamma_.increment(pid, u);
+  {
+    // Algorithm 1, lines 5-7: placing v raises P_pid's expectation for every
+    // out-neighbor of v. The window cannot have moved since the scoring
+    // pass, so the stashed row offsets are still the live slots (counts for
+    // retired/out-of-window ids were already dropped there).
+    PerfScope t(perf_, PerfStage::kGammaIncrement);
+    for (const std::size_t offset : gamma_rows) gamma_.increment_at(offset, pid);
+  }
   return pid;
 }
 

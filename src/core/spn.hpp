@@ -14,11 +14,27 @@
 // surrounding text describes. We default to the example-consistent estimator
 // (kSelf) and provide the literal reading (kNeighborSum) as an ablation
 // option; bench_ablation compares them.
+//
+// Multigraph semantics (intended, not an accident): parallel edges in the
+// out-list count with multiplicity everywhere — each duplicate of u adds λ to
+// u's partition in the out-neighbor term, contributes its Γ row again under
+// kNeighborSum, and increments Γ_pid(u) once more after placement. The paper's
+// sets V_i ∩ N_out(v) are defined over simple crawl graphs where the question
+// never arises; on multigraph input a repeated edge is repeated evidence of
+// affinity, consistent with how the LDG/FENNEL implementations here weigh it.
+// A self-loop (v ∈ N_out(v)) adds nothing at scoring time — v is unplaced and
+// its own Γ row only biases the kSelf estimate it is already the subject of —
+// but does increment Γ_pid(v) after placement, which is definition-faithful
+// (v ∈ N_in(v) ∩ V_pid) and inert since v's row is never read again. Callers
+// wanting simple-graph semantics dedupe at load time via
+// GraphBuilder::FinishOptions{strip_self_loops, strip_duplicate_edges};
+// test_spn_semantics pins these behaviours.
 #pragma once
 
 #include <cstdint>
 
 #include "core/gamma_table.hpp"
+#include "core/score_kernel.hpp"
 #include "partition/partitioning.hpp"
 
 namespace spnl {
@@ -59,6 +75,8 @@ class SpnPartitioner final : public GreedyStreamingBase {
  private:
   SpnOptions options_;
   GammaWindow gamma_;
+  /// Fused-kernel scratch (loads snapshot + stashed Γ row offsets).
+  ScoreKernelScratch scratch_;
 };
 
 }  // namespace spnl

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/score_kernel.hpp"
 #include "util/memory.hpp"
 
 namespace spnl {
@@ -53,52 +54,93 @@ PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
   const PartitionId k = num_partitions();
   const double lambda = options_.lambda;
 
-  gamma_.advance_to(v);
-
-  // Out-neighbor term, split into physical and logical contributions
-  // (Eq. 6 weights the two intersection sizes separately).
-  scores_.assign(k, 0.0);
-  static thread_local std::vector<double> physical, logical;
-  physical.assign(k, 0.0);
-  logical.assign(k, 0.0);
+  // Prefetch pass — see spn.cpp: the row addresses are final before the
+  // slide (a vertex's ring slot is u % W regardless of the window base), so
+  // the misses overlap with the row-retirement clear and the scoring work.
+  const std::uint32_t* gamma_data = gamma_.data();
+  const PartitionId* route = route_.data();
+  const std::size_t route_size = route_.size();
   for (VertexId u : out) {
-    if (u >= route_.size()) continue;
-    if (route_[u] != kUnassigned) {
-      physical[route_[u]] += 1.0;
-    } else {
-      logical[logical_.partition_of(u)] += 1.0;
-    }
-  }
-  for (PartitionId i = 0; i < k; ++i) {
-    const double e = eta(i);
-    scores_[i] = lambda * ((1.0 - e) * physical[i] + e * logical[i]);
+    if (u < route_size) prefetch_read(route + u);
+    if (gamma_.contains(u)) prefetch_write(gamma_data + gamma_.row_offset(u));
   }
 
-  // In-neighbor expectation term (see spn.hpp for the Eq. 5 fidelity note).
-  if (options_.estimator == InNeighborEstimator::kSelf) {
-    const auto row = gamma_.row(v);
-    for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
-      scores_[i] += (1.0 - lambda) * row[i];
-    }
-  } else {
+  {
+    PerfScope t(perf_, PerfStage::kWindowAdvance);
+    gamma_.advance_to(v);
+  }
+
+  PartitionId pid;
+  auto& gamma_rows = scratch_.gamma_rows;
+  {
+    PerfScope t(perf_, PerfStage::kScore);
+
+    // Stash pass over the out-list: each neighbor's post-slide Γ-window
+    // membership and row offset, computed once and reused by the
+    // kNeighborSum reads and the post-commit increments.
+    scores_.assign(k, 0.0);
+    physical_.assign(k, 0.0);
+    logical_hits_.assign(k, 0.0);
+    gamma_rows.clear();
     for (VertexId u : out) {
-      const auto row = gamma_.row(u);
-      for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
-        scores_[i] += (1.0 - lambda) * row[i];
+      if (gamma_.contains(u)) gamma_rows.push_back(gamma_.row_offset(u));
+    }
+
+    // Out-neighbor term: the physical/logical tallies (Eq. 6 weights the two
+    // intersection sizes separately). Per-bucket accumulation chains are
+    // unchanged from the reference, so the sums are bit-identical.
+    for (VertexId u : out) {
+      if (u < route_size) {
+        if (route[u] != kUnassigned) {
+          physical_[route[u]] += 1.0;
+        } else {
+          logical_hits_[logical_.partition_of(u)] += 1.0;
+        }
       }
     }
+    for (PartitionId i = 0; i < k; ++i) {
+      const double e = eta(i);
+      scores_[i] = lambda * ((1.0 - e) * physical_[i] + e * logical_hits_[i]);
+    }
+
+    // In-neighbor expectation term (see spn.hpp for the Eq. 5 fidelity note).
+    if (options_.estimator == InNeighborEstimator::kSelf) {
+      if (gamma_.contains(v)) {
+        const std::uint32_t* row = gamma_data + gamma_.row_offset(v);
+        for (PartitionId i = 0; i < k; ++i) {
+          scores_[i] += (1.0 - lambda) * row[i];
+        }
+      }
+    } else {
+      for (const std::size_t offset : gamma_rows) {
+        const std::uint32_t* row = gamma_data + offset;
+        for (PartitionId i = 0; i < k; ++i) {
+          scores_[i] += (1.0 - lambda) * row[i];
+        }
+      }
+    }
+
+    compute_loads(config_.balance, vertex_counts_, edge_counts_, capacity_,
+                  edge_capacity_, scratch_.loads);
+    pid = weigh_and_pick(scores_, scratch_.loads, capacity_);
   }
 
-  for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
-  const PartitionId pid = pick_best(scores_);
-  commit(v, out, pid);
+  {
+    PerfScope t(perf_, PerfStage::kCommit);
+    commit(v, out, pid);
 
-  // v leaves its logical partition the moment it is physically placed.
-  const PartitionId lp = logical_.partition_of(v);
-  if (logical_counts_[lp] > 0) --logical_counts_[lp];
-  ++placed_total_;
+    // v leaves its logical partition the moment it is physically placed.
+    const PartitionId lp = logical_.partition_of(v);
+    if (logical_counts_[lp] > 0) --logical_counts_[lp];
+    ++placed_total_;
+  }
 
-  for (VertexId u : out) gamma_.increment(pid, u);
+  {
+    // The window cannot have moved since the scoring pass, so the stashed
+    // row offsets are still the live slots.
+    PerfScope t(perf_, PerfStage::kGammaIncrement);
+    for (const std::size_t offset : gamma_rows) gamma_.increment_at(offset, pid);
+  }
   return pid;
 }
 

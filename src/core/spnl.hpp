@@ -11,6 +11,12 @@
 // where the decay η_i^t = max{0, (|V_i^lt| − |V_i^pt|)/|V_i^lt|} trusts the
 // logical guess early (few physical placements) and fades as real placements
 // accumulate. A vertex leaves V_i^lt the moment it is physically placed.
+//
+// Multigraph semantics match SPN (see spn.hpp): parallel edges count with
+// multiplicity in the physical, logical and Γ terms; self-loops contribute a
+// logical-table vote at scoring time (v is unplaced, so the self-edge falls
+// into the |V_i^lt ∩ N_out(v)| term of its own logical partition) and an
+// inert Γ_pid(v) increment after placement.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +72,12 @@ class SpnlPartitioner final : public GreedyStreamingBase {
   /// |V_i^lt|: logical members not yet physically placed (anywhere).
   std::vector<VertexId> logical_counts_;
   VertexId placed_total_ = 0;
+  /// Fused-kernel scratch (loads snapshot + stashed Γ row offsets) and the
+  /// per-partition physical/logical out-neighbor tallies, reused across
+  /// place() calls (previously function-local thread_local buffers).
+  ScoreKernelScratch scratch_;
+  std::vector<double> physical_;
+  std::vector<double> logical_hits_;
 };
 
 }  // namespace spnl

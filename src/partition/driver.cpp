@@ -1,6 +1,7 @@
 #include "partition/driver.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/timer.hpp"
 
@@ -23,10 +24,18 @@ StateWriter snapshot_sequential(const StreamingPartitioner& partitioner,
 
 /// Pumps records from the stream, checkpointing on cadence. `placed` carries
 /// the restored prefix count on resume so cadence stays aligned with the
-/// uninterrupted run.
+/// uninterrupted run. Stream fetch time is billed to kQueueWait (the
+/// sequential analogue of the parallel driver's queue pop).
 void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
-           Checkpointer& checkpointer, std::uint64_t placed, RunResult& result) {
-  while (auto record = stream.next()) {
+           Checkpointer& checkpointer, std::uint64_t placed, RunResult& result,
+           PerfStats* perf) {
+  for (;;) {
+    std::optional<VertexRecord> record;
+    {
+      PerfScope t(perf, PerfStage::kQueueWait);
+      record = stream.next();
+    }
+    if (!record) break;
     partitioner.place(record->id, record->out);
     ++placed;
     ++result.vertices_placed;
@@ -37,10 +46,28 @@ void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
   result.checkpoints_written = checkpointer.snapshots_taken();
 }
 
+/// Attaches the sink for the duration of a driver call, detaching on every
+/// exit path so the partitioner never outlives its borrowed PerfStats.
+class ScopedPerfAttach {
+ public:
+  ScopedPerfAttach(StreamingPartitioner& partitioner, PerfStats* perf)
+      : partitioner_(partitioner), attached_(perf != nullptr) {
+    if (attached_) partitioner_.set_perf_stats(perf);
+  }
+  ~ScopedPerfAttach() {
+    if (attached_) partitioner_.set_perf_stats(nullptr);
+  }
+
+ private:
+  StreamingPartitioner& partitioner_;
+  bool attached_;
+};
+
 }  // namespace
 
 RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
-                        const StreamingCheckpointOptions& checkpoint) {
+                        const StreamingCheckpointOptions& checkpoint,
+                        PerfStats* perf) {
   RunResult result;
   result.partitioner_name = partitioner.name();
   Checkpointer checkpointer(checkpoint.path, checkpoint.every);
@@ -49,8 +76,9 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
                           " does not support checkpoints");
   }
 
+  ScopedPerfAttach attach(partitioner, perf);
   Timer timer;
-  drain(stream, partitioner, checkpointer, 0, result);
+  drain(stream, partitioner, checkpointer, 0, result, perf);
   result.partition_seconds = timer.seconds();
   // Streaming structures only grow or stay flat, so the end-of-run footprint
   // is the peak.
@@ -61,7 +89,8 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
 
 RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                            const std::string& checkpoint_path,
-                           const StreamingCheckpointOptions& checkpoint) {
+                           const StreamingCheckpointOptions& checkpoint,
+                           PerfStats* perf) {
   RunResult result;
   result.partitioner_name = partitioner.name();
 
@@ -74,6 +103,7 @@ RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partit
 
   Checkpointer checkpointer(checkpoint.path, checkpoint.every);
 
+  ScopedPerfAttach attach(partitioner, perf);
   Timer timer;
   // Fast-forward past the committed prefix: those records' placements are
   // already in the restored route table.
@@ -85,7 +115,7 @@ RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partit
     }
   }
   result.vertices_placed = static_cast<VertexId>(placed);
-  drain(stream, partitioner, checkpointer, placed, result);
+  drain(stream, partitioner, checkpointer, placed, result, perf);
   result.partition_seconds = timer.seconds();
   result.peak_partitioner_bytes = partitioner.memory_footprint_bytes();
   result.route = partitioner.route();

@@ -40,8 +40,13 @@ struct StreamingCheckpointOptions {
 
 /// Drains the stream through the partitioner. The stream is consumed from
 /// its current position; callers reset() beforehand if reusing streams.
+/// `perf`, when non-null, is attached to the partitioner for per-stage
+/// timings and additionally records stream-fetch time under kQueueWait;
+/// detached again before returning. Instrumentation overhead when null is a
+/// handful of untaken branches per record.
 RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
-                        const StreamingCheckpointOptions& checkpoint = {});
+                        const StreamingCheckpointOptions& checkpoint = {},
+                        PerfStats* perf = nullptr);
 
 /// Resumes an interrupted run: restores the partitioner from
 /// `checkpoint_path`, fast-forwards `stream` (which must be reset and emit
@@ -51,6 +56,7 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
 /// if the stream is shorter than the snapshot cursor.
 RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                            const std::string& checkpoint_path,
-                           const StreamingCheckpointOptions& checkpoint = {});
+                           const StreamingCheckpointOptions& checkpoint = {},
+                           PerfStats* perf = nullptr);
 
 }  // namespace spnl

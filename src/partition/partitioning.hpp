@@ -11,6 +11,7 @@
 
 #include "core/checkpoint.hpp"
 #include "graph/types.hpp"
+#include "util/perf_stats.hpp"
 
 namespace spnl {
 
@@ -63,6 +64,11 @@ class StreamingPartitioner {
     throw CheckpointError("restore_state: " + name() +
                           " does not support checkpoints");
   }
+
+  /// Attach a per-stage stats sink (nullptr detaches — the default). Only
+  /// the instrumented partitioners (SPN/SPNL) record stage timings; others
+  /// ignore the sink and the drivers still attribute stream-wait time.
+  virtual void set_perf_stats(PerfStats*) {}
 };
 
 /// Shared machinery for greedy streaming heuristics: the route table,
@@ -82,6 +88,8 @@ class GreedyStreamingBase : public StreamingPartitioner {
   bool supports_checkpoint() const override { return true; }
   void save_state(StateWriter& out) const override;
   void restore_state(StateReader& in) override;
+
+  void set_perf_stats(PerfStats* perf) override { perf_ = perf; }
 
   PartitionId num_partitions() const { return config_.num_partitions; }
   VertexId vertex_count(PartitionId i) const { return vertex_counts_[i]; }
@@ -119,6 +127,8 @@ class GreedyStreamingBase : public StreamingPartitioner {
   std::vector<EdgeId> edge_counts_;
   /// Scratch score buffer reused across place() calls.
   mutable std::vector<double> scores_;
+  /// Optional per-stage instrumentation sink (not owned; nullptr = off).
+  PerfStats* perf_ = nullptr;
 };
 
 /// δ·|G|/K with |G| by balance mode (Algorithm 1, line 4 commentary).

@@ -1,0 +1,197 @@
+// Reference (pre-fusion) SPN/SPNL scoring oracles.
+//
+// These reproduce the original place() formulations verbatim: two passes over
+// the out-list, per-id Γ increments, and the non-hoisted
+// remaining_weight()/pick_best() capacity handling from GreedyStreamingBase.
+// The fused kernel in core/score_kernel.hpp promises byte-identical routes to
+// this formulation; test_scoring_kernel fuzzes that promise across estimators,
+// slide modes and shard counts, and bench_microkernel measures the speedup
+// against it. Kept under tests/ so the production sources carry exactly one
+// scoring implementation.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "core/gamma_table.hpp"
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "partition/partitioning.hpp"
+#include "partition/range_partitioner.hpp"
+#include "util/memory.hpp"
+
+namespace spnl {
+
+/// SPN exactly as first implemented: λ pass, Γ pass, weight loop, pick_best.
+class ReferenceSpnPartitioner final : public GreedyStreamingBase {
+ public:
+  ReferenceSpnPartitioner(VertexId num_vertices, EdgeId num_edges,
+                          const PartitionConfig& config, SpnOptions options = {})
+      : GreedyStreamingBase(num_vertices, num_edges, config),
+        options_(options),
+        gamma_(num_vertices, config.num_partitions,
+               options.num_shards == 0
+                   ? GammaWindow::recommended_shards(num_vertices,
+                                                     config.num_partitions)
+                   : options.num_shards,
+               options.slide) {
+    if (options_.lambda < 0.0 || options_.lambda > 1.0) {
+      throw std::invalid_argument("ReferenceSPN: lambda must be in [0,1]");
+    }
+  }
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override {
+    const PartitionId k = num_partitions();
+    const double lambda = options_.lambda;
+
+    gamma_.advance_to(v);
+
+    scores_.assign(k, 0.0);
+    for (VertexId u : out) {
+      if (u < route_.size() && route_[u] != kUnassigned) {
+        scores_[route_[u]] += lambda;
+      }
+    }
+
+    if (options_.estimator == InNeighborEstimator::kSelf) {
+      const auto row = gamma_.row(v);
+      for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+        scores_[i] += (1.0 - lambda) * row[i];
+      }
+    } else {
+      for (VertexId u : out) {
+        const auto row = gamma_.row(u);
+        for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+          scores_[i] += (1.0 - lambda) * row[i];
+        }
+      }
+    }
+
+    for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
+    const PartitionId pid = pick_best(scores_);
+    commit(v, out, pid);
+
+    for (VertexId u : out) gamma_.increment(pid, u);
+    return pid;
+  }
+
+  std::string name() const override { return "ReferenceSPN"; }
+  std::size_t memory_footprint_bytes() const override {
+    return GreedyStreamingBase::memory_footprint_bytes() +
+           gamma_.memory_footprint_bytes();
+  }
+
+ private:
+  SpnOptions options_;
+  GammaWindow gamma_;
+};
+
+/// SPNL exactly as first implemented (thread-local scratch replaced by plain
+/// members; the arithmetic and its order are unchanged).
+class ReferenceSpnlPartitioner final : public GreedyStreamingBase {
+ public:
+  ReferenceSpnlPartitioner(VertexId num_vertices, EdgeId num_edges,
+                           const PartitionConfig& config, SpnlOptions options = {})
+      : GreedyStreamingBase(num_vertices, num_edges, config),
+        options_(options),
+        gamma_(num_vertices, config.num_partitions,
+               options.num_shards == 0
+                   ? GammaWindow::recommended_shards(num_vertices,
+                                                     config.num_partitions)
+                   : options.num_shards,
+               options.slide),
+        logical_(num_vertices, config.num_partitions),
+        logical_counts_(config.num_partitions, 0) {
+    if (options_.lambda < 0.0 || options_.lambda > 1.0) {
+      throw std::invalid_argument("ReferenceSPNL: lambda must be in [0,1]");
+    }
+    for (PartitionId i = 0; i < config.num_partitions; ++i) {
+      logical_counts_[i] = logical_.range_size(i);
+    }
+  }
+
+  double eta(PartitionId i) const {
+    switch (options_.eta_policy) {
+      case EtaPolicy::kPaper: {
+        const double lt = logical_counts_[i];
+        if (lt <= 0.0) return 0.0;
+        const double e = (lt - static_cast<double>(vertex_count(i))) / lt;
+        return e > 0.0 ? e : 0.0;
+      }
+      case EtaPolicy::kLinear:
+        return num_vertices_ == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(placed_total_) / num_vertices_;
+      case EtaPolicy::kConstant:
+        return options_.eta0;
+      case EtaPolicy::kZero:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  PartitionId place(VertexId v, std::span<const VertexId> out) override {
+    const PartitionId k = num_partitions();
+    const double lambda = options_.lambda;
+
+    gamma_.advance_to(v);
+
+    scores_.assign(k, 0.0);
+    physical_.assign(k, 0.0);
+    logical_hits_.assign(k, 0.0);
+    for (VertexId u : out) {
+      if (u >= route_.size()) continue;
+      if (route_[u] != kUnassigned) {
+        physical_[route_[u]] += 1.0;
+      } else {
+        logical_hits_[logical_.partition_of(u)] += 1.0;
+      }
+    }
+    for (PartitionId i = 0; i < k; ++i) {
+      const double e = eta(i);
+      scores_[i] = lambda * ((1.0 - e) * physical_[i] + e * logical_hits_[i]);
+    }
+
+    if (options_.estimator == InNeighborEstimator::kSelf) {
+      const auto row = gamma_.row(v);
+      for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+        scores_[i] += (1.0 - lambda) * row[i];
+      }
+    } else {
+      for (VertexId u : out) {
+        const auto row = gamma_.row(u);
+        for (PartitionId i = 0; i < static_cast<PartitionId>(row.size()); ++i) {
+          scores_[i] += (1.0 - lambda) * row[i];
+        }
+      }
+    }
+
+    for (PartitionId i = 0; i < k; ++i) scores_[i] *= remaining_weight(i);
+    const PartitionId pid = pick_best(scores_);
+    commit(v, out, pid);
+
+    const PartitionId lp = logical_.partition_of(v);
+    if (logical_counts_[lp] > 0) --logical_counts_[lp];
+    ++placed_total_;
+
+    for (VertexId u : out) gamma_.increment(pid, u);
+    return pid;
+  }
+
+  std::string name() const override { return "ReferenceSPNL"; }
+  std::size_t memory_footprint_bytes() const override {
+    return GreedyStreamingBase::memory_footprint_bytes() +
+           gamma_.memory_footprint_bytes() + vector_bytes(logical_counts_) +
+           2 * sizeof(VertexId) * num_partitions();
+  }
+
+ private:
+  SpnlOptions options_;
+  GammaWindow gamma_;
+  RangeTable logical_;
+  std::vector<VertexId> logical_counts_;
+  VertexId placed_total_ = 0;
+  std::vector<double> physical_, logical_hits_;
+};
+
+}  // namespace spnl

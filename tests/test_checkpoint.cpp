@@ -268,6 +268,54 @@ TEST_F(CheckpointTest, KillAndResumeLdgIsByteIdentical) {
   });
 }
 
+TEST_F(CheckpointTest, KillAndResumeCoarseSlideIsByteIdentical) {
+  // Coarse (shard-by-shard) sliding keeps the window base pinned mid-shard,
+  // so a snapshot taken between shard jumps must restore both the stale base
+  // and the untouched counters of the partially retired shard. Kills are
+  // pinned to shard boundaries (n=3000, 6 shards -> W=500: 500, 1000) and
+  // mid-shard (750, 1250) via checkpoint_every=250.
+  const Graph g = test_graph();
+  const PartitionId k = 8;
+  const std::uint64_t every = 250;
+  for (const bool use_spnl : {false, true}) {
+    auto make = [&](const Graph& gr) -> std::unique_ptr<StreamingPartitioner> {
+      if (use_spnl) {
+        return std::make_unique<SpnlPartitioner>(
+            gr.num_vertices(), gr.num_edges(),
+            PartitionConfig{.num_partitions = k},
+            SpnlOptions{.num_shards = 6, .slide = SlideMode::kCoarse});
+      }
+      return std::make_unique<SpnPartitioner>(
+          gr.num_vertices(), gr.num_edges(), PartitionConfig{.num_partitions = k},
+          SpnOptions{.num_shards = 6, .slide = SlideMode::kCoarse});
+    };
+    std::vector<PartitionId> reference;
+    {
+      auto p = make(g);
+      InMemoryStream stream(g);
+      reference = run_streaming(stream, *p).route;
+    }
+    validate_route(reference, k, g.num_vertices());
+    for (const std::uint64_t kill_at :
+         {std::uint64_t{500}, std::uint64_t{750}, std::uint64_t{1000},
+          std::uint64_t{1250}}) {
+      {
+        auto p = make(g);
+        InMemoryStream inner(g);
+        TruncatedStream stream(inner, kill_at);
+        run_streaming(stream, *p, {.path = path("coarse.ckpt"), .every = every});
+      }
+      auto p = make(g);
+      InMemoryStream stream(g);
+      const RunResult resumed = resume_streaming(stream, *p, path("coarse.ckpt"));
+      EXPECT_EQ(resumed.resumed_at, kill_at);  // kill points align with cadence
+      EXPECT_EQ(resumed.route, reference)
+          << (use_spnl ? "SPNL" : "SPN") << " coarse-slide route diverged after "
+          << "resume at kill point " << kill_at;
+    }
+  }
+}
+
 TEST_F(CheckpointTest, ResumeIntoWrongPartitionerThrows) {
   const Graph g = test_graph(500);
   const PartitionId k = 4;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <map>
 #include <thread>
 #include <vector>
@@ -147,6 +149,115 @@ TEST(GammaWindow, RecommendedShardsMatchesPaperFormula) {
   EXPECT_EQ(GammaWindow::recommended_shards(118'142'155, 32), 128u);
   // Small graphs clamp to X=1 (full table).
   EXPECT_EQ(GammaWindow::recommended_shards(1000, 32), 1u);
+}
+
+TEST(GammaWindow, RecommendedShardsClampsExtremeParameters) {
+  // min{αK, n/(βK)} is computed in doubles; parameter combinations that push
+  // it past 2^32 used to hit an undefined double -> uint32 cast. Now the
+  // result clamps to uint32 max (and constructing such a window still works:
+  // X >= n just means W = 1).
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(GammaWindow::recommended_shards(4'000'000'000u, 1000, 1e16, 1e-12),
+            kMax);
+  EXPECT_EQ(GammaWindow::recommended_shards(kMax, 2, 1e30, 1e-30), kMax);
+  GammaWindow clamped(100, 2, GammaWindow::recommended_shards(100, 2, 1e30, 1e-30));
+  EXPECT_EQ(clamped.window_size(), 1u);
+  // Degenerate inputs (k huge, n = 0, NaN from 0/0 with beta = 0) fall back
+  // to the full table instead of wrapping around.
+  EXPECT_EQ(GammaWindow::recommended_shards(0, 32), 1u);
+  EXPECT_EQ(GammaWindow::recommended_shards(0, 1, 0.0, 0.0), 1u);
+  EXPECT_GE(GammaWindow::recommended_shards(1, 1), 1u);
+}
+
+TEST(GammaWindow, PartialAdvanceClearsWrappedSlotRanges) {
+  // W = 10, base = 7: advancing to 13 retires ids 7..12 whose ring slots are
+  // 7, 8, 9, 0, 1, 2 — the wrap-around split of the range-based retirement.
+  GammaWindow gamma(100, 3, 10);
+  gamma.advance_to(7);  // window [7, 17)
+  for (VertexId u = 7; u < 17; ++u) gamma.increment(u % 3, u);
+  gamma.advance_to(13);  // window [13, 23)
+  // Survivors keep their counters...
+  for (VertexId u = 13; u < 17; ++u) {
+    EXPECT_EQ(gamma.get(u % 3, u), 1u) << "u=" << u;
+  }
+  // ...retired ids are gone, and the freshly exposed ids 17..22 (which reuse
+  // the retired slots) read zero in every partition.
+  for (VertexId u = 17; u < 23; ++u) {
+    for (PartitionId p = 0; p < 3; ++p) {
+      EXPECT_EQ(gamma.get(p, u), 0u) << "u=" << u << " p=" << p;
+    }
+  }
+}
+
+TEST(GammaWindow, PartialAdvanceMatchesPerIdReference) {
+  // Randomized cross-check of the two-memset retirement against a per-id
+  // clearing loop applied to a mirror window.
+  const VertexId n = 300;
+  const PartitionId k = 3;
+  GammaWindow gamma(n, k, 30);  // W = 10
+  std::map<std::pair<PartitionId, VertexId>, std::uint32_t> mirror;
+  Rng rng(1234);
+  VertexId head = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto p = static_cast<PartitionId>(rng.next_below(k));
+    gamma.increment(p, u);
+    if (gamma.contains(u)) ++mirror[{p, u}];
+    if (rng.next_bool(0.3) && head + 1 < n) {
+      head += static_cast<VertexId>(1 + rng.next_below(12));  // crosses W
+      if (head >= n) head = n - 1;
+      gamma.advance_to(head);
+      for (auto it = mirror.begin(); it != mirror.end();) {
+        it = it->second == 0 || !gamma.contains(it->first.second)
+                 ? mirror.erase(it)
+                 : ++it;
+      }
+    }
+    for (VertexId w = head; w < std::min<VertexId>(head + 10, n); ++w) {
+      for (PartitionId q = 0; q < k; ++q) {
+        auto it = mirror.find({q, w});
+        ASSERT_EQ(gamma.get(q, w), it == mirror.end() ? 0u : it->second)
+            << "step=" << step << " w=" << w << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(GammaWindow, CoarseSaveRestoreMidShardIsEquivalent) {
+  // Snapshot a coarse-mode window mid-shard, restore into a fresh instance,
+  // and drive both with the same tail of operations: every observable
+  // (base, membership, counters) must stay in lockstep. This is the
+  // window-level half of the coarse-slide kill-and-resume contract.
+  GammaWindow live(100, 2, 10, SlideMode::kCoarse);
+  live.advance_to(23);  // coarse-aligned to 20
+  live.increment(0, 24);
+  live.increment(1, 27);
+  ASSERT_EQ(live.base(), 20u);
+
+  StateWriter out;
+  live.save(out);
+  GammaWindow restored(100, 2, 10, SlideMode::kCoarse);
+  StateReader in(out.bytes());
+  restored.restore(in);
+
+  EXPECT_EQ(restored.base(), live.base());
+  for (VertexId u = 20; u < 30; ++u) {
+    EXPECT_EQ(restored.get(0, u), live.get(0, u)) << "u=" << u;
+    EXPECT_EQ(restored.get(1, u), live.get(1, u)) << "u=" << u;
+  }
+  // Same tail on both: mid-shard arrivals (no movement), then a shard jump.
+  for (GammaWindow* w : {&live, &restored}) {
+    w->advance_to(26);
+    w->increment(1, 29);
+    w->advance_to(31);
+    w->increment(0, 35);
+  }
+  EXPECT_EQ(live.base(), 30u);
+  EXPECT_EQ(restored.base(), live.base());
+  for (VertexId u = 30; u < 40; ++u) {
+    EXPECT_EQ(restored.get(0, u), live.get(0, u)) << "u=" << u;
+    EXPECT_EQ(restored.get(1, u), live.get(1, u)) << "u=" << u;
+  }
 }
 
 TEST(GammaWindow, MemoryShrinksWithShards) {

@@ -69,6 +69,79 @@ TEST(GammaGroundTruth, SpnlSharesTheSameGammaSemantics) {
   }
 }
 
+// Multigraph semantics (documented in spn.hpp): parallel edges count with
+// multiplicity in both the λ out-neighbor term and the Γ increments, and a
+// self-loop yields one (inert) Γ increment for the placed vertex itself.
+// Callers wanting simple-graph semantics dedupe at the load layer
+// (GraphBuilder::FinishOptions); the last test closes that loop.
+
+TEST(MultigraphSemantics, ParallelEdgesVoteWithMultiplicity) {
+  // λ=1 (pure out-neighbor term), K=2, n=3. v0 -> P0 (empty tie, lowest id),
+  // v1 -> P1 (score tie, lower load). v2's list [1, 1, 0] then scores P1=2
+  // vs P0=1 under multiplicity; deduplicated it would tie 1-1 and fall to P0
+  // (equal loads, lower id) — so the placement distinguishes the semantics.
+  const PartitionConfig config{.num_partitions = 2};
+  SpnPartitioner spn(3, 3, config, SpnOptions{.lambda = 1.0, .num_shards = 1});
+  EXPECT_EQ(spn.place(0, std::vector<VertexId>{}), 0u);
+  EXPECT_EQ(spn.place(1, std::vector<VertexId>{}), 1u);
+  EXPECT_EQ(spn.place(2, std::vector<VertexId>{1, 1, 0}), 1u);
+
+  // SPNL with the logical term silenced behaves identically.
+  SpnlPartitioner spnl(3, 3, config,
+                       SpnlOptions{.lambda = 1.0, .num_shards = 1,
+                                   .eta_policy = EtaPolicy::kZero});
+  EXPECT_EQ(spnl.place(0, std::vector<VertexId>{}), 0u);
+  EXPECT_EQ(spnl.place(1, std::vector<VertexId>{}), 1u);
+  EXPECT_EQ(spnl.place(2, std::vector<VertexId>{1, 1, 0}), 1u);
+}
+
+TEST(MultigraphSemantics, GammaCountsParallelEdgesWithMultiplicity) {
+  // Γ_i(u) is the number of placed-edge endpoints into u, not the number of
+  // distinct placed in-neighbors: two parallel edges 0->5 leave Γ_pid(5)=2.
+  SpnPartitioner spn(8, 3, {.num_partitions = 2},
+                     SpnOptions{.num_shards = 1});
+  const PartitionId pid = spn.place(0, std::vector<VertexId>{5, 5, 7});
+  EXPECT_EQ(spn.gamma().get(pid, 5), 2u);
+  EXPECT_EQ(spn.gamma().get(pid, 7), 1u);
+  EXPECT_EQ(spn.gamma().get(1 - pid, 5), 0u);
+}
+
+TEST(MultigraphSemantics, SelfLoopGammaIncrementIsDefinitionFaithful) {
+  // At scoring time v is unplaced, so a self-loop adds nothing to any term;
+  // after placement v IS a placed in-neighbor of itself, so Γ_pid(v) = 1.
+  // The count is inert (v's row is never read again) but keeps Γ equal to
+  // |V_i^pt ∩ N_in(u)| for every in-window u, self-loops included.
+  SpnPartitioner spn(4, 2, {.num_partitions = 2}, SpnOptions{.num_shards = 1});
+  const PartitionId pid = spn.place(0, std::vector<VertexId>{0, 2});
+  EXPECT_EQ(spn.gamma().get(pid, 0), 1u);
+  EXPECT_EQ(spn.gamma().get(pid, 2), 1u);
+
+  SpnlPartitioner spnl(4, 2, {.num_partitions = 2},
+                       SpnlOptions{.num_shards = 1});
+  const PartitionId lpid = spnl.place(0, std::vector<VertexId>{0, 2});
+  EXPECT_EQ(spnl.gamma().get(lpid, 0), 1u);
+  EXPECT_EQ(spnl.gamma().get(lpid, 2), 1u);
+}
+
+TEST(MultigraphSemantics, LoadLayerDedupRestoresSimpleGraphPlacement) {
+  // The supported path to simple-graph semantics: strip duplicates and
+  // self-loops when building the graph. The same edge list as the first test
+  // then routes v2 to P0 (1-1 score tie, equal loads, lowest id).
+  GraphBuilder builder(3);
+  builder.add_edge(2, 1);
+  builder.add_edge(2, 1);
+  builder.add_edge(2, 0);
+  builder.add_edge(2, 2);
+  const Graph g = builder.finish({.strip_self_loops = true,
+                                  .strip_duplicate_edges = true});
+  ASSERT_EQ(g.out_neighbors(2).size(), 2u);
+  SpnPartitioner spn(3, g.num_edges(), {.num_partitions = 2},
+                     SpnOptions{.lambda = 1.0, .num_shards = 1});
+  EXPECT_EQ(spn.place(0, g.out_neighbors(0)), 0u);
+  EXPECT_EQ(spn.place(1, g.out_neighbors(1)), 1u);
+  EXPECT_EQ(spn.place(2, g.out_neighbors(2)), 0u);
+}
+
 TEST(GammaGroundTruth, LambdaSweepKeepsInvariants) {
   const Graph g = generate_webcrawl({.num_vertices = 3000, .avg_out_degree = 6.0,
                                      .seed = 35});

@@ -34,4 +34,23 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 
 ctest --test-dir "${build_dir}" --output-on-failure "${ctest_args[@]+"${ctest_args[@]}"}"
+
+# Instrumented parallel driver under the sanitizers: the per-worker PerfStats
+# instances, the post-join merge, and the fused scoring kernel all run on
+# real threads here, so an out-of-range Γ-row offset, a scratch-buffer
+# overflow, or UB in the timing paths surfaces as a sanitizer abort rather
+# than a corrupted counter.
+smoke_dir="${build_dir}/sanitize_smoke"
+mkdir -p "${smoke_dir}"
+"${build_dir}/tools/spnl_gen" --out="${smoke_dir}/graph.adj" \
+  --model=webcrawl --vertices=20000 --avg-degree=8 --seed=7
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --threads=4 --perf-report \
+  --perf-json="${smoke_dir}/perf_parallel.json"
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spn --perf-report
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "${smoke_dir}/perf_parallel.json" 2>/dev/null \
+  || grep -q '"total_nanos"' "${smoke_dir}/perf_parallel.json"
+
 echo "sanitize smoke: OK"

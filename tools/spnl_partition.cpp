@@ -9,6 +9,7 @@
 //                  [--resume-from=ckpt.bin]
 //                  [--workers=W] [--sync-interval=N] [--recover=reassign|none]
 //                  [--inject-faults=crash:W@T,drop:P,delay:P,dup:P,seed:S]
+//                  [--perf-report] [--perf-json=stats.json]
 //
 // Algorithms: hash, range, ldg, fennel, spn, spnl (default), balanced, dg,
 // edg, triangles, multilevel, labelprop. --threads > 1 selects parallel
@@ -23,9 +24,17 @@
 // --workers switches to the distributed simulation; --inject-faults feeds it
 // a seeded fault plan (scripted worker crashes and lossy sync messages).
 //
+// Instrumentation: --perf-report attaches per-stage counters/timers (score,
+// Γ increment, window advance, commit, queue wait) to the sequential greedy
+// and parallel SPNL/SPN paths and prints a table plus one machine-readable
+// JSON line (prefix "perf-json: "); --perf-json writes that JSON object to a
+// file. When neither flag is given the instrumentation is compiled in but
+// never attached — the hot path only sees untaken null-pointer branches.
+//
 // Prints ECR / δv / δe / PT / MC and writes the route table when --out is
 // given. Exit code 0 on success.
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -51,6 +60,7 @@
 #include "partition/window_stream.hpp"
 #include "util/cli.hpp"
 #include "util/memory.hpp"
+#include "util/perf_stats.hpp"
 
 namespace {
 
@@ -68,6 +78,7 @@ int usage() {
                "[--resume-from=ckpt.bin]\n"
                "  [--workers=W] [--sync-interval=N] [--recover=reassign|none]\n"
                "  [--inject-faults=crash:W@T,drop:P,delay:P,dup:P,seed:S]\n"
+               "  [--perf-report] [--perf-json=stats.json]\n"
                "algos: hash range ldg fennel spn spnl balanced dg edg "
                "triangles multilevel labelprop\n");
   return 2;
@@ -160,6 +171,12 @@ int main(int argc, char** argv) {
   const std::string resume_from = args.get("resume-from", "");
   const auto workers = static_cast<unsigned>(args.get_int("workers", 0));
 
+  const bool perf_report = args.get_bool("perf-report", false);
+  const std::string perf_json_path = args.get("perf-json", "");
+  PerfStats perf;
+  // Instrumented paths: sequential greedy algos and the parallel driver.
+  PerfStats* perf_ptr = (perf_report || !perf_json_path.empty()) ? &perf : nullptr;
+
   try {
     const Graph graph = load_graph(args.positional()[0], format);
     if (!quiet) std::printf("%s\n", describe(graph, args.positional()[0]).c_str());
@@ -240,6 +257,7 @@ int main(int argc, char** argv) {
       options.checkpoint_path = checkpoint_path;
       options.checkpoint_every = checkpoint_every;
       options.resume_from = resume_from;
+      options.perf = perf_ptr;
       const auto result = run_parallel(stream, config, options);
       route = result.route;
       seconds = result.partition_seconds;
@@ -287,8 +305,9 @@ int main(int argc, char** argv) {
       checkpoint.every = checkpoint_every;
       const RunResult run =
           resume_from.empty()
-              ? run_streaming(stream, *partitioner, checkpoint)
-              : resume_streaming(stream, *partitioner, resume_from, checkpoint);
+              ? run_streaming(stream, *partitioner, checkpoint, perf_ptr)
+              : resume_streaming(stream, *partitioner, resume_from, checkpoint,
+                                 perf_ptr);
       route = run.route;
       seconds = run.partition_seconds;
       bytes = run.peak_partitioner_bytes;
@@ -311,6 +330,20 @@ int main(int argc, char** argv) {
       const auto metrics = evaluate_partition(graph, route, k);
       std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
                   summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
+    }
+    if (perf_ptr != nullptr) {
+      if (perf_report) {
+        std::printf("%s", perf.report().c_str());
+        std::printf("perf-json: %s\n", perf.to_json().c_str());
+      }
+      if (!perf_json_path.empty()) {
+        std::ofstream out(perf_json_path);
+        if (!out) {
+          throw std::runtime_error("--perf-json: cannot write " + perf_json_path);
+        }
+        out << perf.to_json() << "\n";
+        if (!quiet) std::printf("wrote %s\n", perf_json_path.c_str());
+      }
     }
     if (args.has("out")) {
       write_route_table(route, args.get("out", ""));
