@@ -52,6 +52,34 @@ void ConcurrentGammaWindow::advance_to(VertexId head) {
   base_.store(head, std::memory_order_relaxed);
 }
 
+void ConcurrentGammaWindow::shrink_to(VertexId new_window) {
+  if (new_window == 0) new_window = 1;
+  std::lock_guard lock(advance_mutex_);
+  if (new_window >= window_size_) return;
+  const VertexId base = base_.load(std::memory_order_relaxed);
+  auto counters =
+      std::make_unique<std::atomic<std::uint32_t>[]>(
+          static_cast<std::size_t>(new_window) * num_partitions_);
+  const std::size_t total = static_cast<std::size_t>(new_window) * num_partitions_;
+  for (std::size_t i = 0; i < total; ++i) {
+    counters[i].store(0, std::memory_order_relaxed);
+  }
+  for (VertexId i = 0; i < new_window; ++i) {
+    const VertexId id = base + i;
+    const std::size_t old_row =
+        static_cast<std::size_t>(slot_of(id)) * num_partitions_;
+    const std::size_t new_row =
+        static_cast<std::size_t>(id % new_window) * num_partitions_;
+    for (PartitionId p = 0; p < num_partitions_; ++p) {
+      counters[new_row + p].store(
+          counters_[old_row + p].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+  }
+  counters_ = std::move(counters);
+  window_size_ = new_window;
+}
+
 void ConcurrentGammaWindow::save(StateWriter& out) const {
   const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;
   std::vector<std::uint32_t> counters(total);
@@ -66,7 +94,13 @@ void ConcurrentGammaWindow::save(StateWriter& out) const {
 
 void ConcurrentGammaWindow::restore(StateReader& in) {
   in.expect_u32(num_partitions_, "gamma partition count");
-  in.expect_u32(window_size_, "gamma window size");
+  // Adopt a governor-degraded (smaller) snapshot window; see
+  // GammaWindow::restore for the rationale.
+  const VertexId window = in.get_u32();
+  if (window > window_size_) {
+    throw CheckpointError("gamma restore: window size mismatch");
+  }
+  if (window < window_size_) shrink_to(window);
   const VertexId base = in.get_u32();
   const auto counters = in.get_vec<std::uint32_t>();
   const std::size_t total = static_cast<std::size_t>(window_size_) * num_partitions_;

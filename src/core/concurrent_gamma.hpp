@@ -44,6 +44,13 @@ class ConcurrentGammaWindow {
   VertexId base() const { return base_.load(std::memory_order_relaxed); }
   PartitionId num_partitions() const { return num_partitions_; }
 
+  /// Resource-governor degradation: shrink to `new_window` rows, keeping the
+  /// covered ids' counters and releasing the rest of the storage. The
+  /// backing array is REALLOCATED — callers must have quiesced every
+  /// reader/writer first (the parallel driver holds its pipeline-wide
+  /// exclusive lock, the same discipline save() documents).
+  void shrink_to(VertexId new_window);
+
   std::size_t memory_footprint_bytes() const {
     return static_cast<std::size_t>(window_size_) * num_partitions_ *
            sizeof(std::atomic<std::uint32_t>);

@@ -74,6 +74,12 @@ DistributedSimResult distributed_stream_partition(
           "distributed_stream_partition: crash names an unknown worker");
     }
   }
+  for (const WorkerStall& stall : options.faults.stalls) {
+    if (stall.worker >= options.num_workers) {
+      throw std::invalid_argument(
+          "distributed_stream_partition: stall names an unknown worker");
+    }
+  }
   const VertexId n = stream.num_vertices();
   const EdgeId m = stream.num_edges();
   const PartitionId k = config.num_partitions;
@@ -113,6 +119,8 @@ DistributedSimResult distributed_stream_partition(
 
   Rng fault_rng(options.faults.seed);
   std::vector<char> crash_fired(options.faults.crashes.size(), 0);
+  std::vector<char> stall_fired(options.faults.stalls.size(), 0);
+  std::vector<std::uint64_t> stall_remaining(W, 0);
   std::uint64_t total_placements = 0;
 
   // Crash handling: fire every due crash, then dispose of the dead workers'
@@ -156,6 +164,19 @@ DistributedSimResult distributed_stream_partition(
     }
   };
 
+  // Stalls accumulate skip-turns on their victim once due (crashed workers
+  // cannot stall — they are already gone).
+  auto apply_due_stalls = [&] {
+    for (std::size_t s = 0; s < options.faults.stalls.size(); ++s) {
+      const WorkerStall& stall = options.faults.stalls[s];
+      if (stall_fired[s] || total_placements < stall.at_placement) continue;
+      stall_fired[s] = 1;
+      if (workers[stall.worker].crashed) continue;
+      stall_remaining[stall.worker] += stall.for_placements;
+      ++result.worker_stalls;
+    }
+  };
+
   // Sync delivery with seeded message faults. RNG draws happen in a fixed
   // (worker-index) order regardless of outcome, keeping runs replayable.
   auto deliver_sync = [&](WorkerView& view) {
@@ -191,9 +212,36 @@ DistributedSimResult distributed_stream_partition(
   while (progress) {
     progress = false;
     apply_due_crashes();
+    apply_due_stalls();
+    // Livelock guard: when every live worker with remaining work is stalled,
+    // the least-index one is forced to proceed this round anyway.
+    unsigned forced = W;
+    {
+      bool any_unstalled = false;
+      unsigned least_stalled = W;
+      for (unsigned w = 0; w < W; ++w) {
+        if (workers[w].crashed || workers[w].cursor >= workers[w].slice.size()) {
+          continue;
+        }
+        if (stall_remaining[w] == 0) {
+          any_unstalled = true;
+          break;
+        }
+        if (least_stalled == W) least_stalled = w;
+      }
+      if (!any_unstalled) forced = least_stalled;
+    }
     for (unsigned w = 0; w < W; ++w) {
       WorkerView& view = workers[w];
       if (view.crashed || view.cursor >= view.slice.size()) continue;
+      if (stall_remaining[w] > 0) {
+        --stall_remaining[w];  // the forced turn also burns a stall tick
+        if (w != forced) {
+          ++result.stalled_turns;
+          progress = true;  // the stall drains, so the loop still terminates
+          continue;
+        }
+      }
       progress = true;
       const OwnedVertexRecord& record = view.slice[view.cursor++];
       const PartitionId pid = score_and_pick(view, record, k, capacity, logical,
@@ -213,6 +261,7 @@ DistributedSimResult distributed_stream_partition(
       ++view.loads[pid];
       ++total_placements;
       apply_due_crashes();
+      apply_due_stalls();
 
       if (options.mode == DistributedMode::kPeriodicSync &&
           ++since_sync >= options.sync_interval) {

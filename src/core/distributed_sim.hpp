@@ -53,10 +53,23 @@ struct WorkerCrash {
   std::uint64_t at_placement = 0;
 };
 
+/// A scripted straggler: worker `worker` freezes (skips its round-robin
+/// turns) for `for_placements` turns once the global placement count reaches
+/// `at_placement`. Unlike a crash, no work is lost — the slice just waits,
+/// modeling a GC pause / CPU-starved node. When every live worker with
+/// remaining work is stalled simultaneously, the least-index stalled worker
+/// proceeds anyway (the watchdog-kick analogue; prevents livelock).
+struct WorkerStall {
+  unsigned worker = 0;
+  std::uint64_t at_placement = 0;
+  std::uint64_t for_placements = 1;
+};
+
 /// Seeded fault schedule. Sync-message faults draw from one deterministic
 /// RNG in a fixed order, so a plan replays identically run after run.
 struct FaultPlan {
   std::vector<WorkerCrash> crashes;
+  std::vector<WorkerStall> stalls;
   /// Per-worker-per-sync probability the refresh is silently lost.
   double drop_sync_prob = 0.0;
   /// Per-worker-per-sync probability the refresh delivers the PREVIOUS
@@ -71,7 +84,9 @@ struct FaultPlan {
     return drop_sync_prob > 0.0 || delay_sync_prob > 0.0 ||
            duplicate_sync_prob > 0.0;
   }
-  bool any() const { return !crashes.empty() || has_sync_faults(); }
+  bool any() const {
+    return !crashes.empty() || !stalls.empty() || has_sync_faults();
+  }
 };
 
 struct DistributedSimOptions {
@@ -99,6 +114,10 @@ struct DistributedSimResult {
   std::uint64_t lost_placements = 0;
   /// Slice records adopted by a surviving worker after a crash (kReassign).
   std::uint64_t recovered_placements = 0;
+  /// Stall events that fired, and round-robin turns skipped by stalled
+  /// workers (forced livelock-guard turns are not counted as skipped).
+  std::uint64_t worker_stalls = 0;
+  std::uint64_t stalled_turns = 0;
   std::uint64_t dropped_syncs = 0;
   std::uint64_t delayed_syncs = 0;
   std::uint64_t duplicated_syncs = 0;

@@ -80,6 +80,34 @@ void GammaWindow::advance_general(VertexId head) {
   if (base_slot_ >= window_size_) base_slot_ -= window_size_;
 }
 
+void GammaWindow::shrink_to(VertexId new_window) {
+  if (new_window == 0) new_window = 1;
+  if (new_window >= window_size_) return;
+  // Rebuild into a fresh right-sized vector (assign() would keep the old
+  // capacity and the footprint would not actually drop). Ids still covered
+  // by the smaller window keep their counters; [base+new_W, base+old_W) is
+  // dropped — the same loss as having streamed with a larger X all along.
+  std::vector<std::uint32_t> counters(
+      static_cast<std::size_t>(new_window) * num_partitions_, 0);
+  const std::uint64_t covered =
+      std::min<std::uint64_t>(new_window,
+                              static_cast<std::uint64_t>(window_size_));
+  for (std::uint64_t i = 0; i < covered; ++i) {
+    const VertexId id = base_ + static_cast<VertexId>(i);
+    const std::size_t old_row = row_offset(id);
+    const std::size_t new_row =
+        static_cast<std::size_t>(id % new_window) * num_partitions_;
+    std::memcpy(counters.data() + new_row, counters_.data() + old_row,
+                num_partitions_ * sizeof(std::uint32_t));
+  }
+  counters_.swap(counters);
+  window_size_ = new_window;
+  base_slot_ = slot_of(base_);
+  // Keep the W = ceil(n/X) relationship coherent for save/restore guards.
+  const VertexId n = std::max<VertexId>(num_vertices_, 1);
+  num_shards_ = (n + window_size_ - 1) / window_size_;
+}
+
 std::size_t GammaWindow::memory_footprint_bytes() const {
   return vector_bytes(counters_);
 }
@@ -97,9 +125,21 @@ void GammaWindow::save(StateWriter& out) const {
 void GammaWindow::restore(StateReader& in) {
   in.expect_u32(num_vertices_, "gamma vertex count");
   in.expect_u32(num_partitions_, "gamma partition count");
-  in.expect_u32(num_shards_, "gamma shard count");
-  in.expect_u32(static_cast<std::uint32_t>(mode_), "gamma slide mode");
-  in.expect_u32(window_size_, "gamma window size");
+  const std::uint32_t shards = in.get_u32();
+  const auto mode = static_cast<SlideMode>(in.get_u32());
+  const VertexId window = in.get_u32();
+  // A governor-degraded snapshot has a smaller window (and possibly coarse
+  // mode) than this freshly constructed instance: adopt the degraded shape
+  // so resume continues exactly where the degraded run left off. A LARGER
+  // snapshot window cannot fit and is a real configuration mismatch.
+  if (window > window_size_) {
+    throw CheckpointError("gamma restore: window size mismatch");
+  }
+  if (window < window_size_) shrink_to(window);
+  if (shards != num_shards_) {
+    throw CheckpointError("gamma restore: shard count mismatch");
+  }
+  mode_ = mode;
   base_ = in.get_u32();
   base_slot_ = slot_of(base_);
   auto counters = in.get_vec<std::uint32_t>();

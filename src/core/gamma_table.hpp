@@ -120,10 +120,24 @@ class GammaWindow {
   std::uint32_t num_shards() const { return num_shards_; }
   SlideMode slide_mode() const { return mode_; }
 
+  /// Resource-governor degradation: shrink the window to `new_window` rows,
+  /// keeping the counters of the ids still covered ([base, base+new_window))
+  /// and discarding the tail — the same accuracy/memory trade-off as a
+  /// larger X, applied mid-stream. The backing storage is reallocated so the
+  /// footprint actually drops. No-op when new_window >= current size.
+  void shrink_to(VertexId new_window);
+
+  /// Degradation rung 2: switch the slide granularity mid-stream (fine ->
+  /// coarse trades boundary-vertex accuracy for cheaper bookkeeping).
+  void set_slide_mode(SlideMode mode) { mode_ = mode; }
+
   std::size_t memory_footprint_bytes() const;
 
   /// Checkpoint the window (configuration guards + base + counters) /
-  /// restore it into an identically configured window.
+  /// restore. A snapshot taken after governor degradation (smaller window,
+  /// coarse mode) restores into a fresh full-size window by shrinking and
+  /// re-moding it first; a snapshot LARGER than the current window is a
+  /// configuration mismatch and throws.
   void save(StateWriter& out) const;
   void restore(StateReader& in);
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -13,8 +15,10 @@
 #include "core/checkpoint.hpp"
 #include "core/concurrent_gamma.hpp"
 #include "core/rct.hpp"
+#include "core/watchdog.hpp"
 #include "partition/range_partitioner.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace spnl {
@@ -90,15 +94,26 @@ struct SharedState {
   std::atomic<std::uint64_t> placed_total{0};
   std::atomic<std::uint64_t> delayed{0};
   std::atomic<std::uint64_t> forced{0};
+  /// Last-rung governor degradation: replace scoring with a deterministic
+  /// capacity-weighted hash vote (and stop feeding the Γ window).
+  std::atomic<bool> hash_fallback{false};
 };
 
 class Worker {
  public:
   /// `perf` is a caller-owned, caller-thread-local sink (PerfStats is not
-  /// thread-safe); nullptr disables instrumentation.
+  /// thread-safe); nullptr disables instrumentation. `watchdog`+`index`
+  /// route the per-commit heartbeat (nullptr = no watchdog, e.g. the
+  /// monitor's own rescue worker).
   Worker(SharedState& state, Rct* rct, WatermarkTracker& watermark,
-         PerfStats* perf = nullptr)
-      : state_(state), rct_(rct), watermark_(watermark), perf_(perf) {}
+         PerfStats* perf = nullptr, PipelineWatchdog* watchdog = nullptr,
+         unsigned index = 0)
+      : state_(state),
+        rct_(rct),
+        watermark_(watermark),
+        perf_(perf),
+        watchdog_(watchdog),
+        index_(index) {}
 
   /// Score + pick; bumps RCT counters of in-flight out-neighbors along the
   /// out-list traversal (the "no additional runtime cost" counting of the
@@ -110,6 +125,14 @@ class Worker {
     physical_.assign(k, 0.0);
     logical_.assign(k, 0.0);
     scores_.assign(k, 0.0);
+
+    if (state_.hash_fallback.load(std::memory_order_relaxed)) {
+      // Degraded last rung: a deterministic hash vote run through the normal
+      // capacity weighting below — balance survives, affinity does not.
+      scores_[static_cast<PartitionId>(mix64(kDegradedHashSeed ^ record.id) % k)] =
+          1.0;
+      return pick(k);
+    }
 
     for (VertexId u : record.out) {
       if (bump_rct && rct_ != nullptr && u != record.id) rct_->bump_if_present(u);
@@ -163,26 +186,7 @@ class Worker {
       }
     }
 
-    PartitionId best = kUnassigned;
-    double best_score = 0.0, best_load = 0.0;
-    for (PartitionId i = 0; i < k; ++i) {
-      const double load = state_.load(i);
-      if (load >= state_.capacity) continue;
-      const double score = scores_[i] * (1.0 - load / state_.capacity);
-      if (best == kUnassigned || score > best_score ||
-          (score == best_score && load < best_load)) {
-        best = i;
-        best_score = score;
-        best_load = load;
-      }
-    }
-    if (best == kUnassigned) {
-      best = 0;
-      for (PartitionId i = 1; i < k; ++i) {
-        if (state_.load(i) < state_.load(best)) best = i;
-      }
-    }
-    return best;
+    return pick(k);
   }
 
   void commit(const OwnedVertexRecord& record, PartitionId pid) {
@@ -197,10 +201,11 @@ class Worker {
         state_.logical_counts[lp].fetch_sub(1, std::memory_order_relaxed);
       }
     }
-    {
+    if (!state_.hash_fallback.load(std::memory_order_relaxed)) {
       // No stashed row offsets here, unlike the sequential kernel: other
       // workers may slide the shared window between choose() and commit(),
-      // so each increment re-checks membership by id.
+      // so each increment re-checks membership by id. (Hash fallback stops
+      // feeding the window — the scores never read it again.)
       PerfScope t(perf_, PerfStage::kGammaIncrement);
       for (VertexId u : record.out) state_.gamma.increment(pid, u);
     }
@@ -208,6 +213,9 @@ class Worker {
       PerfScope t(perf_, PerfStage::kWindowAdvance);
       state_.gamma.advance_to(watermark_.mark_done(record.id));
     }
+    // The liveness signal the monitor watches: any commit proves progress,
+    // including mid-chain commits of RCT-released records.
+    if (watchdog_ != nullptr) watchdog_->heartbeat(index_);
   }
 
   /// Place a record and everything its placement releases from the RCT.
@@ -248,11 +256,38 @@ class Worker {
   }
 
  private:
+  /// Capacity weight + argmax over scores_ (ties to lower load, then lower
+  /// id; all-full overflows to the globally least-loaded partition).
+  PartitionId pick(PartitionId k) const {
+    PartitionId best = kUnassigned;
+    double best_score = 0.0, best_load = 0.0;
+    for (PartitionId i = 0; i < k; ++i) {
+      const double load = state_.load(i);
+      if (load >= state_.capacity) continue;
+      const double score = scores_[i] * (1.0 - load / state_.capacity);
+      if (best == kUnassigned || score > best_score ||
+          (score == best_score && load < best_load)) {
+        best = i;
+        best_score = score;
+        best_load = load;
+      }
+    }
+    if (best == kUnassigned) {
+      best = 0;
+      for (PartitionId i = 1; i < k; ++i) {
+        if (state_.load(i) < state_.load(best)) best = i;
+      }
+    }
+    return best;
+  }
+
   SharedState& state_;
   Rct* rct_;
   WatermarkTracker& watermark_;
   PerfStats* perf_;
-  std::vector<double> physical_, logical_, scores_;
+  PipelineWatchdog* watchdog_;
+  unsigned index_;
+  mutable std::vector<double> physical_, logical_, scores_;
 };
 
 constexpr const char* kParTag = "par-driver";
@@ -290,6 +325,7 @@ StateWriter snapshot_parallel(const SharedState& state, const Rct& rct,
   out.put_u64(state.placed_total.load());
   out.put_u64(state.delayed.load());
   out.put_u64(state.forced.load());
+  out.put_u32(state.hash_fallback.load(std::memory_order_relaxed) ? 1 : 0);
   state.gamma.save(out);
 
   const auto parked = rct.snapshot_parked();
@@ -339,6 +375,7 @@ std::uint64_t restore_parallel(const std::string& path, SharedState& state, Rct&
   state.placed_total.store(in.get_u64(), std::memory_order_relaxed);
   state.delayed.store(in.get_u64(), std::memory_order_relaxed);
   state.forced.store(in.get_u64(), std::memory_order_relaxed);
+  state.hash_fallback.store(in.get_u32() != 0, std::memory_order_relaxed);
   state.gamma.restore(in);
 
   const std::uint64_t parked_count = in.get_u64();
@@ -404,34 +441,183 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   }
 
   // Workers hold the pipeline lock shared for the span of each placement;
-  // the producer takes it exclusively to quiesce for a snapshot. A record
-  // popped but not yet locked is detected by the accounting check below
-  // (committed + parked < produced), so a snapshot can never observe a
-  // half-applied placement.
+  // the producer takes it exclusively to quiesce for a snapshot or a
+  // governor ladder step. A record popped but not yet locked is detected by
+  // the accounting check below (committed + parked < produced), so a quiesce
+  // can never observe a half-applied placement.
   std::shared_mutex pipeline_mutex;
   std::uint64_t produced = resumed_at;
 
-  auto quiesce_and_snapshot = [&] {
+  // Injected allocation pressure: touched so the pages are resident and the
+  // governor's RSS sample actually sees them.
+  std::vector<char> ballast(options.faults.ballast_bytes, 0);
+  for (std::size_t i = 0; i < ballast.size(); i += 4096) ballast[i] = 1;
+
+  // Watchdog + monitor-thread rescue path. The rescuer bypasses the RCT: a
+  // stolen record was taken before its worker registered it anywhere, so a
+  // plain choose+commit under the shared pipeline lock is the complete
+  // placement. The monitor is a single thread, so the rescuer needs no
+  // further synchronization.
+  Worker rescuer(state, nullptr, watermark);
+  std::optional<PipelineWatchdog> watchdog;
+  PipelineWatchdog* wd = nullptr;
+  if (options.watchdog_timeout_seconds > 0.0) {
+    watchdog.emplace(
+        options.num_threads,
+        PipelineWatchdog::Options{options.watchdog_timeout_seconds,
+                                  options.watchdog_poll_seconds},
+        [&](unsigned, OwnedVertexRecord record) {
+          std::shared_lock lock(pipeline_mutex);
+          const PartitionId pid = rescuer.choose(record, /*bump_rct=*/false);
+          rescuer.commit(record, pid);
+        },
+        [&] { queue.abort(); });
+    wd = &*watchdog;
+    wd->start();
+  }
+
+  // Run `fn` with the pipeline quiesced (exclusive lock, every produced
+  // record committed or parked). Returns false without running fn if the
+  // pipeline aborted while waiting — a wedged worker would otherwise spin
+  // this loop forever.
+  auto quiesce = [&](const std::function<void()>& fn) -> bool {
     for (;;) {
+      if (wd != nullptr && wd->aborted()) return false;
       {
         std::unique_lock lock(pipeline_mutex);
         const std::uint64_t accounted =
             state.placed_total.load(std::memory_order_acquire) + rct.parked_size();
         if (accounted == produced) {
-          checkpointer.write(snapshot_parallel(state, rct, shards, produced));
-          return;
+          fn();
+          return true;
         }
       }
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   };
 
+  // The governor's MC sample: every byte the parallel partitioner itself
+  // holds (Γ window, route, load counters, RCT).
+  auto pipeline_bytes = [&]() -> std::size_t {
+    return state.gamma.memory_footprint_bytes() +
+           state.route.size() * sizeof(std::atomic<PartitionId>) +
+           3 * static_cast<std::size_t>(config.num_partitions) *
+               sizeof(std::atomic<std::uint64_t>) +
+           rct.memory_footprint_bytes();
+  };
+
+  ResourceGovernor* governor = options.governor;
+
+  // One rung against the quiesced shared state (callers hold the exclusive
+  // pipeline lock — ConcurrentGammaWindow::shrink_to reallocates). Coarse
+  // slide has no meaning for the watermark-driven concurrent window, so that
+  // rung reports false and the ladder skips to hash fallback.
+  auto apply_stage = [&](DegradationStage stage) -> bool {
+    switch (stage) {
+      case DegradationStage::kShrinkWindow: {
+        const VertexId w = state.gamma.window_size();
+        if (w <= 1) return false;
+        state.gamma.shrink_to(w / 2);
+        return true;
+      }
+      case DegradationStage::kCoarseSlide:
+        return false;
+      case DegradationStage::kHashFallback:
+        if (state.hash_fallback.load(std::memory_order_relaxed)) return false;
+        state.hash_fallback.store(true, std::memory_order_relaxed);
+        state.gamma.shrink_to(1);
+        return true;
+      case DegradationStage::kNone:
+        break;
+    }
+    return false;
+  };
+
+  auto step_ladder = [&](const ResourceGovernor::Breach& breach,
+                         const char* reason, bool repeat_current) -> bool {
+    DegradationStage stage = governor->stage();
+    if (stage == DegradationStage::kNone || !repeat_current) {
+      stage = ResourceGovernor::next_stage(stage);
+      if (stage == DegradationStage::kNone) {
+        governor->mark_exhausted();
+        return false;
+      }
+    }
+    bool applied = apply_stage(stage);
+    while (!applied) {
+      stage = ResourceGovernor::next_stage(stage);
+      if (stage == DegradationStage::kNone) {
+        governor->mark_exhausted();
+        return false;
+      }
+      applied = apply_stage(stage);
+    }
+    DegradationEvent event;
+    event.stage = stage;
+    event.at_placement = produced;
+    event.partitioner_bytes = breach.partitioner_bytes;
+    event.post_bytes = pipeline_bytes();
+    event.rss_bytes = breach.rss_bytes;
+    event.budget_bytes = governor->options().memory_budget_bytes;
+    event.elapsed_seconds = breach.elapsed_seconds;
+    event.reason = reason;
+    governor->record_event(std::move(event));
+    return true;
+  };
+
+  // Producer-side budget enforcement; mirrors the sequential driver's
+  // policy (memory: step within this sample until back under budget;
+  // deadline: one rung per sample).
+  auto govern = [&] {
+    const auto breach = governor->sample(pipeline_bytes());
+    if (!breach || governor->options().policy != DegradePolicy::kLadder ||
+        governor->exhausted()) {
+      return;
+    }
+    quiesce([&] {
+      if (breach->over_memory) {
+        ResourceGovernor::Breach current = *breach;
+        while (governor->over_memory_budget(current.partitioner_bytes)) {
+          if (!step_ladder(current, "memory", /*repeat_current=*/true)) break;
+          current.partitioner_bytes = pipeline_bytes();
+        }
+      } else if (breach->over_deadline) {
+        step_ladder(*breach, "deadline", /*repeat_current=*/false);
+      }
+    });
+  };
+
   Timer timer;
+  std::exception_ptr producer_error;
   std::thread producer([&] {
-    while (auto record = stream.next()) {
-      queue.push(OwnedVertexRecord::from(*record));
-      ++produced;
-      if (checkpointer.due(produced)) quiesce_and_snapshot();
+    try {
+      while (auto record = stream.next()) {
+        OwnedVertexRecord owned = OwnedVertexRecord::from(*record);
+        if (wd == nullptr) {
+          if (!queue.push(std::move(owned))) break;
+        } else {
+          // Timed pushes so a dead pipeline surfaces as an abort instead of
+          // blocking the producer on a full queue forever.
+          bool pushed = false;
+          while (!pushed && !wd->aborted() && !queue.finished()) {
+            pushed = queue.push_for(owned, std::chrono::milliseconds(100));
+          }
+          if (!pushed) break;
+        }
+        ++produced;
+        if (governor != nullptr && governor->enabled() && governor->due(produced)) {
+          govern();
+        }
+        if (checkpointer.due(produced)) {
+          quiesce([&] {
+            checkpointer.write(snapshot_parallel(state, rct, shards, produced));
+          });
+        }
+      }
+    } catch (...) {
+      // BudgetExceededError under DegradePolicy::kAbort (or a stream error):
+      // park it for the joining thread, shut the pipeline down cleanly.
+      producer_error = std::current_exception();
     }
     queue.close();
   });
@@ -440,12 +626,13 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   workers.reserve(options.num_threads);
   std::mutex perf_merge_mutex;
   for (unsigned t = 0; t < options.num_threads; ++t) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, t] {
       // PerfStats is not thread-safe: each worker accumulates into a private
       // instance and merges it into the shared sink once, after its loop.
       PerfStats local_perf;
       PerfStats* perf = options.perf != nullptr ? &local_perf : nullptr;
-      Worker worker(state, rct_ptr, watermark, perf);
+      Worker worker(state, rct_ptr, watermark, perf, wd, t);
+      std::uint64_t pops = 0;
       for (;;) {
         std::optional<OwnedVertexRecord> record;
         {
@@ -453,8 +640,44 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
           record = queue.pop();
         }
         if (!record) break;
-        std::shared_lock lock(pipeline_mutex);
-        worker.process(std::move(*record));
+        ++pops;
+
+        // Injected stragglers, deterministic by pop index.
+        for (const auto& f : options.faults.slow) {
+          if (f.worker == t && f.delay_seconds > 0.0 && f.every > 0 &&
+              pops % f.every == 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(f.delay_seconds));
+          }
+        }
+        const StuckWorkerFault* stuck = nullptr;
+        for (const auto& f : options.faults.stuck) {
+          if (f.worker == t && f.at_pop == pops) stuck = &f;
+        }
+
+        if (wd != nullptr) {
+          wd->publish(t, *record);
+          if (stuck != nullptr && !stuck->in_processing) {
+            // Transient freeze between publish and claim: the monitor steals
+            // and rescues the record, then this worker resumes.
+            wd->wait_until_stolen(t, stuck->max_stall_seconds);
+          }
+          if (!wd->claim(t)) continue;  // stolen — the monitor owns it now
+        } else if (stuck != nullptr) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(stuck->max_stall_seconds));
+        }
+        {
+          std::shared_lock lock(pipeline_mutex);
+          if (wd != nullptr && stuck != nullptr && stuck->in_processing) {
+            // Wedge inside the placement: unstealable; with every worker
+            // wedged this way the monitor aborts the pipeline, which is what
+            // wakes this wait.
+            wd->wait_until_aborted(stuck->max_stall_seconds);
+          }
+          worker.process(std::move(*record));
+        }
+        if (wd != nullptr) wd->complete(t);
       }
       if (perf != nullptr) {
         std::lock_guard lock(perf_merge_mutex);
@@ -464,9 +687,12 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   }
   producer.join();
   for (auto& w : workers) w.join();
+  if (wd != nullptr) wd->stop();
+  if (producer_error) std::rethrow_exception(producer_error);
 
   // Cyclically-parked leftovers: force-place in id order. Single-threaded by
-  // now, so the shared sink can be used directly.
+  // now, so the shared sink can be used directly. Runs on the abort path too
+  // — parked records should not punch extra holes in the partial route.
   if (options.use_rct) {
     Worker finisher(state, rct_ptr, watermark, options.perf);
     auto rest = rct.drain_parked();
@@ -484,12 +710,23 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
     result.route[v] = state.route[v].load(std::memory_order_relaxed);
   }
   result.peak_partitioner_bytes =
-      state.gamma.memory_footprint_bytes() + n * sizeof(PartitionId) +
-      3 * config.num_partitions * sizeof(std::uint64_t);
+      std::max(pipeline_bytes(),
+               governor != nullptr ? governor->peak_partitioner_bytes() : 0);
   result.delayed_vertices = state.delayed.load();
   result.forced_vertices = state.forced.load();
   result.checkpoints_written = checkpointer.snapshots_taken();
   result.resumed_at = resumed_at;
+  if (wd != nullptr) {
+    result.stalled_workers = wd->stalled_workers();
+    result.rescued_records = wd->rescued_records();
+    result.aborted = wd->aborted();
+    result.abort_reason = wd->abort_reason();
+  }
+  if (governor != nullptr) result.degradations = governor->events();
+  if (result.aborted) {
+    const std::string reason = result.abort_reason;
+    throw StreamAborted("run_parallel aborted: " + reason, std::move(result));
+  }
   return result;
 }
 

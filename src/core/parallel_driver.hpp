@@ -15,14 +15,50 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/spnl.hpp"
 #include "graph/adjacency_stream.hpp"
 #include "partition/partitioning.hpp"
+#include "util/resource_governor.hpp"
 
 namespace spnl {
+
+/// Deterministic straggler/pressure injection for the parallel pipeline —
+/// the test harness for every watchdog recovery path.
+struct StuckWorkerFault {
+  unsigned worker = 0;
+  /// Stall when this worker pops its Nth record (1-based).
+  std::uint64_t at_pop = 1;
+  /// false: stall between publish and claim — the watchdog steals and
+  /// rescues the in-flight record, the worker later resumes (a transient
+  /// freeze). true: wedge INSIDE the placement, which cannot be stolen; with
+  /// every worker wedged this way the monitor aborts the pipeline.
+  bool in_processing = false;
+  /// Safety bound: the stall ends after this long even if nothing wakes it.
+  double max_stall_seconds = 30.0;
+};
+
+struct SlowWorkerFault {
+  unsigned worker = 0;
+  double delay_seconds = 0.0;
+  /// Sleep on every Nth pop (1 = every record).
+  std::uint64_t every = 1;
+};
+
+struct ParallelFaultPlan {
+  std::vector<StuckWorkerFault> stuck;
+  std::vector<SlowWorkerFault> slow;
+  /// Heap ballast allocated and touched for the whole run — co-located
+  /// allocation pressure visible to the governor's RSS sampling.
+  std::size_t ballast_bytes = 0;
+
+  bool empty() const {
+    return stuck.empty() && slow.empty() && ballast_bytes == 0;
+  }
+};
 
 struct ParallelOptions {
   /// Worker thread count M (the producer is an extra thread).
@@ -53,6 +89,22 @@ struct ParallelOptions {
   /// here after the pipeline joins, so stage nanos are summed across threads
   /// (kQueueWait additionally covers time blocked on the bounded queue).
   PerfStats* perf = nullptr;
+  /// Pipeline watchdog: a worker whose heartbeat stalls past this many
+  /// seconds has its in-flight record stolen and rescued by the monitor
+  /// thread; when every worker is wedged mid-placement the run aborts with
+  /// StreamAborted instead of hanging. <= 0 disables (the seed behavior).
+  double watchdog_timeout_seconds = 0.0;
+  /// Monitor poll cadence; 0 = timeout/4.
+  double watchdog_poll_seconds = 0.0;
+  /// Resource governor (not owned; nullptr = off). The producer samples the
+  /// pipeline footprint (Γ window + route + counts + RCT) every
+  /// sample_interval records and, on breach, quiesces the pipeline and steps
+  /// the degradation ladder: repeatable Γ-window halving, then
+  /// capacity-weighted hash fallback (coarse slide does not apply to the
+  /// watermark-driven concurrent window and is skipped).
+  ResourceGovernor* governor = nullptr;
+  /// Deterministic fault injection (tests / --inject-faults).
+  ParallelFaultPlan faults;
 };
 
 struct ParallelRunResult {
@@ -67,10 +119,33 @@ struct ParallelRunResult {
   std::uint64_t checkpoints_written = 0;
   /// Stream position the run was resumed from (0 for a fresh run).
   std::uint64_t resumed_at = 0;
+  /// Watchdog bookkeeping: distinct workers ever declared stalled, and
+  /// in-flight records the monitor stole and placed itself.
+  std::uint64_t stalled_workers = 0;
+  std::uint64_t rescued_records = 0;
+  /// True when the watchdog declared the pipeline dead; the route is the
+  /// valid partial route (kUnassigned holes for never-placed vertices).
+  bool aborted = false;
+  std::string abort_reason;
+  /// Ladder transitions the resource governor applied.
+  std::vector<DegradationEvent> degradations;
+};
+
+/// The watchdog declared the pipeline dead (every worker wedged past the
+/// timeout). Carries the partial result: aborted/abort_reason are set and
+/// `result.route` is the valid partial route.
+class StreamAborted : public std::runtime_error {
+ public:
+  StreamAborted(const std::string& what, ParallelRunResult result)
+      : std::runtime_error(what), result(std::move(result)) {}
+
+  ParallelRunResult result;
 };
 
 /// Runs the parallel partitioner over the stream. The stream is consumed
-/// from its current position by the internal producer thread.
+/// from its current position by the internal producer thread. Throws
+/// StreamAborted (carrying the partial result) when the watchdog declares
+/// the pipeline dead.
 ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& config,
                                const ParallelOptions& options);
 

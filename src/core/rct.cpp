@@ -146,6 +146,21 @@ void Rct::restore_parked(std::vector<ParkedState> parked) {
   }
 }
 
+std::size_t Rct::memory_footprint_bytes() const {
+  std::lock_guard lock(mutex_);
+  // Hash-map nodes approximated as key + payload + two pointers of overhead;
+  // parked records add their adjacency storage. The table is ε·M entries so
+  // this is tiny next to the Γ window, but the governor's MC sample should
+  // still see it.
+  std::size_t bytes =
+      entries_.size() * (sizeof(VertexId) + sizeof(Entry) + 2 * sizeof(void*));
+  for (const auto& [id, record] : parked_) {
+    bytes += sizeof(OwnedVertexRecord) + 2 * sizeof(void*) +
+             record.out.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
 std::size_t Rct::size() const {
   std::lock_guard lock(mutex_);
   return entries_.size();

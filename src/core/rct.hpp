@@ -89,6 +89,10 @@ class Rct {
   std::size_t size() const;
   std::size_t parked_size() const;
 
+  /// Approximate bytes held by the table and parked records — part of the
+  /// parallel driver's governor-sampled footprint.
+  std::size_t memory_footprint_bytes() const;
+
  private:
   struct Entry {
     std::uint32_t counter = 0;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/score_kernel.hpp"
+#include "util/rng.hpp"
 
 namespace spnl {
 
@@ -27,6 +28,26 @@ SpnPartitioner::SpnPartitioner(VertexId num_vertices, EdgeId num_edges,
 PartitionId SpnPartitioner::place(VertexId v, std::span<const VertexId> out) {
   const PartitionId k = num_partitions();
   const double lambda = options_.lambda;
+
+  if (hash_fallback_) {
+    // Last-rung degraded mode: a deterministic hash vote run through the
+    // normal capacity weighting/tie-breaking, so the balance guarantees
+    // survive even though the affinity heuristics are gone. Γ bookkeeping is
+    // skipped entirely (the window was shrunk to one row when the rung
+    // engaged).
+    PartitionId pid;
+    {
+      PerfScope t(perf_, PerfStage::kScore);
+      scores_.assign(k, 0.0);
+      scores_[static_cast<PartitionId>(mix64(kDegradedHashSeed ^ v) % k)] = 1.0;
+      compute_loads(config_.balance, vertex_counts_, edge_counts_, capacity_,
+                    edge_capacity_, scratch_.loads);
+      pid = weigh_and_pick(scores_, scratch_.loads, capacity_);
+    }
+    PerfScope t(perf_, PerfStage::kCommit);
+    commit(v, out, pid);
+    return pid;
+  }
 
   // Prefetch pass: the route entries and Γ rows this record touches are
   // scattered (tens of MB at recommended shard counts), so they are almost
@@ -117,14 +138,48 @@ std::size_t SpnPartitioner::memory_footprint_bytes() const {
          gamma_.memory_footprint_bytes();
 }
 
+bool SpnPartitioner::apply_degradation(DegradationStage stage) {
+  const auto raise_to = [this](DegradationStage s) {
+    if (static_cast<int>(s) > static_cast<int>(stage_)) stage_ = s;
+  };
+  switch (stage) {
+    case DegradationStage::kShrinkWindow: {
+      const VertexId w = gamma_.window_size();
+      if (w <= 1) return false;
+      gamma_.shrink_to(w / 2);
+      raise_to(stage);
+      return true;
+    }
+    case DegradationStage::kCoarseSlide:
+      if (gamma_.slide_mode() == SlideMode::kCoarse || gamma_.window_size() <= 1) {
+        return false;
+      }
+      gamma_.set_slide_mode(SlideMode::kCoarse);
+      raise_to(stage);
+      return true;
+    case DegradationStage::kHashFallback:
+      if (hash_fallback_) return false;
+      hash_fallback_ = true;
+      gamma_.shrink_to(1);
+      raise_to(stage);
+      return true;
+    case DegradationStage::kNone:
+      break;
+  }
+  return false;
+}
+
 void SpnPartitioner::save_state(StateWriter& out) const {
   GreedyStreamingBase::save_state(out);
   gamma_.save(out);
+  out.put_u32(static_cast<std::uint32_t>(stage_));
 }
 
 void SpnPartitioner::restore_state(StateReader& in) {
   GreedyStreamingBase::restore_state(in);
   gamma_.restore(in);
+  stage_ = static_cast<DegradationStage>(in.get_u32());
+  hash_fallback_ = stage_ == DegradationStage::kHashFallback;
 }
 
 }  // namespace spnl

@@ -69,6 +69,15 @@ class SpnPartitioner final : public GreedyStreamingBase {
   void save_state(StateWriter& out) const override;
   void restore_state(StateReader& in) override;
 
+  /// Degradation ladder (util/resource_governor.hpp): kShrinkWindow halves
+  /// the Γ window (repeatable until W == 1), kCoarseSlide switches the slide
+  /// granularity once, kHashFallback drops scoring entirely in favour of a
+  /// capacity-weighted hash and releases the Γ storage. Each rung only loses
+  /// heuristic accuracy — the capacity invariants and the one-pass contract
+  /// are untouched.
+  bool apply_degradation(DegradationStage stage) override;
+  DegradationStage degradation_stage() const override { return stage_; }
+
   const GammaWindow& gamma() const { return gamma_; }
   double lambda() const { return options_.lambda; }
 
@@ -77,6 +86,9 @@ class SpnPartitioner final : public GreedyStreamingBase {
   GammaWindow gamma_;
   /// Fused-kernel scratch (loads snapshot + stashed Γ row offsets).
   ScoreKernelScratch scratch_;
+  /// Deepest degradation rung applied (persisted across checkpoints).
+  DegradationStage stage_ = DegradationStage::kNone;
+  bool hash_fallback_ = false;
 };
 
 }  // namespace spnl

@@ -4,6 +4,7 @@
 
 #include "core/score_kernel.hpp"
 #include "util/memory.hpp"
+#include "util/rng.hpp"
 
 namespace spnl {
 
@@ -53,6 +54,27 @@ double SpnlPartitioner::eta(PartitionId i) const {
 PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
   const PartitionId k = num_partitions();
   const double lambda = options_.lambda;
+
+  if (hash_fallback_) {
+    // Last-rung degraded mode — see SpnPartitioner::place. The logical-table
+    // bookkeeping below still runs so a later checkpoint stays coherent, but
+    // the Eq. 6 score is replaced by a deterministic hash vote.
+    PartitionId pid;
+    {
+      PerfScope t(perf_, PerfStage::kScore);
+      scores_.assign(k, 0.0);
+      scores_[static_cast<PartitionId>(mix64(kDegradedHashSeed ^ v) % k)] = 1.0;
+      compute_loads(config_.balance, vertex_counts_, edge_counts_, capacity_,
+                    edge_capacity_, scratch_.loads);
+      pid = weigh_and_pick(scores_, scratch_.loads, capacity_);
+    }
+    PerfScope t(perf_, PerfStage::kCommit);
+    commit(v, out, pid);
+    const PartitionId lp = logical_.partition_of(v);
+    if (logical_counts_[lp] > 0) --logical_counts_[lp];
+    ++placed_total_;
+    return pid;
+  }
 
   // Prefetch pass — see spn.cpp: the row addresses are final before the
   // slide (a vertex's ring slot is u % W regardless of the window base), so
@@ -144,11 +166,43 @@ PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
   return pid;
 }
 
+bool SpnlPartitioner::apply_degradation(DegradationStage stage) {
+  const auto raise_to = [this](DegradationStage s) {
+    if (static_cast<int>(s) > static_cast<int>(stage_)) stage_ = s;
+  };
+  switch (stage) {
+    case DegradationStage::kShrinkWindow: {
+      const VertexId w = gamma_.window_size();
+      if (w <= 1) return false;
+      gamma_.shrink_to(w / 2);
+      raise_to(stage);
+      return true;
+    }
+    case DegradationStage::kCoarseSlide:
+      if (gamma_.slide_mode() == SlideMode::kCoarse || gamma_.window_size() <= 1) {
+        return false;
+      }
+      gamma_.set_slide_mode(SlideMode::kCoarse);
+      raise_to(stage);
+      return true;
+    case DegradationStage::kHashFallback:
+      if (hash_fallback_) return false;
+      hash_fallback_ = true;
+      gamma_.shrink_to(1);
+      raise_to(stage);
+      return true;
+    case DegradationStage::kNone:
+      break;
+  }
+  return false;
+}
+
 void SpnlPartitioner::save_state(StateWriter& out) const {
   GreedyStreamingBase::save_state(out);
   gamma_.save(out);
   out.put_vec(logical_counts_);
   out.put_u32(placed_total_);
+  out.put_u32(static_cast<std::uint32_t>(stage_));
 }
 
 void SpnlPartitioner::restore_state(StateReader& in) {
@@ -160,6 +214,8 @@ void SpnlPartitioner::restore_state(StateReader& in) {
   }
   logical_counts_ = std::move(logical_counts);
   placed_total_ = in.get_u32();
+  stage_ = static_cast<DegradationStage>(in.get_u32());
+  hash_fallback_ = stage_ == DegradationStage::kHashFallback;
 }
 
 std::size_t SpnlPartitioner::memory_footprint_bytes() const {

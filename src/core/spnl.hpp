@@ -59,6 +59,13 @@ class SpnlPartitioner final : public GreedyStreamingBase {
   void save_state(StateWriter& out) const override;
   void restore_state(StateReader& in) override;
 
+  /// Degradation ladder — see SpnPartitioner::apply_degradation. SPNL's
+  /// logical table is O(2K) and never degraded; the rungs act on the Γ
+  /// window and, at the last rung, replace Eq. 6 scoring with a
+  /// capacity-weighted hash.
+  bool apply_degradation(DegradationStage stage) override;
+  DegradationStage degradation_stage() const override { return stage_; }
+
   const GammaWindow& gamma() const { return gamma_; }
   const RangeTable& logical_table() const { return logical_; }
 
@@ -78,6 +85,9 @@ class SpnlPartitioner final : public GreedyStreamingBase {
   ScoreKernelScratch scratch_;
   std::vector<double> physical_;
   std::vector<double> logical_hits_;
+  /// Deepest degradation rung applied (persisted across checkpoints).
+  DegradationStage stage_ = DegradationStage::kNone;
+  bool hash_fallback_ = false;
 };
 
 }  // namespace spnl

@@ -1,0 +1,137 @@
+// Pipeline watchdog for the parallel streaming driver (robustness layer).
+//
+// Every worker owns a slot with an atomic heartbeat and a small state
+// machine over its in-flight record:
+//
+//   kIdle ──publish──▶ kPublished ──claim──▶ kProcessing ──complete──▶ kIdle
+//                          │
+//                      (monitor, heartbeat older than the timeout)
+//                          ▼
+//                       kStolen ──▶ record rescued by the monitor thread
+//
+// A worker PUBLISHES a copy of each record before touching shared state and
+// then CLAIMS it; the claim is a CAS, so a worker that wedges between
+// publish and claim loses the race to the monitor, which rescues (places)
+// the record itself — the stream completes without the sick worker. A worker
+// that wedges INSIDE a placement (kProcessing) cannot be stolen from —
+// rescuing would double-place — so the monitor marks it stalled; when every
+// worker is wedged that way the pipeline cannot make progress and the
+// monitor aborts the run (on_abort tears down the bounded queue, waking all
+// waiters) instead of hanging. Timed queue operations on the producer side
+// complete the no-unbounded-block guarantee.
+//
+// All cross-thread state is atomics or mutex-guarded; the monitor is a
+// single thread, so rescues never race each other.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+
+namespace spnl {
+
+class PipelineWatchdog {
+ public:
+  struct Options {
+    /// A slot whose heartbeat is older than this is stalled. <= 0 disables
+    /// monitoring entirely (publish/claim/complete become cheap bookkeeping).
+    double timeout_seconds = 5.0;
+    /// Monitor poll cadence; 0 picks timeout/4 (clamped to [1ms, 250ms]).
+    double poll_seconds = 0.0;
+  };
+
+  /// Called from the monitor thread with a stolen record; must place it
+  /// (typically under the pipeline's shared lock).
+  using RescueFn = std::function<void(unsigned worker, OwnedVertexRecord record)>;
+  /// Called once when the pipeline is declared dead (all workers wedged).
+  using AbortFn = std::function<void()>;
+
+  PipelineWatchdog(unsigned num_workers, const Options& options, RescueFn rescue,
+                   AbortFn on_abort);
+  ~PipelineWatchdog();
+
+  PipelineWatchdog(const PipelineWatchdog&) = delete;
+  PipelineWatchdog& operator=(const PipelineWatchdog&) = delete;
+
+  /// Launch / join the monitor thread. stop() is idempotent and also runs
+  /// from the destructor.
+  void start();
+  void stop();
+
+  /// Worker-side protocol (all bump the heartbeat).
+  void publish(unsigned worker, const OwnedVertexRecord& record);
+  /// False = the monitor stole the record while the worker stalled; the
+  /// worker must drop its copy and move on.
+  bool claim(unsigned worker);
+  void complete(unsigned worker);
+  void heartbeat(unsigned worker);
+
+  /// Fault-injection/test helper: block until this worker's in-flight record
+  /// is stolen, the pipeline aborts, or `max_seconds` passes. Returns true if
+  /// the record was stolen.
+  bool wait_until_stolen(unsigned worker, double max_seconds) const;
+  /// Fault-injection/test helper: block until the pipeline aborts or
+  /// `max_seconds` passes. Returns aborted().
+  bool wait_until_aborted(double max_seconds) const;
+
+  void request_abort(const std::string& reason);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  std::string abort_reason() const;
+
+  /// Distinct workers ever declared stalled / records rescued by the monitor.
+  std::uint64_t stalled_workers() const {
+    return stalled_workers_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rescued_records() const {
+    return rescued_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Slot states (uint8_t payload of an atomic; enum class would force casts
+  // at every CAS).
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kPublished = 1;
+  static constexpr std::uint8_t kProcessing = 2;
+  static constexpr std::uint8_t kStolen = 3;
+
+  struct Slot {
+    std::atomic<std::uint8_t> state{kIdle};
+    std::atomic<std::int64_t> heartbeat_nanos{0};
+    /// Counted into stalled_workers() at most once.
+    std::atomic<bool> ever_stalled{false};
+    /// The published record copy; guarded because publish (worker) and steal
+    /// (monitor) both touch it. The state CAS decides ownership, the mutex
+    /// only orders the move itself.
+    std::mutex record_mutex;
+    std::optional<OwnedVertexRecord> record;
+  };
+
+  static std::int64_t now_nanos();
+  void monitor_loop();
+  void mark_stalled(Slot& slot);
+
+  Options options_;
+  RescueFn rescue_;
+  AbortFn on_abort_;
+  std::vector<Slot> slots_;
+
+  std::thread monitor_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex reason_mutex_;
+  std::string abort_reason_;
+
+  std::atomic<std::uint64_t> stalled_workers_{0};
+  std::atomic<std::uint64_t> rescued_records_{0};
+};
+
+}  // namespace spnl

@@ -55,15 +55,46 @@ bool parse_ids(const std::string& line, std::vector<VertexId>& out) {
 
 }  // namespace
 
-FileAdjacencyStream::FileAdjacencyStream(const std::string& path) : path_(path) {
+void BadRecordQuarantine::record(const std::string& line,
+                                 const std::string& context) {
+  ++count_;
+  if (!options_.quarantine_log.empty()) {
+    if (!log_opened_) {
+      // Truncate on the first bad record of this stream's lifetime, append
+      // within it — one log per run, not per pass.
+      log_.open(options_.quarantine_log, std::ios::out | std::ios::trunc);
+      log_opened_ = true;
+    }
+    if (log_) {
+      log_ << line << '\n';
+      log_.flush();  // bad records are rare; the log must survive a crash
+    }
+  }
+  if (count_ > options_.max_bad_records) {
+    throw std::runtime_error(context + ": too many malformed records (" +
+                             std::to_string(count_) + " > bound of " +
+                             std::to_string(options_.max_bad_records) + ")");
+  }
+}
+
+FileAdjacencyStream::FileAdjacencyStream(const std::string& path,
+                                         StreamHardeningOptions hardening)
+    : path_(path), quarantine_(std::move(hardening)) {
   std::ifstream scan(path_);
   if (!scan) throw std::runtime_error("FileAdjacencyStream: cannot open " + path_);
 
   // Look for a "# V <n> E <m>" header on the first comment lines; otherwise
-  // pre-scan for counts.
+  // pre-scan for counts. In quarantine mode malformed lines are skipped
+  // silently here — the streaming pass is the one that counts and logs them,
+  // so the counts stay consistent with what next() will emit.
   bool have_header = false;
   std::string line;
   std::vector<VertexId> ids;
+  auto malformed = [&](const std::string& bad) {
+    if (quarantine_.enabled()) return;  // skip; next() quarantines it
+    throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_ +
+                             ": " + bad);
+  };
   while (std::getline(scan, line)) {
     if (!line.empty() && line[0] == '#') {
       unsigned long long n = 0, m = 0;
@@ -77,7 +108,8 @@ FileAdjacencyStream::FileAdjacencyStream(const std::string& path) : path_(path) 
     }
     if (!parse_ids(line, ids) || ids.empty()) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_);
+      malformed(line);
+      continue;
     }
     num_vertices_ = std::max(num_vertices_, ids[0] + 1);
     num_edges_ += ids.size() - 1;
@@ -88,7 +120,8 @@ FileAdjacencyStream::FileAdjacencyStream(const std::string& path) : path_(path) 
       if (line.empty() || line[0] == '#') continue;
       if (!parse_ids(line, ids) || ids.empty()) {
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-        throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_);
+        malformed(line);
+        continue;
       }
       num_vertices_ = std::max(num_vertices_, ids[0] + 1);
       num_edges_ += ids.size() - 1;
@@ -100,6 +133,7 @@ FileAdjacencyStream::FileAdjacencyStream(const std::string& path) : path_(path) 
 void FileAdjacencyStream::reset() {
   in_ = std::ifstream(path_);
   if (!in_) throw std::runtime_error("FileAdjacencyStream: cannot reopen " + path_);
+  quarantine_.reset_count();
 }
 
 std::optional<VertexRecord> FileAdjacencyStream::next() {
@@ -107,6 +141,10 @@ std::optional<VertexRecord> FileAdjacencyStream::next() {
     if (line_.empty() || line_[0] == '#') continue;
     if (line_.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (!parse_ids(line_, buffer_) || buffer_.empty()) {
+      if (quarantine_.enabled()) {
+        quarantine_.record(line_, "FileAdjacencyStream: " + path_);
+        continue;
+      }
       throw std::runtime_error("FileAdjacencyStream: malformed line in " + path_);
     }
     VertexRecord record;
@@ -117,8 +155,9 @@ std::optional<VertexRecord> FileAdjacencyStream::next() {
   return std::nullopt;
 }
 
-EdgeListAdjacencyStream::EdgeListAdjacencyStream(const std::string& path)
-    : path_(path) {
+EdgeListAdjacencyStream::EdgeListAdjacencyStream(const std::string& path,
+                                                 StreamHardeningOptions hardening)
+    : path_(path), quarantine_(std::move(hardening)) {
   std::ifstream scan(path_);
   if (!scan) throw std::runtime_error("EdgeListAdjacencyStream: cannot open " + path_);
   std::string line;
@@ -129,6 +168,9 @@ EdgeListAdjacencyStream::EdgeListAdjacencyStream(const std::string& path)
     if (line.empty() || line[0] == '#') continue;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (!parse_ids(line, ids) || ids.size() != 2) {
+      // Quarantine mode: skip silently in the pre-scan; read_pair() is the
+      // pass that counts and logs, keeping counts in step with the stream.
+      if (quarantine_.enabled()) continue;
       throw std::runtime_error("EdgeListAdjacencyStream: malformed line in " + path_);
     }
     if (!first && ids[0] < last_from) {
@@ -148,6 +190,7 @@ void EdgeListAdjacencyStream::reset() {
   if (!in_) throw std::runtime_error("EdgeListAdjacencyStream: cannot reopen " + path_);
   cursor_ = 0;
   have_pending_ = false;
+  quarantine_.reset_count();
 }
 
 bool EdgeListAdjacencyStream::read_pair() {
@@ -156,6 +199,10 @@ bool EdgeListAdjacencyStream::read_pair() {
     if (line_.empty() || line_[0] == '#') continue;
     if (line_.find_first_not_of(" \t\r") == std::string::npos) continue;
     if (!parse_ids(line_, ids) || ids.size() != 2) {
+      if (quarantine_.enabled()) {
+        quarantine_.record(line_, "EdgeListAdjacencyStream: " + path_);
+        continue;
+      }
       throw std::runtime_error("EdgeListAdjacencyStream: malformed line in " + path_);
     }
     pending_from_ = ids[0];

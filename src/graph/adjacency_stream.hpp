@@ -4,6 +4,7 @@
 // id. Partitioners consume this interface; they never see the whole graph.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -15,6 +16,42 @@
 #include "graph/types.hpp"
 
 namespace spnl {
+
+/// Hardening knobs for the file-backed streams. By default a malformed
+/// mid-stream record aborts the run (the seed behavior); with
+/// max_bad_records > 0 up to that many malformed lines are skipped, counted
+/// and (optionally) appended verbatim to quarantine_log — one more malformed
+/// line past the bound is a hard error.
+struct StreamHardeningOptions {
+  std::uint64_t max_bad_records = 0;
+  std::string quarantine_log;
+};
+
+/// Bounded quarantine shared by the file streams: skip + count + log, hard
+/// error past the bound.
+class BadRecordQuarantine {
+ public:
+  BadRecordQuarantine() = default;
+  explicit BadRecordQuarantine(StreamHardeningOptions options)
+      : options_(std::move(options)) {}
+
+  bool enabled() const { return options_.max_bad_records > 0; }
+
+  /// Records one malformed line (appends it to the quarantine log when
+  /// configured). Throws std::runtime_error when the count exceeds
+  /// max_bad_records; `context` prefixes the message.
+  void record(const std::string& line, const std::string& context);
+
+  std::uint64_t count() const { return count_; }
+  /// Called from the owning stream's reset() so each pass recounts.
+  void reset_count() { count_ = 0; }
+
+ private:
+  StreamHardeningOptions options_;
+  std::uint64_t count_ = 0;
+  std::ofstream log_;
+  bool log_opened_ = false;
+};
 
 /// One streamed record: a vertex and its out-adjacency list. The span points
 /// into stream-owned storage and is invalidated by the next call to next().
@@ -93,12 +130,16 @@ class OrderedStream final : public AdjacencyStream {
 /// paper's PT definition which starts at the first adjacency-list load).
 class FileAdjacencyStream final : public AdjacencyStream {
  public:
-  explicit FileAdjacencyStream(const std::string& path);
+  explicit FileAdjacencyStream(const std::string& path,
+                               StreamHardeningOptions hardening = {});
 
   std::optional<VertexRecord> next() override;
   void reset() override;
   VertexId num_vertices() const override { return num_vertices_; }
   EdgeId num_edges() const override { return num_edges_; }
+
+  /// Malformed lines quarantined so far in the current pass.
+  std::uint64_t bad_records() const { return quarantine_.count(); }
 
  private:
   std::string path_;
@@ -107,6 +148,7 @@ class FileAdjacencyStream final : public AdjacencyStream {
   std::vector<VertexId> buffer_;
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;
+  BadRecordQuarantine quarantine_;
 };
 
 /// Streams a SNAP-style edge-list file ("<from> <to>" per line, '#'
@@ -117,12 +159,16 @@ class FileAdjacencyStream final : public AdjacencyStream {
 /// Requires the grouping to be non-decreasing in the source id (validated).
 class EdgeListAdjacencyStream final : public AdjacencyStream {
  public:
-  explicit EdgeListAdjacencyStream(const std::string& path);
+  explicit EdgeListAdjacencyStream(const std::string& path,
+                                   StreamHardeningOptions hardening = {});
 
   std::optional<VertexRecord> next() override;
   void reset() override;
   VertexId num_vertices() const override { return num_vertices_; }
   EdgeId num_edges() const override { return num_edges_; }
+
+  /// Malformed lines quarantined so far in the current pass.
+  std::uint64_t bad_records() const { return quarantine_.count(); }
 
  private:
   /// Reads the next "from to" pair into pending_; false at EOF.
@@ -138,6 +184,7 @@ class EdgeListAdjacencyStream final : public AdjacencyStream {
   VertexId pending_to_ = 0;
   VertexId num_vertices_ = 0;
   EdgeId num_edges_ = 0;
+  BadRecordQuarantine quarantine_;
 };
 
 /// Drains a stream into a CSR graph (testing / examples). Requires records

@@ -22,13 +22,78 @@ StateWriter snapshot_sequential(const StreamingPartitioner& partitioner,
   return out;
 }
 
+/// Applies exactly one successful ladder step (retrying the current rung
+/// first when `repeat_current` — the kShrinkWindow rung halves repeatedly)
+/// and records it on the governor. Returns false with the governor marked
+/// exhausted when no rung has anything left to give.
+bool step_ladder(ResourceGovernor& governor, StreamingPartitioner& partitioner,
+                 const ResourceGovernor::Breach& breach, std::uint64_t placed,
+                 const char* reason, bool repeat_current) {
+  DegradationStage stage = governor.stage();
+  if (stage == DegradationStage::kNone || !repeat_current) {
+    stage = ResourceGovernor::next_stage(stage);
+    if (stage == DegradationStage::kNone) {
+      governor.mark_exhausted();
+      return false;
+    }
+  }
+  bool applied = partitioner.apply_degradation(stage);
+  while (!applied) {
+    stage = ResourceGovernor::next_stage(stage);
+    if (stage == DegradationStage::kNone) {
+      governor.mark_exhausted();
+      return false;
+    }
+    applied = partitioner.apply_degradation(stage);
+  }
+  DegradationEvent event;
+  event.stage = stage;
+  event.at_placement = placed;
+  event.partitioner_bytes = breach.partitioner_bytes;
+  event.post_bytes = partitioner.memory_footprint_bytes();
+  event.rss_bytes = breach.rss_bytes;
+  event.budget_bytes = governor.options().memory_budget_bytes;
+  event.elapsed_seconds = breach.elapsed_seconds;
+  event.reason = reason;
+  governor.record_event(std::move(event));
+  return true;
+}
+
+/// Breach response under DegradePolicy::kLadder. A memory breach keeps
+/// stepping within this one sample until the footprint is back under budget
+/// (or the ladder runs dry), so the budget is honoured at every sample
+/// point; a deadline breach steps one rung per sample — speed, not space, is
+/// the problem, so the escalation is paced instead of immediate.
+void enforce_budget(ResourceGovernor& governor, StreamingPartitioner& partitioner,
+                    std::uint64_t placed) {
+  const auto breach = governor.sample(partitioner.memory_footprint_bytes());
+  if (!breach || governor.options().policy != DegradePolicy::kLadder ||
+      governor.exhausted()) {
+    return;
+  }
+  if (breach->over_memory) {
+    ResourceGovernor::Breach current = *breach;
+    while (governor.over_memory_budget(current.partitioner_bytes)) {
+      if (!step_ladder(governor, partitioner, current, placed, "memory",
+                       /*repeat_current=*/true)) {
+        break;
+      }
+      current.partitioner_bytes = partitioner.memory_footprint_bytes();
+    }
+  } else if (breach->over_deadline) {
+    step_ladder(governor, partitioner, *breach, placed, "deadline",
+                /*repeat_current=*/false);
+  }
+}
+
 /// Pumps records from the stream, checkpointing on cadence. `placed` carries
 /// the restored prefix count on resume so cadence stays aligned with the
 /// uninterrupted run. Stream fetch time is billed to kQueueWait (the
 /// sequential analogue of the parallel driver's queue pop).
 void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
            Checkpointer& checkpointer, std::uint64_t placed, RunResult& result,
-           PerfStats* perf) {
+           PerfStats* perf, ResourceGovernor* governor) {
+  const bool governed = governor != nullptr && governor->enabled();
   for (;;) {
     std::optional<VertexRecord> record;
     {
@@ -39,11 +104,15 @@ void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
     partitioner.place(record->id, record->out);
     ++placed;
     ++result.vertices_placed;
+    if (governed && governor->due(placed)) {
+      enforce_budget(*governor, partitioner, placed);
+    }
     if (checkpointer.due(placed)) {
       checkpointer.write(snapshot_sequential(partitioner, placed));
     }
   }
   result.checkpoints_written = checkpointer.snapshots_taken();
+  if (governor != nullptr) result.degradations = governor->events();
 }
 
 /// Attaches the sink for the duration of a driver call, detaching on every
@@ -67,7 +136,7 @@ class ScopedPerfAttach {
 
 RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                         const StreamingCheckpointOptions& checkpoint,
-                        PerfStats* perf) {
+                        PerfStats* perf, ResourceGovernor* governor) {
   RunResult result;
   result.partitioner_name = partitioner.name();
   Checkpointer checkpointer(checkpoint.path, checkpoint.every);
@@ -78,11 +147,13 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
 
   ScopedPerfAttach attach(partitioner, perf);
   Timer timer;
-  drain(stream, partitioner, checkpointer, 0, result, perf);
+  drain(stream, partitioner, checkpointer, 0, result, perf, governor);
   result.partition_seconds = timer.seconds();
-  // Streaming structures only grow or stay flat, so the end-of-run footprint
-  // is the peak.
-  result.peak_partitioner_bytes = partitioner.memory_footprint_bytes();
+  // Streaming structures only grow or stay flat — except when the governor
+  // shrinks them, in which case its samples saw the true peak.
+  result.peak_partitioner_bytes =
+      std::max(partitioner.memory_footprint_bytes(),
+               governor != nullptr ? governor->peak_partitioner_bytes() : 0);
   result.route = partitioner.route();
   return result;
 }
@@ -90,7 +161,7 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
 RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                            const std::string& checkpoint_path,
                            const StreamingCheckpointOptions& checkpoint,
-                           PerfStats* perf) {
+                           PerfStats* perf, ResourceGovernor* governor) {
   RunResult result;
   result.partitioner_name = partitioner.name();
 
@@ -115,9 +186,15 @@ RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partit
     }
   }
   result.vertices_placed = static_cast<VertexId>(placed);
-  drain(stream, partitioner, checkpointer, placed, result, perf);
+  // A degraded snapshot restored a degraded partitioner: sync the governor's
+  // ladder cursor so enforcement continues from the restored rung instead of
+  // replaying milder rungs that no longer apply.
+  if (governor != nullptr) governor->set_stage(partitioner.degradation_stage());
+  drain(stream, partitioner, checkpointer, placed, result, perf, governor);
   result.partition_seconds = timer.seconds();
-  result.peak_partitioner_bytes = partitioner.memory_footprint_bytes();
+  result.peak_partitioner_bytes =
+      std::max(partitioner.memory_footprint_bytes(),
+               governor != nullptr ? governor->peak_partitioner_bytes() : 0);
   result.route = partitioner.route();
   return result;
 }

@@ -29,6 +29,9 @@ struct RunResult {
   std::uint64_t checkpoints_written = 0;
   /// Stream position the run was resumed from (0 for a fresh run).
   std::uint64_t resumed_at = 0;
+  /// Ladder transitions the resource governor applied (empty without a
+  /// governor or when the run stayed within budget).
+  std::vector<DegradationEvent> degradations;
 };
 
 /// Checkpoint cadence for run_streaming / resume_streaming: snapshot the
@@ -44,19 +47,31 @@ struct StreamingCheckpointOptions {
 /// timings and additionally records stream-fetch time under kQueueWait;
 /// detached again before returning. Instrumentation overhead when null is a
 /// handful of untaken branches per record.
+///
+/// `governor`, when non-null and enabled, is sampled every
+/// governor->options().sample_interval placements with the partitioner's
+/// precise footprint; memory/deadline breaches step the degradation ladder
+/// (DegradePolicy::kLadder), throw BudgetExceededError (kAbort), or are
+/// recorded only (kOff). After a memory breach the ladder is stepped until
+/// the footprint is back under budget or the ladder is exhausted, so the
+/// budget holds at every subsequent sample point.
 RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                         const StreamingCheckpointOptions& checkpoint = {},
-                        PerfStats* perf = nullptr);
+                        PerfStats* perf = nullptr,
+                        ResourceGovernor* governor = nullptr);
 
 /// Resumes an interrupted run: restores the partitioner from
 /// `checkpoint_path`, fast-forwards `stream` (which must be reset and emit
 /// the same record order as the original run) past the already-committed
 /// prefix, and drains the remainder. `checkpoint` optionally continues
 /// snapshotting. Throws CheckpointError on a corrupt/mismatched snapshot or
-/// if the stream is shorter than the snapshot cursor.
+/// if the stream is shorter than the snapshot cursor. Degraded snapshots
+/// restore the degraded shape (window size, slide mode, hash fallback), and
+/// `governor` continues enforcement from there.
 RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                            const std::string& checkpoint_path,
                            const StreamingCheckpointOptions& checkpoint = {},
-                           PerfStats* perf = nullptr);
+                           PerfStats* perf = nullptr,
+                           ResourceGovernor* governor = nullptr);
 
 }  // namespace spnl

@@ -12,6 +12,7 @@
 #include "core/checkpoint.hpp"
 #include "graph/types.hpp"
 #include "util/perf_stats.hpp"
+#include "util/resource_governor.hpp"
 
 namespace spnl {
 
@@ -69,6 +70,18 @@ class StreamingPartitioner {
   /// the instrumented partitioners (SPN/SPNL) record stage timings; others
   /// ignore the sink and the drivers still attribute stream-wait time.
   virtual void set_perf_stats(PerfStats*) {}
+
+  /// Resource-governor hook: apply one rung of the degradation ladder and
+  /// return true if the step actually freed/changed anything. kShrinkWindow
+  /// is repeatable (each call halves the Γ window until W == 1); the other
+  /// rungs are one-shot. The default — partitioners with no windowed state —
+  /// has nothing to give back.
+  virtual bool apply_degradation(DegradationStage) { return false; }
+
+  /// The deepest degradation rung this partitioner is currently running at.
+  virtual DegradationStage degradation_stage() const {
+    return DegradationStage::kNone;
+  }
 };
 
 /// Shared machinery for greedy streaming heuristics: the route table,

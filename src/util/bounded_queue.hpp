@@ -4,8 +4,14 @@
 // thread pushes adjacency-list records in vertex-id order; M worker threads
 // pop and compute placement scores. close() signals end-of-stream; pop()
 // returns nullopt once the queue is both closed and drained.
+// The timed variants (push_for / try_pop_for) and abort() exist for the
+// pipeline watchdog: with them no thread ever blocks on the queue
+// unboundedly — a wedged peer surfaces as a timeout the caller can act on,
+// and abort() tears the whole pipeline down, waking every waiter and
+// discarding undelivered items (unlike close(), which drains them).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,8 +34,25 @@ class BoundedQueue {
   /// deadlock).
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || done_(); });
+    if (done_()) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Timed push. Moves from `item` and returns true only on success; on
+  /// timeout, close or abort the item is left intact so the caller can retry
+  /// (after checking aborted()/closed()) or dispose of it.
+  template <typename Rep, typename Period>
+  bool push_for(T& item, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout,
+                            [&] { return items_.size() < capacity_ || done_(); })) {
+      return false;  // timed out while full
+    }
+    if (done_()) return false;
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
@@ -37,10 +60,11 @@ class BoundedQueue {
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
+  /// After abort() returns nullopt immediately, dropping undelivered items.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
+    if (aborted_ || items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
@@ -51,7 +75,22 @@ class BoundedQueue {
   /// Non-blocking pop; nullopt if empty (regardless of closed state).
   std::optional<T> try_pop() {
     std::unique_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
+    if (aborted_ || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Timed pop: nullopt on timeout, abort, or closed-and-drained — callers
+  /// distinguish "retry" from "stop" via finished().
+  template <typename Rep, typename Period>
+  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return !items_.empty() || closed_ || aborted_; });
+    if (aborted_ || items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
@@ -70,9 +109,33 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
+  /// Kills the stream: every waiter (producers AND consumers) wakes up,
+  /// pending items are discarded, pushes fail. Unlike close(), nothing is
+  /// drained — this is the watchdog's "pipeline is dead" teardown.
+  void abort() {
+    {
+      std::lock_guard lock(mutex_);
+      aborted_ = true;
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
   bool closed() const {
     std::lock_guard lock(mutex_);
     return closed_;
+  }
+
+  bool aborted() const {
+    std::lock_guard lock(mutex_);
+    return aborted_;
+  }
+
+  /// No item will ever be delivered again: aborted, or closed and drained.
+  bool finished() const {
+    std::lock_guard lock(mutex_);
+    return aborted_ || (closed_ && items_.empty());
   }
 
   std::size_t size() const {
@@ -83,12 +146,15 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  bool done_() const { return closed_ || aborted_; }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  bool aborted_ = false;
 };
 
 }  // namespace spnl

@@ -5,6 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace spnl {
 
 namespace {
@@ -22,11 +26,37 @@ std::size_t read_status_kb(const char* key) {
   }
   return 0;
 }
+
+// Portable fallback when /proc is unavailable: getrusage reports the peak
+// RSS (ru_maxrss) on every POSIX system — in KB on Linux, bytes on macOS.
+// Keeps the resource governor's RSS sampling degraded-but-working instead
+// of silently disabled off-Linux.
+std::size_t rusage_peak_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0 || usage.ru_maxrss <= 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
 }  // namespace
 
-std::size_t peak_rss_bytes() { return read_status_kb("VmHWM:") * 1024; }
+std::size_t peak_rss_bytes() {
+  if (const std::size_t kb = read_status_kb("VmHWM:")) return kb * 1024;
+  return rusage_peak_bytes();
+}
 
-std::size_t current_rss_bytes() { return read_status_kb("VmRSS:") * 1024; }
+std::size_t current_rss_bytes() {
+  if (const std::size_t kb = read_status_kb("VmRSS:")) return kb * 1024;
+  // No /proc: the peak is the tightest available upper bound on the current
+  // RSS; callers budgeting against it degrade conservatively.
+  return rusage_peak_bytes();
+}
 
 std::string format_bytes(std::size_t bytes) {
   const char* units[] = {"B", "KB", "MB", "GB", "TB"};

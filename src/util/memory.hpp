@@ -24,11 +24,14 @@ std::size_t vector_bytes(const std::vector<T>& v) {
   return v.capacity() * sizeof(T);
 }
 
-/// Peak resident set size of this process in bytes (VmHWM). Returns 0 if the
-/// value cannot be read (non-Linux /proc layout).
+/// Peak resident set size of this process in bytes (VmHWM), falling back to
+/// getrusage(RUSAGE_SELF).ru_maxrss when /proc is unavailable. Returns 0
+/// only when neither source works.
 std::size_t peak_rss_bytes();
 
-/// Current resident set size in bytes (VmRSS). Returns 0 on failure.
+/// Current resident set size in bytes (VmRSS). Without /proc the getrusage
+/// peak is returned as a conservative upper bound; 0 only when neither
+/// source works.
 std::size_t current_rss_bytes();
 
 /// Pretty-print a byte count, e.g. "1.50GB", "12.3MB", "420B".

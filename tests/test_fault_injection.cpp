@@ -143,6 +143,52 @@ TEST(FaultInjection, DroppedSyncsIncreaseStaleness) {
   EXPECT_GT(stale.stale_decisions, fresh.stale_decisions);
 }
 
+TEST(FaultInjection, StalledWorkerLosesNothingAndRunCompletes) {
+  const Graph g = clustered(6000);
+  DistributedSimOptions options;
+  options.sync_interval = 256;
+  options.faults.stalls = {{.worker = 1, .at_placement = 1000,
+                            .for_placements = 500}};
+  const auto result = run(g, options);
+  EXPECT_EQ(result.worker_stalls, 1u);
+  EXPECT_EQ(result.stalled_turns, 500u);
+  EXPECT_EQ(result.lost_placements, 0u);
+  // Unlike a crash, a stall delays the slice but never abandons it.
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+  // Deterministic replay, like every other fault.
+  const auto replay = run(g, options);
+  EXPECT_EQ(replay.route, result.route);
+  EXPECT_EQ(replay.stalled_turns, result.stalled_turns);
+}
+
+TEST(FaultInjection, AllWorkersStalledLivelockGuardKeepsProgress) {
+  const Graph g = clustered(3000);
+  DistributedSimOptions options;
+  options.num_workers = 3;
+  options.sync_interval = 256;
+  // Every worker stalls at the same point, "forever" on this graph's scale.
+  options.faults.stalls = {
+      {.worker = 0, .at_placement = 500, .for_placements = 1000000},
+      {.worker = 1, .at_placement = 500, .for_placements = 1000000},
+      {.worker = 2, .at_placement = 500, .for_placements = 1000000}};
+  const auto result = run(g, options);
+  // The least-index stalled worker is forced to proceed each round, so the
+  // run completes instead of livelocking.
+  EXPECT_EQ(result.worker_stalls, 3u);
+  EXPECT_TRUE(is_complete_assignment(result.route, 8));
+}
+
+TEST(FaultInjection, StallNamesUnknownWorkerRejected) {
+  const Graph g = clustered(500);
+  InMemoryStream stream(g);
+  DistributedSimOptions options;
+  options.faults.stalls = {{.worker = 99, .at_placement = 10,
+                            .for_placements = 1}};
+  EXPECT_THROW(
+      distributed_stream_partition(stream, {.num_partitions = 4}, options),
+      std::invalid_argument);
+}
+
 TEST(FaultInjection, CrashProbabilitiesValidated) {
   const Graph g = clustered(500);
   InMemoryStream stream(g);

@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <vector>
 
+#include "graph/adjacency_stream.hpp"
 #include "graph/generators.hpp"
 
 namespace spnl {
@@ -192,6 +194,109 @@ TEST_F(IoHardeningTest, ValidatedReadRejectsHolesAndRange) {
   out3.close();
   const auto route = read_route_table(path("good.route"), 4);
   EXPECT_EQ(route, (std::vector<PartitionId>{1, 3, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded quarantine for malformed mid-stream records (file streams).
+
+class QuarantineTest : public IoHardeningTest {
+ protected:
+  /// Adjacency file: 6 vertices, two malformed mid-stream lines (garbage
+  /// token, truncated/garbage id).
+  std::string dirty_adjacency(const char* name) {
+    const std::string p = path(name);
+    std::ofstream out(p);
+    out << "# V 6 E 6\n"
+        << "0 1 2\n"
+        << "1 2\n"
+        << "2 3 oops\n"  // garbage token mid-line
+        << "3 4\n"
+        << "4x 5\n"  // garbage vertex id
+        << "5 0\n";
+    return p;
+  }
+
+  static std::uint64_t count_records(AdjacencyStream& stream) {
+    std::uint64_t n = 0;
+    while (stream.next().has_value()) ++n;
+    return n;
+  }
+};
+
+TEST_F(QuarantineTest, DisabledByDefaultMalformedLineThrows) {
+  const std::string p = dirty_adjacency("strict.adj");
+  FileAdjacencyStream stream(p);
+  EXPECT_THROW(count_records(stream), std::runtime_error);
+}
+
+TEST_F(QuarantineTest, SkipsCountsAndLogsBadLines) {
+  const std::string p = dirty_adjacency("tolerant.adj");
+  const std::string log = path("bad.txt");
+  FileAdjacencyStream stream(p, {.max_bad_records = 10, .quarantine_log = log});
+  EXPECT_EQ(count_records(stream), 4u);  // 6 lines, 2 quarantined
+  EXPECT_EQ(stream.bad_records(), 2u);
+
+  std::ifstream in(log);
+  std::string line;
+  std::vector<std::string> logged;
+  while (std::getline(in, line)) logged.push_back(line);
+  ASSERT_EQ(logged.size(), 2u);
+  EXPECT_EQ(logged[0], "2 3 oops");
+  EXPECT_EQ(logged[1], "4x 5");
+}
+
+TEST_F(QuarantineTest, ThrowsPastTheBound) {
+  const std::string p = dirty_adjacency("bounded.adj");
+  FileAdjacencyStream stream(p, {.max_bad_records = 1, .quarantine_log = {}});
+  EXPECT_THROW(count_records(stream), std::runtime_error);
+}
+
+TEST_F(QuarantineTest, ResetRecountsPerPass) {
+  const std::string p = dirty_adjacency("repass.adj");
+  FileAdjacencyStream stream(p, {.max_bad_records = 10, .quarantine_log = {}});
+  EXPECT_EQ(count_records(stream), 4u);
+  EXPECT_EQ(stream.bad_records(), 2u);
+  stream.reset();
+  EXPECT_EQ(stream.bad_records(), 0u);
+  EXPECT_EQ(count_records(stream), 4u);
+  EXPECT_EQ(stream.bad_records(), 2u);
+}
+
+TEST_F(QuarantineTest, MaterializeToleratesQuarantinedVertices) {
+  const std::string p = dirty_adjacency("mat.adj");
+  FileAdjacencyStream stream(p, {.max_bad_records = 10, .quarantine_log = {}});
+  const Graph g = materialize(stream);
+  // Quarantined vertices become isolated; the rest keep their edges.
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST_F(QuarantineTest, EdgeListStreamQuarantinesGarbagePairs) {
+  const std::string p = path("dirty.el");
+  {
+    std::ofstream out(p);
+    out << "0 1\n"
+        << "0 2 2\n"  // three fields
+        << "1 2\n"
+        << "2 zzz\n"  // garbage target
+        << "2 0\n";
+  }
+  // Strict: the constructor's pre-scan already rejects the file.
+  EXPECT_THROW(EdgeListAdjacencyStream{p}, std::runtime_error);
+  // Tolerant: 2 quarantined, 3 good edges over 3 vertices survive.
+  EdgeListAdjacencyStream stream(p, {.max_bad_records = 5, .quarantine_log = {}});
+  EXPECT_EQ(stream.num_edges(), 3u);
+  std::uint64_t edges = 0, records = 0;
+  stream.reset();
+  while (auto record = stream.next()) {
+    ++records;
+    edges += record->out.size();
+  }
+  EXPECT_EQ(records, 3u);
+  EXPECT_EQ(edges, 3u);
+  EXPECT_EQ(stream.bad_records(), 2u);
 }
 
 TEST(ValidateRoute, ChecksSizeHolesAndRange) {

@@ -98,6 +98,72 @@ TEST(BoundedQueue, BlocksWhenFullUntilConsumed) {
   EXPECT_EQ(queue.pop(), 2);
 }
 
+TEST(BoundedQueue, PushForTimesOutWhenFullAndKeepsItem) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  int item = 2;
+  EXPECT_FALSE(queue.push_for(item, std::chrono::milliseconds(10)));
+  EXPECT_EQ(item, 2);  // not consumed on timeout
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_TRUE(queue.push_for(item, std::chrono::milliseconds(10)));
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, TryPopForTimesOutOnEmpty) {
+  BoundedQueue<int> queue(4);
+  Timer timer;
+  EXPECT_FALSE(queue.try_pop_for(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(timer.millis(), 15.0);
+  queue.push(5);
+  EXPECT_EQ(queue.try_pop_for(std::chrono::milliseconds(20)), 5);
+}
+
+TEST(BoundedQueue, AbortDiscardsItemsAndWakesEverybody) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);  // full: blocked producers and a pending item
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> pop_returned{false};
+  std::thread producer([&] {
+    int item = 2;
+    queue.push_for(item, std::chrono::seconds(30));
+    push_returned = true;
+  });
+  std::thread consumer([&] {
+    // Drain the one item so the queue is empty, then block.
+    EXPECT_EQ(queue.pop(), 1);
+    while (queue.pop().has_value()) {
+    }
+    pop_returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.abort();
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_TRUE(pop_returned.load());
+  EXPECT_TRUE(queue.aborted());
+  EXPECT_TRUE(queue.finished());
+  // Post-abort: pushes fail, pops are empty, pending items were dropped.
+  EXPECT_FALSE(queue.push(9));
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, AbortUnlikeCloseDropsUndelivered) {
+  BoundedQueue<int> closed(4);
+  closed.push(1);
+  closed.close();
+  EXPECT_FALSE(closed.finished());  // still an item to drain
+  EXPECT_EQ(closed.pop(), 1);
+  EXPECT_TRUE(closed.finished());
+
+  BoundedQueue<int> aborted(4);
+  aborted.push(1);
+  aborted.abort();
+  EXPECT_TRUE(aborted.finished());  // item dropped immediately
+  EXPECT_FALSE(aborted.pop().has_value());
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
   BoundedQueue<int> queue(16);
   constexpr int kPerProducer = 1000;

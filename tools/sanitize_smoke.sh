@@ -1,37 +1,50 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and runs
-# the robustness test suite (or the full suite with --full) against it.
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer (default)
+# or ThreadSanitizer (--tsan) and runs the robustness test suite (or the full
+# suite with --full) against it.
 #
 # Usage:
-#   tools/sanitize_smoke.sh [--full] [--build-dir DIR] [--jobs N]
+#   tools/sanitize_smoke.sh [--full] [--tsan] [--build-dir DIR] [--jobs N]
 #
 # The robustness tests deliberately walk every error path (corrupt
-# checkpoints, truncated graph files, crashed workers); running them under
-# ASan/UBSan proves those paths are clean, not just non-crashing.
+# checkpoints, truncated graph files, crashed workers, stolen in-flight
+# records); running them under ASan/UBSan proves those paths are clean, and
+# under TSan proves the watchdog's steal/rescue protocol and the governor's
+# quiesce-then-degrade dance are free of data races, not just non-crashing.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-sanitize"
+build_dir=""
 jobs="$(nproc 2>/dev/null || echo 4)"
 ctest_args=(-L robustness)
+sanitize="address;undefined"
+mode="asan"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) ctest_args=(); shift ;;
+    --tsan) sanitize="thread"; mode="tsan"; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --jobs) jobs="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+if [[ -z "${build_dir}" ]]; then
+  build_dir="${repo_root}/build-sanitize-${mode}"
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DSPNL_SANITIZE="address;undefined"
+  -DSPNL_SANITIZE="${sanitize}"
 cmake --build "${build_dir}" -j "${jobs}"
 
-# halt_on_error keeps a UBSan finding from scrolling past as a warning.
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-export ASAN_OPTIONS="detect_leaks=1"
+if [[ "${mode}" == "tsan" ]]; then
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+else
+  # halt_on_error keeps a UBSan finding from scrolling past as a warning.
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export ASAN_OPTIONS="detect_leaks=1"
+fi
 
 ctest --test-dir "${build_dir}" --output-on-failure "${ctest_args[@]+"${ctest_args[@]}"}"
 
@@ -39,7 +52,9 @@ ctest --test-dir "${build_dir}" --output-on-failure "${ctest_args[@]+"${ctest_ar
 # instances, the post-join merge, and the fused scoring kernel all run on
 # real threads here, so an out-of-range Γ-row offset, a scratch-buffer
 # overflow, or UB in the timing paths surfaces as a sanitizer abort rather
-# than a corrupted counter.
+# than a corrupted counter. With the watchdog armed the monitor thread's
+# steal/rescue path and the governor's mid-stream window shrink run
+# concurrently with the workers — exactly the interleavings TSan exists for.
 smoke_dir="${build_dir}/sanitize_smoke"
 mkdir -p "${smoke_dir}"
 "${build_dir}/tools/spnl_gen" --out="${smoke_dir}/graph.adj" \
@@ -49,8 +64,20 @@ mkdir -p "${smoke_dir}"
   --perf-json="${smoke_dir}/perf_parallel.json"
 "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
   --algo=spn --perf-report
+# Watchdog-enabled parallel run with an injected straggler (stolen + rescued
+# record) and a governed run forced down the degradation ladder.
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --threads=4 --watchdog-timeout=0.2 \
+  --inject-faults=stuck:1@50 --quiet
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --threads=4 --watchdog-timeout=0.2 --memory-budget=64K \
+  --perf-json="${smoke_dir}/perf_degraded.json" --quiet
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "${smoke_dir}/perf_parallel.json" 2>/dev/null \
   || grep -q '"total_nanos"' "${smoke_dir}/perf_parallel.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "${smoke_dir}/perf_degraded.json" 2>/dev/null \
+  || grep -q '"total_nanos"' "${smoke_dir}/perf_degraded.json"
+grep -q '"degradations"' "${smoke_dir}/perf_degraded.json"
 
-echo "sanitize smoke: OK"
+echo "sanitize smoke (${mode}): OK"

@@ -8,7 +8,13 @@
 //                  [--checkpoint=ckpt.bin] [--checkpoint-every=N]
 //                  [--resume-from=ckpt.bin]
 //                  [--workers=W] [--sync-interval=N] [--recover=reassign|none]
-//                  [--inject-faults=crash:W@T,drop:P,delay:P,dup:P,seed:S]
+//                  [--inject-faults=crash:W@T,stall:W@T@F,drop:P,delay:P,
+//                                   dup:P,seed:S,stuck:W@N,wedge:W@N,
+//                                   slow:W@D,pressure:BYTES]
+//                  [--memory-budget=BYTES[K|M|G]] [--deadline=SECS]
+//                  [--degrade-policy=ladder|abort|off] [--governor-interval=N]
+//                  [--watchdog-timeout=SECS]
+//                  [--max-bad-records=N] [--quarantine-log=bad.txt]
 //                  [--perf-report] [--perf-json=stats.json]
 //
 // Algorithms: hash, range, ldg, fennel, spn, spnl (default), balanced, dg,
@@ -23,6 +29,20 @@
 // snapshot and produces the same route the uninterrupted run would have.
 // --workers switches to the distributed simulation; --inject-faults feeds it
 // a seeded fault plan (scripted worker crashes and lossy sync messages).
+//
+// Resource governance: --memory-budget (partitioner-footprint bytes, K/M/G
+// suffixes) and --deadline (wall-clock seconds) attach a ResourceGovernor to
+// the sequential greedy and parallel SPNL/SPN paths; on breach the run steps
+// a degradation ladder (shrink Γ window → coarse slide → capacity-weighted
+// hash fallback) instead of OOMing — --degrade-policy=abort makes a breach a
+// hard error, =off records samples without intervening. --watchdog-timeout
+// arms the parallel pipeline watchdog: a worker stalled past the timeout has
+// its in-flight record stolen and rescued; a fully wedged pipeline aborts
+// cleanly. --max-bad-records / --quarantine-log harden the adj-format file
+// stream: malformed mid-stream lines are skipped, counted and logged rather
+// than fatal, up to the bound. --inject-faults keys stuck/wedge/slow/pressure
+// drive the parallel pipeline; crash/stall/drop/delay/dup drive the
+// distributed simulation.
 //
 // Instrumentation: --perf-report attaches per-stage counters/timers (score,
 // Γ increment, window advance, commit, queue wait) to the sequential greedy
@@ -61,6 +81,7 @@
 #include "util/cli.hpp"
 #include "util/memory.hpp"
 #include "util/perf_stats.hpp"
+#include "util/resource_governor.hpp"
 
 namespace {
 
@@ -77,17 +98,34 @@ int usage() {
                "  [--checkpoint=ckpt.bin] [--checkpoint-every=N] "
                "[--resume-from=ckpt.bin]\n"
                "  [--workers=W] [--sync-interval=N] [--recover=reassign|none]\n"
-               "  [--inject-faults=crash:W@T,drop:P,delay:P,dup:P,seed:S]\n"
+               "  [--inject-faults=crash:W@T,stall:W@T@F,drop:P,delay:P,dup:P,"
+               "seed:S,stuck:W@N,wedge:W@N,slow:W@D,pressure:BYTES]\n"
+               "  [--memory-budget=BYTES[K|M|G]] [--deadline=SECS]\n"
+               "  [--degrade-policy=ladder|abort|off] [--governor-interval=N]\n"
+               "  [--watchdog-timeout=SECS]\n"
+               "  [--max-bad-records=N] [--quarantine-log=bad.txt]\n"
                "  [--perf-report] [--perf-json=stats.json]\n"
                "algos: hash range ldg fennel spn spnl balanced dg edg "
                "triangles multilevel labelprop\n");
   return 2;
 }
 
-// Parses the comma-separated fault spec: "crash:W@T" (repeatable),
-// "drop:P" / "delay:P" / "dup:P" (probabilities), "seed:S".
-FaultPlan parse_fault_plan(const std::string& spec) {
-  FaultPlan plan;
+// Both fault schedules parsed from one --inject-faults spec: the distributed
+// simulation's plan and the parallel pipeline's plan (which path consumes
+// which is decided by --workers / --threads).
+struct ParsedFaults {
+  FaultPlan distributed;
+  ParallelFaultPlan parallel;
+};
+
+// Parses the comma-separated fault spec. Distributed keys: "crash:W@T",
+// "stall:W@T@F" (repeatable), "drop:P" / "delay:P" / "dup:P"
+// (probabilities), "seed:S". Parallel-pipeline keys: "stuck:W@N" (freeze
+// between publish and claim at worker W's Nth pop), "wedge:W@N" (freeze
+// inside the placement — unstealable), "slow:W@D" (sleep D seconds per pop),
+// "pressure:BYTES" (heap ballast, K/M/G suffixes).
+ParsedFaults parse_fault_plan(const std::string& spec) {
+  ParsedFaults plan;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     std::size_t comma = spec.find(',', pos);
@@ -101,24 +139,59 @@ FaultPlan parse_fault_plan(const std::string& spec) {
     }
     const std::string key = item.substr(0, colon);
     const std::string value = item.substr(colon + 1);
+    // "A@B" / "A@B@C" splitter shared by the scheduled-event keys.
+    auto split_at = [&](std::vector<std::string>& out) {
+      out.clear();
+      std::size_t p = 0;
+      while (p <= value.size()) {
+        std::size_t at = value.find('@', p);
+        if (at == std::string::npos) at = value.size();
+        out.push_back(value.substr(p, at - p));
+        p = at + 1;
+      }
+    };
+    std::vector<std::string> parts;
     try {
       if (key == "crash") {
-        const std::size_t at = value.find('@');
-        if (at == std::string::npos) {
-          throw std::runtime_error("crash wants W@T");
-        }
+        split_at(parts);
+        if (parts.size() != 2) throw std::runtime_error("crash wants W@T");
         WorkerCrash crash;
-        crash.worker = static_cast<unsigned>(std::stoul(value.substr(0, at)));
-        crash.at_placement = std::stoull(value.substr(at + 1));
-        plan.crashes.push_back(crash);
+        crash.worker = static_cast<unsigned>(std::stoul(parts[0]));
+        crash.at_placement = std::stoull(parts[1]);
+        plan.distributed.crashes.push_back(crash);
+      } else if (key == "stall") {
+        split_at(parts);
+        if (parts.size() != 3) throw std::runtime_error("stall wants W@T@F");
+        WorkerStall stall;
+        stall.worker = static_cast<unsigned>(std::stoul(parts[0]));
+        stall.at_placement = std::stoull(parts[1]);
+        stall.for_placements = std::stoull(parts[2]);
+        plan.distributed.stalls.push_back(stall);
+      } else if (key == "stuck" || key == "wedge") {
+        split_at(parts);
+        if (parts.size() != 2) throw std::runtime_error(key + " wants W@N");
+        StuckWorkerFault stuck;
+        stuck.worker = static_cast<unsigned>(std::stoul(parts[0]));
+        stuck.at_pop = std::stoull(parts[1]);
+        stuck.in_processing = key == "wedge";
+        plan.parallel.stuck.push_back(stuck);
+      } else if (key == "slow") {
+        split_at(parts);
+        if (parts.size() != 2) throw std::runtime_error("slow wants W@D");
+        SlowWorkerFault slow;
+        slow.worker = static_cast<unsigned>(std::stoul(parts[0]));
+        slow.delay_seconds = std::stod(parts[1]);
+        plan.parallel.slow.push_back(slow);
+      } else if (key == "pressure") {
+        plan.parallel.ballast_bytes = parse_byte_size(value);
       } else if (key == "drop") {
-        plan.drop_sync_prob = std::stod(value);
+        plan.distributed.drop_sync_prob = std::stod(value);
       } else if (key == "delay") {
-        plan.delay_sync_prob = std::stod(value);
+        plan.distributed.delay_sync_prob = std::stod(value);
       } else if (key == "dup") {
-        plan.duplicate_sync_prob = std::stod(value);
+        plan.distributed.duplicate_sync_prob = std::stod(value);
       } else if (key == "seed") {
-        plan.seed = std::stoull(value);
+        plan.distributed.seed = std::stoull(value);
       } else {
         throw std::runtime_error("unknown fault key '" + key + "'");
       }
@@ -131,12 +204,16 @@ FaultPlan parse_fault_plan(const std::string& spec) {
   return plan;
 }
 
-Graph load_graph(const std::string& path, const std::string& format) {
+Graph load_graph(const std::string& path, const std::string& format,
+                 const StreamHardeningOptions& hardening,
+                 std::uint64_t* bad_records) {
   if (format == "edgelist") return read_edge_list(path, /*compact_ids=*/true);
   if (format == "binary") return read_binary(path);
   if (format == "adj") {
-    FileAdjacencyStream stream(path);
-    return materialize(stream);
+    FileAdjacencyStream stream(path, hardening);
+    Graph graph = materialize(stream);
+    if (bad_records != nullptr) *bad_records = stream.bad_records();
+    return graph;
   }
   throw std::runtime_error("unknown --format " + format);
 }
@@ -178,12 +255,58 @@ int main(int argc, char** argv) {
   PerfStats* perf_ptr = (perf_report || !perf_json_path.empty()) ? &perf : nullptr;
 
   try {
-    const Graph graph = load_graph(args.positional()[0], format);
+    // Resource governor (memory budget / deadline) for the greedy sequential
+    // and parallel SPNL/SPN paths.
+    ResourceGovernor::Options governor_options;
+    if (args.has("memory-budget")) {
+      governor_options.memory_budget_bytes =
+          parse_byte_size(args.get("memory-budget", ""));
+    }
+    governor_options.deadline_seconds = args.get_double("deadline", 0.0);
+    const std::string policy = args.get("degrade-policy", "ladder");
+    if (policy == "abort") {
+      governor_options.policy = DegradePolicy::kAbort;
+    } else if (policy == "off") {
+      governor_options.policy = DegradePolicy::kOff;
+    } else if (policy != "ladder") {
+      throw std::runtime_error("--degrade-policy: want ladder|abort|off");
+    }
+    if (args.has("governor-interval")) {
+      governor_options.sample_interval =
+          static_cast<std::uint64_t>(args.get_int("governor-interval", 256));
+      if (governor_options.sample_interval == 0) {
+        throw std::runtime_error("--governor-interval: want >= 1");
+      }
+    }
+    ResourceGovernor governor(governor_options);
+    ResourceGovernor* governor_ptr = governor.enabled() ? &governor : nullptr;
+    const double watchdog_timeout = args.get_double("watchdog-timeout", 0.0);
+
+    StreamHardeningOptions hardening;
+    hardening.max_bad_records =
+        static_cast<std::uint64_t>(args.get_int("max-bad-records", 0));
+    hardening.quarantine_log = args.get("quarantine-log", "");
+
+    std::uint64_t bad_records = 0;
+    const Graph graph =
+        load_graph(args.positional()[0], format, hardening, &bad_records);
     if (!quiet) std::printf("%s\n", describe(graph, args.positional()[0]).c_str());
+    if (!quiet && bad_records > 0) {
+      std::printf("quarantined %llu malformed record(s)%s%s\n",
+                  static_cast<unsigned long long>(bad_records),
+                  hardening.quarantine_log.empty() ? "" : " -> ",
+                  hardening.quarantine_log.c_str());
+    }
 
     std::vector<PartitionId> route;
     double seconds = 0.0;
     std::size_t bytes = 0;
+    std::vector<DegradationEvent> degradations;
+
+    ParsedFaults faults;
+    if (args.has("inject-faults")) {
+      faults = parse_fault_plan(args.get("inject-faults", ""));
+    }
 
     InMemoryStream stream(graph);
     if (workers > 0) {
@@ -196,20 +319,20 @@ int main(int argc, char** argv) {
       options.recovery = args.get("recover", "reassign") == "none"
                              ? RecoveryPolicy::kNone
                              : RecoveryPolicy::kReassign;
-      if (args.has("inject-faults")) {
-        options.faults = parse_fault_plan(args.get("inject-faults", ""));
-      }
+      options.faults = faults.distributed;
       const auto result = distributed_stream_partition(stream, config, options);
       route = result.route;
       if (!quiet) {
         std::printf(
             "distributed: workers=%u stale_decisions=%llu crashes=%llu "
-            "lost=%llu recovered=%llu dropped_syncs=%llu delayed_syncs=%llu "
-            "duplicated_syncs=%llu\n",
+            "lost=%llu recovered=%llu stalls=%llu stalled_turns=%llu "
+            "dropped_syncs=%llu delayed_syncs=%llu duplicated_syncs=%llu\n",
             workers, static_cast<unsigned long long>(result.stale_decisions),
             static_cast<unsigned long long>(result.worker_crashes),
             static_cast<unsigned long long>(result.lost_placements),
             static_cast<unsigned long long>(result.recovered_placements),
+            static_cast<unsigned long long>(result.worker_stalls),
+            static_cast<unsigned long long>(result.stalled_turns),
             static_cast<unsigned long long>(result.dropped_syncs),
             static_cast<unsigned long long>(result.delayed_syncs),
             static_cast<unsigned long long>(result.duplicated_syncs));
@@ -258,14 +381,33 @@ int main(int argc, char** argv) {
       options.checkpoint_every = checkpoint_every;
       options.resume_from = resume_from;
       options.perf = perf_ptr;
-      const auto result = run_parallel(stream, config, options);
+      options.watchdog_timeout_seconds = watchdog_timeout;
+      options.governor = governor_ptr;
+      options.faults = faults.parallel;
+      ParallelRunResult result;
+      try {
+        result = run_parallel(stream, config, options);
+      } catch (const StreamAborted& e) {
+        std::fprintf(stderr,
+                     "error: %s (stalled_workers=%llu rescued_records=%llu)\n",
+                     e.what(),
+                     static_cast<unsigned long long>(e.result.stalled_workers),
+                     static_cast<unsigned long long>(e.result.rescued_records));
+        return 1;
+      }
       route = result.route;
       seconds = result.partition_seconds;
       bytes = result.peak_partitioner_bytes;
+      degradations = result.degradations;
       if (!quiet && (result.checkpoints_written > 0 || result.resumed_at > 0)) {
         std::printf("checkpoints_written=%llu resumed_at=%llu\n",
                     static_cast<unsigned long long>(result.checkpoints_written),
                     static_cast<unsigned long long>(result.resumed_at));
+      }
+      if (!quiet && result.stalled_workers > 0) {
+        std::printf("watchdog: stalled_workers=%llu rescued_records=%llu\n",
+                    static_cast<unsigned long long>(result.stalled_workers),
+                    static_cast<unsigned long long>(result.rescued_records));
       }
     } else {
       std::unique_ptr<StreamingPartitioner> partitioner;
@@ -305,12 +447,14 @@ int main(int argc, char** argv) {
       checkpoint.every = checkpoint_every;
       const RunResult run =
           resume_from.empty()
-              ? run_streaming(stream, *partitioner, checkpoint, perf_ptr)
+              ? run_streaming(stream, *partitioner, checkpoint, perf_ptr,
+                              governor_ptr)
               : resume_streaming(stream, *partitioner, resume_from, checkpoint,
-                                 perf_ptr);
+                                 perf_ptr, governor_ptr);
       route = run.route;
       seconds = run.partition_seconds;
       bytes = run.peak_partitioner_bytes;
+      degradations = run.degradations;
       if (!quiet && (run.checkpoints_written > 0 || run.resumed_at > 0)) {
         std::printf("checkpoints_written=%llu resumed_at=%llu\n",
                     static_cast<unsigned long long>(run.checkpoints_written),
@@ -331,17 +475,35 @@ int main(int argc, char** argv) {
       std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
                   summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
     }
+    if (!quiet) {
+      for (const DegradationEvent& event : degradations) {
+        std::printf(
+            "degraded: stage=%s at=%llu reason=%s bytes=%zu->%zu budget=%zu "
+            "elapsed=%.3fs\n",
+            degradation_stage_name(event.stage),
+            static_cast<unsigned long long>(event.at_placement),
+            event.reason.c_str(), event.partitioner_bytes, event.post_bytes,
+            event.budget_bytes, event.elapsed_seconds);
+      }
+    }
     if (perf_ptr != nullptr) {
+      // Splice the governor's ladder transitions into the perf JSON object so
+      // one artifact carries both timing and degradation history.
+      std::string json = perf.to_json();
+      if (!degradations.empty() && !json.empty() && json.back() == '}') {
+        json.pop_back();
+        json += ",\"degradations\":" + degradation_events_json(degradations) + "}";
+      }
       if (perf_report) {
         std::printf("%s", perf.report().c_str());
-        std::printf("perf-json: %s\n", perf.to_json().c_str());
+        std::printf("perf-json: %s\n", json.c_str());
       }
       if (!perf_json_path.empty()) {
         std::ofstream out(perf_json_path);
         if (!out) {
           throw std::runtime_error("--perf-json: cannot write " + perf_json_path);
         }
-        out << perf.to_json() << "\n";
+        out << json << "\n";
         if (!quiet) std::printf("wrote %s\n", perf_json_path.c_str());
       }
     }
