@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 
 #include "core/checkpoint.hpp"
 #include "graph/types.hpp"
@@ -31,6 +32,31 @@ class ConcurrentGammaWindow {
     if (contains(u)) {
       counters_[static_cast<std::size_t>(slot_of(u)) * num_partitions_ + p]
           .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Batched per-record increments for the parallel commit path: one base
+  /// load for the whole neighbor list instead of one per neighbor, and
+  /// consecutive duplicate neighbors (multigraph edges arrive sorted from
+  /// the loaders) coalesced into a single fetch_add of the run length.
+  /// Semantically identical to calling increment() per neighbor: slot_of is
+  /// base-independent (u mod W), so an increment racing a concurrent slide
+  /// lands on the same slot either way — the same benign heuristic race the
+  /// class header documents.
+  void increment_many(PartitionId p, std::span<const VertexId> out) {
+    const VertexId b = base_.load(std::memory_order_relaxed);
+    const VertexId w = window_size_;
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n;) {
+      const VertexId u = out[i];
+      std::uint32_t run = 1;
+      while (i + run < n && out[i + run] == u) ++run;
+      i += run;
+      if (u < b || static_cast<std::uint64_t>(u) >= static_cast<std::uint64_t>(b) + w) {
+        continue;
+      }
+      counters_[static_cast<std::size_t>(u % w) * num_partitions_ + p]
+          .fetch_add(run, std::memory_order_relaxed);
     }
   }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -50,6 +51,18 @@ class WatermarkTracker {
   VertexId watermark_ = 0;
 };
 
+/// Per-partition load counters, one cache line per partition: every commit
+/// does three fetch_adds on its target partition, and with the old parallel
+/// arrays (vertex/edge/logical in separate vectors) up to 8 partitions'
+/// counters shared one line, so workers committing to DIFFERENT partitions
+/// still ping-ponged it. One aligned block per partition makes cross-
+/// partition commits contention-free.
+struct alignas(64) PartitionLoad {
+  std::atomic<std::uint64_t> vertices{0};
+  std::atomic<std::uint64_t> edges{0};
+  std::atomic<std::uint64_t> logical{0};
+};
+
 struct SharedState {
   SharedState(VertexId n, EdgeId m, const PartitionConfig& config,
               const ParallelOptions& options, std::uint32_t shards)
@@ -57,18 +70,14 @@ struct SharedState {
         num_vertices(n),
         capacity(partition_capacity(n, m, config)),
         route(n),
-        vertex_counts(config.num_partitions),
-        edge_counts(config.num_partitions),
-        logical_counts(config.num_partitions),
+        loads(config.num_partitions),
         gamma(n, config.num_partitions, shards),
         logical(n, config.num_partitions),
         options(options) {
     for (auto& r : route) r.store(kUnassigned, std::memory_order_relaxed);
     for (PartitionId i = 0; i < config.num_partitions; ++i) {
-      vertex_counts[i].store(0, std::memory_order_relaxed);
-      edge_counts[i].store(0, std::memory_order_relaxed);
-      logical_counts[i].store(options.use_locality ? logical.range_size(i) : 0,
-                              std::memory_order_relaxed);
+      loads[i].logical.store(options.use_locality ? logical.range_size(i) : 0,
+                             std::memory_order_relaxed);
     }
   }
 
@@ -77,22 +86,22 @@ struct SharedState {
     // paper's primary constraint; racy dual-capacity checks are not worth
     // the extra synchronization).
     return config.balance == BalanceMode::kEdge
-               ? static_cast<double>(edge_counts[i].load(std::memory_order_relaxed))
-               : static_cast<double>(vertex_counts[i].load(std::memory_order_relaxed));
+               ? static_cast<double>(loads[i].edges.load(std::memory_order_relaxed))
+               : static_cast<double>(loads[i].vertices.load(std::memory_order_relaxed));
   }
 
   const PartitionConfig config;
   const VertexId num_vertices;
   const double capacity;
   std::vector<std::atomic<PartitionId>> route;
-  std::vector<std::atomic<std::uint64_t>> vertex_counts;
-  std::vector<std::atomic<std::uint64_t>> edge_counts;
-  std::vector<std::atomic<std::uint64_t>> logical_counts;
+  std::vector<PartitionLoad> loads;
   ConcurrentGammaWindow gamma;
   RangeTable logical;
   const ParallelOptions options;
-  std::atomic<std::uint64_t> placed_total{0};
-  std::atomic<std::uint64_t> delayed{0};
+  /// On its own line: every worker bumps it on every commit, and the
+  /// eta/quiesce readers should not drag the delayed/forced lines with it.
+  alignas(64) std::atomic<std::uint64_t> placed_total{0};
+  alignas(64) std::atomic<std::uint64_t> delayed{0};
   std::atomic<std::uint64_t> forced{0};
   /// Last-rung governor degradation: replace scoring with a deterministic
   /// capacity-weighted hash vote (and stop feeding the Γ window).
@@ -153,9 +162,9 @@ class Worker {
         switch (state_.options.spnl.eta_policy) {
           case EtaPolicy::kPaper: {
             const double lt = static_cast<double>(
-                state_.logical_counts[i].load(std::memory_order_relaxed));
+                state_.loads[i].logical.load(std::memory_order_relaxed));
             const double pt = static_cast<double>(
-                state_.vertex_counts[i].load(std::memory_order_relaxed));
+                state_.loads[i].vertices.load(std::memory_order_relaxed));
             e = lt > 0.0 ? std::max(0.0, (lt - pt) / lt) : 0.0;
             break;
           }
@@ -193,21 +202,23 @@ class Worker {
     {
       PerfScope t(perf_, PerfStage::kCommit);
       state_.route[record.id].store(pid, std::memory_order_relaxed);
-      state_.vertex_counts[pid].fetch_add(1, std::memory_order_relaxed);
-      state_.edge_counts[pid].fetch_add(record.out.size(), std::memory_order_relaxed);
+      state_.loads[pid].vertices.fetch_add(1, std::memory_order_relaxed);
+      state_.loads[pid].edges.fetch_add(record.out.size(), std::memory_order_relaxed);
       state_.placed_total.fetch_add(1, std::memory_order_relaxed);
       if (state_.options.use_locality) {
         const PartitionId lp = state_.logical.partition_of(record.id);
-        state_.logical_counts[lp].fetch_sub(1, std::memory_order_relaxed);
+        state_.loads[lp].logical.fetch_sub(1, std::memory_order_relaxed);
       }
     }
     if (!state_.hash_fallback.load(std::memory_order_relaxed)) {
       // No stashed row offsets here, unlike the sequential kernel: other
       // workers may slide the shared window between choose() and commit(),
-      // so each increment re-checks membership by id. (Hash fallback stops
-      // feeding the window — the scores never read it again.)
+      // so membership is re-checked by id — but batched over the record's
+      // whole out-list (one base load, duplicate runs coalesced) instead of
+      // one increment call per neighbor. (Hash fallback stops feeding the
+      // window — the scores never read it again.)
       PerfScope t(perf_, PerfStage::kGammaIncrement);
-      for (VertexId u : record.out) state_.gamma.increment(pid, u);
+      state_.gamma.increment_many(pid, record.out);
     }
     {
       PerfScope t(perf_, PerfStage::kWindowAdvance);
@@ -314,13 +325,15 @@ StateWriter snapshot_parallel(const SharedState& state, const Rct& rct,
     route[v] = state.route[v].load(std::memory_order_relaxed);
   }
   out.put_vec(route);
+  // Serialized as three flat vectors — the on-disk format predates the
+  // cache-line-per-partition layout and must stay byte-compatible.
   const PartitionId k = state.config.num_partitions;
   std::vector<std::uint64_t> counts(k);
-  for (PartitionId i = 0; i < k; ++i) counts[i] = state.vertex_counts[i].load();
+  for (PartitionId i = 0; i < k; ++i) counts[i] = state.loads[i].vertices.load();
   out.put_vec(counts);
-  for (PartitionId i = 0; i < k; ++i) counts[i] = state.edge_counts[i].load();
+  for (PartitionId i = 0; i < k; ++i) counts[i] = state.loads[i].edges.load();
   out.put_vec(counts);
-  for (PartitionId i = 0; i < k; ++i) counts[i] = state.logical_counts[i].load();
+  for (PartitionId i = 0; i < k; ++i) counts[i] = state.loads[i].logical.load();
   out.put_vec(counts);
   out.put_u64(state.placed_total.load());
   out.put_u64(state.delayed.load());
@@ -368,9 +381,9 @@ std::uint64_t restore_parallel(const std::string& path, SharedState& state, Rct&
     state.route[v].store(route[v], std::memory_order_relaxed);
   }
   for (PartitionId i = 0; i < k; ++i) {
-    state.vertex_counts[i].store(vertex_counts[i], std::memory_order_relaxed);
-    state.edge_counts[i].store(edge_counts[i], std::memory_order_relaxed);
-    state.logical_counts[i].store(logical_counts[i], std::memory_order_relaxed);
+    state.loads[i].vertices.store(vertex_counts[i], std::memory_order_relaxed);
+    state.loads[i].edges.store(edge_counts[i], std::memory_order_relaxed);
+    state.loads[i].logical.store(logical_counts[i], std::memory_order_relaxed);
   }
   state.placed_total.store(in.get_u64(), std::memory_order_relaxed);
   state.delayed.store(in.get_u64(), std::memory_order_relaxed);
@@ -403,11 +416,26 @@ std::uint64_t restore_parallel(const std::string& path, SharedState& state, Rct&
 
 }  // namespace
 
+std::size_t validated_batch_size(std::int64_t requested, std::size_t queue_capacity) {
+  if (requested < 1) {
+    throw std::invalid_argument("batch size must be >= 1 (got " +
+                                std::to_string(requested) + ")");
+  }
+  return std::min(static_cast<std::size_t>(requested),
+                  std::max<std::size_t>(queue_capacity, 1));
+}
+
 ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& config,
                                const ParallelOptions& options) {
   if (options.num_threads == 0) {
     throw std::invalid_argument("run_parallel: need at least one worker");
   }
+  const std::size_t batch_size = validated_batch_size(
+      options.batch_size > static_cast<std::size_t>(
+                               std::numeric_limits<std::int64_t>::max())
+          ? std::numeric_limits<std::int64_t>::max()
+          : static_cast<std::int64_t>(options.batch_size),
+      options.queue_capacity);
   const VertexId n = stream.num_vertices();
   const EdgeId m = stream.num_edges();
   const std::uint32_t shards =
@@ -416,13 +444,18 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
           : options.spnl.num_shards;
 
   SharedState state(n, m, config, options, shards);
-  const auto rct_capacity = static_cast<std::size_t>(
-      std::ceil(options.epsilon * options.num_threads));
-  Rct rct(rct_capacity);
+  const std::uint32_t rct_shards = Rct::recommended_shards(options.num_threads);
+  // ε·M entries total, at least one per shard so a stripe can always track.
+  const auto rct_capacity = std::max<std::size_t>(
+      static_cast<std::size_t>(std::ceil(options.epsilon * options.num_threads)),
+      rct_shards);
+  Rct rct(rct_capacity, rct_shards);
   Rct* rct_ptr = options.use_rct ? &rct : nullptr;
-  // The watermark ring must span the maximum in-flight id spread.
+  // The watermark ring must span the maximum in-flight id spread: the queue,
+  // every worker's popped-but-unprocessed local batch, and the parked RCT
+  // records.
   WatermarkTracker watermark(options.queue_capacity + rct_capacity +
-                             options.num_threads + 16);
+                             options.num_threads * batch_size + 16);
   BoundedQueue<OwnedVertexRecord> queue(options.queue_capacity);
 
   Checkpointer checkpointer(options.checkpoint_path, options.checkpoint_every);
@@ -501,8 +534,7 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   auto pipeline_bytes = [&]() -> std::size_t {
     return state.gamma.memory_footprint_bytes() +
            state.route.size() * sizeof(std::atomic<PartitionId>) +
-           3 * static_cast<std::size_t>(config.num_partitions) *
-               sizeof(std::atomic<std::uint64_t>) +
+           state.loads.size() * sizeof(PartitionLoad) +
            rct.memory_footprint_bytes();
   };
 
@@ -591,29 +623,50 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   std::exception_ptr producer_error;
   std::thread producer([&] {
     try {
-      while (auto record = stream.next()) {
-        OwnedVertexRecord owned = OwnedVertexRecord::from(*record);
+      // Micro-batched handoff: records accumulate locally and cross the
+      // queue batch_size at a time, so the mutex/condvar round-trip is paid
+      // once per batch instead of once per record. Governor sampling and
+      // checkpoint cadence switch to the crossing-aware due(prev, now) —
+      // `produced` now advances in batch-sized jumps that can step over an
+      // exact multiple of the interval.
+      std::vector<OwnedVertexRecord> pending;
+      pending.reserve(batch_size);
+      bool open = true;
+      auto flush = [&]() -> bool {
+        if (pending.empty()) return true;
+        const std::uint64_t count = pending.size();
         if (wd == nullptr) {
-          if (!queue.push(std::move(owned))) break;
+          if (!queue.push_batch(pending)) return false;
         } else {
           // Timed pushes so a dead pipeline surfaces as an abort instead of
           // blocking the producer on a full queue forever.
           bool pushed = false;
           while (!pushed && !wd->aborted() && !queue.finished()) {
-            pushed = queue.push_for(owned, std::chrono::milliseconds(100));
+            pushed = queue.push_batch_for(pending, std::chrono::milliseconds(100));
           }
-          if (!pushed) break;
+          if (!pushed) return false;
         }
-        ++produced;
-        if (governor != nullptr && governor->enabled() && governor->due(produced)) {
+        const std::uint64_t prev = produced;
+        produced += count;
+        if (governor != nullptr && governor->enabled() &&
+            governor->due(prev, produced)) {
           govern();
         }
-        if (checkpointer.due(produced)) {
+        if (checkpointer.due(prev, produced)) {
           quiesce([&] {
             checkpointer.write(snapshot_parallel(state, rct, shards, produced));
           });
         }
+        return true;
+      };
+      while (auto record = stream.next()) {
+        pending.push_back(OwnedVertexRecord::from(*record));
+        if (pending.size() >= batch_size && !flush()) {
+          open = false;
+          break;
+        }
       }
+      if (open) flush();  // drain: the partial tail batch
     } catch (...) {
       // BudgetExceededError under DegradePolicy::kAbort (or a stream error):
       // park it for the joining thread, shut the pipeline down cleanly.
@@ -633,51 +686,62 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
       PerfStats* perf = options.perf != nullptr ? &local_perf : nullptr;
       Worker worker(state, rct_ptr, watermark, perf, wd, t);
       std::uint64_t pops = 0;
+      // Whole batches cross the queue; everything below the pop — fault
+      // injection, watchdog publish/claim/steal, the shared-lock placement —
+      // still runs per record, so batching never widens the window a quiesce
+      // or a steal has to reason about.
+      std::vector<OwnedVertexRecord> batch;
+      batch.reserve(batch_size);
       for (;;) {
-        std::optional<OwnedVertexRecord> record;
+        std::size_t got;
         {
           PerfScope wait(perf, PerfStage::kQueueWait);
-          record = queue.pop();
+          got = queue.pop_batch(batch, batch_size);
         }
-        if (!record) break;
-        ++pops;
+        if (got == 0) break;
+        for (OwnedVertexRecord& record : batch) {
+          // An abort drops the rest of the local batch, mirroring how
+          // BoundedQueue::abort discards undelivered items.
+          if (wd != nullptr && wd->aborted()) break;
+          ++pops;
 
-        // Injected stragglers, deterministic by pop index.
-        for (const auto& f : options.faults.slow) {
-          if (f.worker == t && f.delay_seconds > 0.0 && f.every > 0 &&
-              pops % f.every == 0) {
+          // Injected stragglers, deterministic by pop index.
+          for (const auto& f : options.faults.slow) {
+            if (f.worker == t && f.delay_seconds > 0.0 && f.every > 0 &&
+                pops % f.every == 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(f.delay_seconds));
+            }
+          }
+          const StuckWorkerFault* stuck = nullptr;
+          for (const auto& f : options.faults.stuck) {
+            if (f.worker == t && f.at_pop == pops) stuck = &f;
+          }
+
+          if (wd != nullptr) {
+            wd->publish(t, record);
+            if (stuck != nullptr && !stuck->in_processing) {
+              // Transient freeze between publish and claim: the monitor
+              // steals and rescues the record, then this worker resumes.
+              wd->wait_until_stolen(t, stuck->max_stall_seconds);
+            }
+            if (!wd->claim(t)) continue;  // stolen — the monitor owns it now
+          } else if (stuck != nullptr) {
             std::this_thread::sleep_for(
-                std::chrono::duration<double>(f.delay_seconds));
+                std::chrono::duration<double>(stuck->max_stall_seconds));
           }
-        }
-        const StuckWorkerFault* stuck = nullptr;
-        for (const auto& f : options.faults.stuck) {
-          if (f.worker == t && f.at_pop == pops) stuck = &f;
-        }
-
-        if (wd != nullptr) {
-          wd->publish(t, *record);
-          if (stuck != nullptr && !stuck->in_processing) {
-            // Transient freeze between publish and claim: the monitor steals
-            // and rescues the record, then this worker resumes.
-            wd->wait_until_stolen(t, stuck->max_stall_seconds);
+          {
+            std::shared_lock lock(pipeline_mutex);
+            if (wd != nullptr && stuck != nullptr && stuck->in_processing) {
+              // Wedge inside the placement: unstealable; with every worker
+              // wedged this way the monitor aborts the pipeline, which is
+              // what wakes this wait.
+              wd->wait_until_aborted(stuck->max_stall_seconds);
+            }
+            worker.process(std::move(record));
           }
-          if (!wd->claim(t)) continue;  // stolen — the monitor owns it now
-        } else if (stuck != nullptr) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(stuck->max_stall_seconds));
+          if (wd != nullptr) wd->complete(t);
         }
-        {
-          std::shared_lock lock(pipeline_mutex);
-          if (wd != nullptr && stuck != nullptr && stuck->in_processing) {
-            // Wedge inside the placement: unstealable; with every worker
-            // wedged this way the monitor aborts the pipeline, which is what
-            // wakes this wait.
-            wd->wait_until_aborted(stuck->max_stall_seconds);
-          }
-          worker.process(std::move(*record));
-        }
-        if (wd != nullptr) wd->complete(t);
       }
       if (perf != nullptr) {
         std::lock_guard lock(perf_merge_mutex);
@@ -713,6 +777,7 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
       std::max(pipeline_bytes(),
                governor != nullptr ? governor->peak_partitioner_bytes() : 0);
   result.delayed_vertices = state.delayed.load();
+  result.untracked_overflow = options.use_rct ? rct.untracked_overflow() : 0;
   result.forced_vertices = state.forced.load();
   result.checkpoints_written = checkpointer.snapshots_taken();
   result.resumed_at = resumed_at;

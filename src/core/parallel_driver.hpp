@@ -64,6 +64,14 @@ struct ParallelOptions {
   /// Worker thread count M (the producer is an extra thread).
   unsigned num_threads = 4;
   std::size_t queue_capacity = 4096;
+  /// Micro-batched handoff: the producer pushes this many records per queue
+  /// operation and workers pop whole batches, amortizing the mutex/condvar
+  /// traffic by the batch size. Clamped to [1, queue_capacity] via
+  /// validated_batch_size (values < 1 are a typed error); 1 reproduces the
+  /// per-record handoff. Partial batches flush at stream end, and watchdog
+  /// publish/claim/steal and checkpoint quiesce still operate per record, so
+  /// batching changes throughput, not semantics.
+  std::size_t batch_size = 64;
   /// RCT capacity factor ε: the table holds ε·M entries (paper Sec. V-B).
   double epsilon = 2.0;
   /// Disable to measure the quality cost of naive parallelism (ablation).
@@ -113,6 +121,11 @@ struct ParallelRunResult {
   std::size_t peak_partitioner_bytes = 0;
   /// Vertices parked at least once by the RCT.
   std::uint64_t delayed_vertices = 0;
+  /// RCT registrations refused because the table (one of its shards) was
+  /// full: each is a vertex that streamed through untracked, silently losing
+  /// its dependency delay. Persistently non-zero counts mean ε (epsilon) is
+  /// too small for the worker count.
+  std::uint64_t untracked_overflow = 0;
   /// Parked vertices force-placed after the stream ended (cyclic waits).
   std::uint64_t forced_vertices = 0;
   /// Snapshots written during this run (0 when checkpointing is off).
@@ -141,6 +154,12 @@ class StreamAborted : public std::runtime_error {
 
   ParallelRunResult result;
 };
+
+/// Validates a requested micro-batch size against a queue capacity: values
+/// < 1 throw std::invalid_argument (the typed error the CLI surfaces instead
+/// of UB from a silent unsigned wrap), values above the capacity clamp down
+/// to it (a batch larger than the queue could never be pushed whole).
+std::size_t validated_batch_size(std::int64_t requested, std::size_t queue_capacity);
 
 /// Runs the parallel partitioner over the stream. The stream is consumed
 /// from its current position by the internal producer thread. Throws

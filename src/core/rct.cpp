@@ -5,126 +5,247 @@
 
 namespace spnl {
 
-Rct::Rct(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
-  entries_.reserve(capacity_ * 2);
+namespace {
+
+/// splitmix64 finalizer: vertex ids are dense and sequential, so the probe
+/// start must be decorrelated from the shard stripe (v mod S) or every id in
+/// a shard would land on the same few slots.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint32_t Rct::recommended_shards(unsigned num_threads) {
+  return static_cast<std::uint32_t>(next_pow2(num_threads ? num_threads : 1));
+}
+
+Rct::Rct(std::size_t capacity, std::uint32_t num_shards)
+    : capacity_(capacity ? capacity : 1) {
+  const std::size_t shards = next_pow2(num_shards ? num_shards : 1);
+  shard_mask_ = static_cast<std::uint32_t>(shards - 1);
+  shard_capacity_ = (capacity_ + shards - 1) / shards;
+  shards_ = std::vector<Shard>(shards);
+  const std::size_t table_size =
+      next_pow2(std::max<std::size_t>(2 * shard_capacity_, 4));
+  for (Shard& shard : shards_) {
+    shard.table.assign(table_size, Slot{});
+    shard.table_mask = table_size - 1;
+    shard.parked.reserve(shard_capacity_);
+  }
+}
+
+std::size_t Rct::probe_home(const Shard& shard, VertexId v) {
+  return static_cast<std::size_t>(mix64(v)) & shard.table_mask;
+}
+
+std::size_t Rct::find_locked(const Shard& shard, VertexId v) {
+  std::size_t i = probe_home(shard, v);
+  while (shard.table[i].id != kInvalidVertex) {
+    if (shard.table[i].id == v) return i;
+    i = (i + 1) & shard.table_mask;
+  }
+  return shard.table.size();
+}
+
+void Rct::grow_locked(Shard& shard) {
+  std::vector<Slot> old = std::move(shard.table);
+  shard.table.assign(old.size() * 2, Slot{});
+  shard.table_mask = shard.table.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.id == kInvalidVertex) continue;
+    std::size_t i = probe_home(shard, slot.id);
+    while (shard.table[i].id != kInvalidVertex) i = (i + 1) & shard.table_mask;
+    shard.table[i] = slot;
+  }
+}
+
+std::size_t Rct::insert_locked(Shard& shard, VertexId v) {
+  // Keep the load factor <= 1/2 so probes stay short; only restore_parked
+  // can push a shard past its nominal capacity and trigger growth.
+  if (2 * (shard.entries + 1) > shard.table.size()) grow_locked(shard);
+  std::size_t i = probe_home(shard, v);
+  while (shard.table[i].id != kInvalidVertex) i = (i + 1) & shard.table_mask;
+  shard.table[i] = Slot{v, 0, false};
+  ++shard.entries;
+  return i;
+}
+
+void Rct::erase_locked(Shard& shard, std::size_t hole) {
+  // Backward-shift deletion: walk the probe chain after the hole and pull
+  // back any slot whose home position precedes the hole in probe order, so
+  // lookups never need tombstones.
+  std::size_t i = hole;
+  std::size_t j = hole;
+  for (;;) {
+    j = (j + 1) & shard.table_mask;
+    if (shard.table[j].id == kInvalidVertex) break;
+    const std::size_t home = probe_home(shard, shard.table[j].id);
+    if (((j - home) & shard.table_mask) >= ((j - i) & shard.table_mask)) {
+      shard.table[i] = shard.table[j];
+      i = j;
+    }
+  }
+  shard.table[i] = Slot{};
+  --shard.entries;
 }
 
 bool Rct::register_vertex(VertexId v) {
-  std::lock_guard lock(mutex_);
-  if (entries_.size() >= capacity_) return false;
-  return entries_.emplace(v, Entry{}).second;
-}
-
-void Rct::bump_if_present(VertexId u) {
-  std::lock_guard lock(mutex_);
-  auto it = entries_.find(u);
-  if (it == entries_.end()) return;
-  if (it->second.counter == 0) ++nonzero_count_;
-  ++it->second.counter;
-  ++nonzero_sum_;
-}
-
-std::uint32_t Rct::count(VertexId v) const {
-  std::lock_guard lock(mutex_);
-  auto it = entries_.find(v);
-  return it == entries_.end() ? 0 : it->second.counter;
-}
-
-double Rct::mean_nonzero_count() const {
-  std::lock_guard lock(mutex_);
-  return nonzero_count_ == 0
-             ? 0.0
-             : static_cast<double>(nonzero_sum_) / nonzero_count_;
-}
-
-bool Rct::should_delay(VertexId v) const {
-  std::lock_guard lock(mutex_);
-  auto it = entries_.find(v);
-  if (it == entries_.end() || it->second.counter == 0) return false;
-  const double mean = nonzero_count_ == 0
-                          ? 0.0
-                          : static_cast<double>(nonzero_sum_) / nonzero_count_;
-  return static_cast<double>(it->second.counter) >= std::max(1.0, mean);
-}
-
-bool Rct::park(OwnedVertexRecord&& record) {
-  std::lock_guard lock(mutex_);
-  if (parked_.size() >= capacity_) return false;
-  auto it = entries_.find(record.id);
-  if (it == entries_.end()) return false;  // untracked vertices cannot park
-  if (it->second.parked) return false;     // double-park would lose a record
-  it->second.parked = true;
-  parked_.emplace(record.id, std::move(record));
+  Shard& shard = shard_of(v);
+  std::lock_guard lock(shard.mutex);
+  if (shard.entries >= shard_capacity_) {
+    untracked_overflow_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (find_locked(shard, v) != shard.table.size()) return false;  // duplicate
+  insert_locked(shard, v);
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-std::vector<OwnedVertexRecord> Rct::release_ready_locked() {
+void Rct::bump_if_present(VertexId u) {
+  Shard& shard = shard_of(u);
+  std::lock_guard lock(shard.mutex);
+  const std::size_t i = find_locked(shard, u);
+  if (i == shard.table.size()) return;
+  if (shard.table[i].counter == 0) {
+    nonzero_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++shard.table[i].counter;
+  nonzero_sum_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t Rct::count(VertexId v) const {
+  const Shard& shard = shard_of(v);
+  std::lock_guard lock(shard.mutex);
+  const std::size_t i = find_locked(shard, v);
+  return i == shard.table.size() ? 0 : shard.table[i].counter;
+}
+
+double Rct::mean_nonzero_count() const {
+  const std::uint32_t count = nonzero_count_.load(std::memory_order_relaxed);
+  if (count == 0) return 0.0;
+  return static_cast<double>(nonzero_sum_.load(std::memory_order_relaxed)) /
+         count;
+}
+
+bool Rct::should_delay(VertexId v) const {
+  std::uint32_t counter;
+  {
+    const Shard& shard = shard_of(v);
+    std::lock_guard lock(shard.mutex);
+    const std::size_t i = find_locked(shard, v);
+    if (i == shard.table.size()) return false;
+    counter = shard.table[i].counter;
+  }
+  if (counter == 0) return false;
+  return static_cast<double>(counter) >= std::max(1.0, mean_nonzero_count());
+}
+
+bool Rct::park(OwnedVertexRecord&& record) {
+  Shard& shard = shard_of(record.id);
+  std::lock_guard lock(shard.mutex);
+  if (shard.parked.size() >= shard_capacity_) return false;
+  const std::size_t i = find_locked(shard, record.id);
+  if (i == shard.table.size()) return false;   // untracked vertices cannot park
+  if (shard.table[i].parked) return false;     // double-park would lose a record
+  shard.table[i].parked = true;
+  shard.parked.push_back(std::move(record));
+  parked_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<OwnedVertexRecord> Rct::on_placed(VertexId v,
+                                              std::span<const VertexId> out) {
   std::vector<OwnedVertexRecord> ready;
-  for (auto it = parked_.begin(); it != parked_.end();) {
-    auto entry = entries_.find(it->first);
-    if (entry != entries_.end() && entry->second.counter == 0) {
-      entry->second.parked = false;
-      ready.push_back(std::move(it->second));
-      it = parked_.erase(it);
-    } else {
-      ++it;
+  {
+    Shard& shard = shard_of(v);
+    std::lock_guard lock(shard.mutex);
+    const std::size_t i = find_locked(shard, v);
+    if (i != shard.table.size()) {
+      if (shard.table[i].counter > 0) {
+        nonzero_sum_.fetch_sub(shard.table[i].counter,
+                               std::memory_order_relaxed);
+        nonzero_count_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      // If the caller force-placed a still-parked vertex, drop the orphaned
+      // parked record too.
+      if (shard.table[i].parked) {
+        auto it = std::find_if(shard.parked.begin(), shard.parked.end(),
+                               [&](const auto& r) { return r.id == v; });
+        if (it != shard.parked.end()) {
+          shard.parked.erase(it);
+          parked_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      erase_locked(shard, i);
+      entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  // One shard lock at a time: the self shard above is released before any
+  // neighbor shard is taken, so there is no lock-ordering hazard.
+  for (VertexId u : out) {
+    Shard& shard = shard_of(u);
+    std::lock_guard lock(shard.mutex);
+    const std::size_t i = find_locked(shard, u);
+    if (i == shard.table.size() || shard.table[i].counter == 0) continue;
+    --shard.table[i].counter;
+    nonzero_sum_.fetch_sub(1, std::memory_order_relaxed);
+    if (shard.table[i].counter == 0) {
+      nonzero_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (shard.table[i].parked) {
+        // Counter drained: release the parked record for immediate placement.
+        // The entry stays (counter 0, parked=false) until u's own on_placed.
+        shard.table[i].parked = false;
+        auto it = std::find_if(shard.parked.begin(), shard.parked.end(),
+                               [&](const auto& r) { return r.id == u; });
+        if (it != shard.parked.end()) {
+          ready.push_back(std::move(*it));
+          shard.parked.erase(it);
+          parked_count_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
     }
   }
   return ready;
 }
 
-std::vector<OwnedVertexRecord> Rct::on_placed(VertexId v,
-                                              std::span<const VertexId> out) {
-  std::lock_guard lock(mutex_);
-  if (auto self = entries_.find(v); self != entries_.end()) {
-    if (self->second.counter > 0) {
-      nonzero_sum_ -= self->second.counter;
-      --nonzero_count_;
-    }
-    // If the caller force-placed a still-parked vertex, drop the orphaned
-    // parked record too.
-    if (self->second.parked) parked_.erase(v);
-    entries_.erase(self);
-  }
-  bool released_any = false;
-  for (VertexId u : out) {
-    auto it = entries_.find(u);
-    if (it == entries_.end() || it->second.counter == 0) continue;
-    --it->second.counter;
-    --nonzero_sum_;
-    if (it->second.counter == 0) {
-      --nonzero_count_;
-      if (it->second.parked) released_any = true;
-    }
-  }
-  if (!released_any) return {};
-  return release_ready_locked();
-}
-
 std::vector<OwnedVertexRecord> Rct::drain_parked() {
-  std::lock_guard lock(mutex_);
   std::vector<OwnedVertexRecord> rest;
-  rest.reserve(parked_.size());
-  for (auto& [id, record] : parked_) {
-    auto entry = entries_.find(id);
-    if (entry != entries_.end()) entry->second.parked = false;
-    rest.push_back(std::move(record));
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (OwnedVertexRecord& record : shard.parked) {
+      const std::size_t i = find_locked(shard, record.id);
+      if (i != shard.table.size()) shard.table[i].parked = false;
+      rest.push_back(std::move(record));
+    }
+    parked_count_.fetch_sub(shard.parked.size(), std::memory_order_relaxed);
+    shard.parked.clear();
   }
-  parked_.clear();
   std::sort(rest.begin(), rest.end(),
             [](const auto& a, const auto& b) { return a.id < b.id; });
   return rest;
 }
 
 std::vector<Rct::ParkedState> Rct::snapshot_parked() const {
-  std::lock_guard lock(mutex_);
   std::vector<ParkedState> parked;
-  parked.reserve(parked_.size());
-  for (const auto& [id, record] : parked_) {
-    auto entry = entries_.find(id);
-    const std::uint32_t counter =
-        entry == entries_.end() ? 0 : entry->second.counter;
-    parked.push_back({id, counter, record.out});
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const OwnedVertexRecord& record : shard.parked) {
+      const std::size_t i = find_locked(shard, record.id);
+      const std::uint32_t counter =
+          i == shard.table.size() ? 0 : shard.table[i].counter;
+      parked.push_back({record.id, counter, record.out});
+    }
   }
   std::sort(parked.begin(), parked.end(),
             [](const ParkedState& a, const ParkedState& b) { return a.id < b.id; });
@@ -132,43 +253,40 @@ std::vector<Rct::ParkedState> Rct::snapshot_parked() const {
 }
 
 void Rct::restore_parked(std::vector<ParkedState> parked) {
-  std::lock_guard lock(mutex_);
-  if (!entries_.empty() || !parked_.empty()) {
+  if (entry_count_.load(std::memory_order_relaxed) != 0 ||
+      parked_count_.load(std::memory_order_relaxed) != 0) {
     throw std::logic_error("Rct::restore_parked: table not empty");
   }
   for (auto& p : parked) {
-    entries_.emplace(p.id, Entry{p.counter, /*parked=*/true});
+    Shard& shard = shard_of(p.id);
+    std::lock_guard lock(shard.mutex);
+    // Deliberately no shard_capacity_ check: a snapshot taken by a run with
+    // more workers (larger ε·M table) must restore losslessly; the table
+    // grows as needed.
+    const std::size_t i = insert_locked(shard, p.id);
+    shard.table[i].counter = p.counter;
+    shard.table[i].parked = true;
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
     if (p.counter > 0) {
-      nonzero_sum_ += p.counter;
-      ++nonzero_count_;
+      nonzero_sum_.fetch_add(p.counter, std::memory_order_relaxed);
+      nonzero_count_.fetch_add(1, std::memory_order_relaxed);
     }
-    parked_.emplace(p.id, OwnedVertexRecord{p.id, std::move(p.out)});
+    shard.parked.push_back(OwnedVertexRecord{p.id, std::move(p.out)});
+    parked_count_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::size_t Rct::memory_footprint_bytes() const {
-  std::lock_guard lock(mutex_);
-  // Hash-map nodes approximated as key + payload + two pointers of overhead;
-  // parked records add their adjacency storage. The table is ε·M entries so
-  // this is tiny next to the Γ window, but the governor's MC sample should
-  // still see it.
-  std::size_t bytes =
-      entries_.size() * (sizeof(VertexId) + sizeof(Entry) + 2 * sizeof(void*));
-  for (const auto& [id, record] : parked_) {
-    bytes += sizeof(OwnedVertexRecord) + 2 * sizeof(void*) +
-             record.out.capacity() * sizeof(VertexId);
+  std::size_t bytes = shards_.size() * sizeof(Shard);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    bytes += shard.table.capacity() * sizeof(Slot);
+    bytes += shard.parked.capacity() * sizeof(OwnedVertexRecord);
+    for (const OwnedVertexRecord& record : shard.parked) {
+      bytes += record.out.capacity() * sizeof(VertexId);
+    }
   }
   return bytes;
-}
-
-std::size_t Rct::size() const {
-  std::lock_guard lock(mutex_);
-  return entries_.size();
-}
-
-std::size_t Rct::parked_size() const {
-  std::lock_guard lock(mutex_);
-  return parked_.size();
 }
 
 }  // namespace spnl

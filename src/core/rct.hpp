@@ -10,17 +10,28 @@
 // counters, the paper's default) is parked; placing a vertex decrements its
 // in-flight out-neighbors' counters and releases parked vertices that reach
 // zero. Capacity is ε·M entries (M = worker count): when the table is full,
-// registration fails and the vertex simply proceeds untracked.
+// registration fails and the vertex simply proceeds untracked (counted in
+// untracked_overflow() so silent degradation is observable).
 //
-// All operations are internally synchronized (single mutex; the table is
-// tiny and operations are O(1) hash lookups).
+// Concurrency: the table is lock-striped into `num_shards` shards (pass
+// recommended_shards(M) = next_pow2(M) from the parallel driver; the default
+// of 1 preserves the original single-lock semantics exactly). A vertex lives
+// in shard v mod S; each shard is a cache-line-aligned open-addressed flat
+// table (linear probing, backward-shift deletion) behind its own mutex, so
+// workers bumping disjoint neighbors take disjoint locks and the O(1) probe
+// touches one cache line instead of chasing unordered_map nodes. The delay
+// threshold is maintained as relaxed atomics of the global non-zero
+// counter sum and count, updated under the owning shard's lock, so
+// mean_nonzero_count() is O(1) and lock-free. on_placed locks shards one at
+// a time (self shard, then each neighbor's shard) — never two locks at once,
+// so there is no lock-ordering hazard.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/adjacency_stream.hpp"
@@ -30,10 +41,18 @@ namespace spnl {
 
 class Rct {
  public:
-  explicit Rct(std::size_t capacity);
+  /// `capacity` bounds the total tracked entries (clamped to >= 1); it is
+  /// split evenly across shards, so with S > 1 a hot shard can refuse a
+  /// registration while others have room — the vertex then proceeds
+  /// untracked, exactly as a globally full table would have it.
+  explicit Rct(std::size_t capacity, std::uint32_t num_shards = 1);
+
+  /// Shard count matched to the worker count: the smallest power of two
+  /// >= num_threads, so the stripe mask is a single AND.
+  static std::uint32_t recommended_shards(unsigned num_threads);
 
   /// Track v as in-flight. Returns false (vertex proceeds untracked) when
-  /// the table is full or v is somehow already present.
+  /// the shard is full or v is somehow already present.
   bool register_vertex(VertexId v);
 
   /// Bump u's counter if u is in flight; no-op otherwise. O(1).
@@ -43,7 +62,10 @@ class Rct {
   std::uint32_t count(VertexId v) const;
 
   /// Mean of the non-zero counters; 0 when all counters are zero. This is
-  /// the paper's default delay threshold.
+  /// the paper's default delay threshold. Lock-free: the sum and count are
+  /// read as two relaxed loads, so a concurrent transition can skew one
+  /// reading transiently — acceptable for a delay heuristic, and exact
+  /// whenever no bump/place is in flight (e.g. single-worker runs).
   double mean_nonzero_count() const;
 
   /// True if v should be delayed: tracked, counter non-zero, and counter
@@ -52,14 +74,15 @@ class Rct {
   bool should_delay(VertexId v) const;
 
   /// Park the (tracked) record until its counter drains. Returns false if
-  /// the parked set is at capacity or the vertex is untracked — in that case
-  /// the record is NOT consumed (only moved from on success) and the caller
-  /// must place it immediately.
+  /// the shard's parked set is at capacity or the vertex is untracked — in
+  /// that case the record is NOT consumed (only moved from on success) and
+  /// the caller must place it immediately.
   bool park(OwnedVertexRecord&& record);
 
   /// Finalize v: untrack it and decrement in-flight out-neighbors' counters.
   /// Parked records whose counter reached zero are returned for immediate
-  /// placement by the caller.
+  /// placement by the caller (their entries stay tracked at counter 0 until
+  /// their own on_placed).
   std::vector<OwnedVertexRecord> on_placed(VertexId v, std::span<const VertexId> out);
 
   /// End of stream: hand back whatever is still parked (sorted by id so the
@@ -83,30 +106,71 @@ class Rct {
 
   /// Rebuilds the parked set (entries, counters, records) from a snapshot.
   /// The table must be empty (fresh) — throws std::logic_error otherwise.
+  /// Capacity limits are bypassed (shard tables grow as needed) so a
+  /// checkpoint taken with more workers than the resuming run restores
+  /// losslessly.
   void restore_parked(std::vector<ParkedState> parked);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const;
-  std::size_t parked_size() const;
+  std::uint32_t num_shards() const { return static_cast<std::uint32_t>(shards_.size()); }
+  std::size_t size() const { return entry_count_.load(std::memory_order_relaxed); }
 
-  /// Approximate bytes held by the table and parked records — part of the
+  /// O(1) and lock-free — the parallel driver's quiesce spin polls this.
+  std::size_t parked_size() const {
+    return parked_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Registrations refused because the owning shard was full. Each one is a
+  /// vertex that streamed through untracked (no dependency delay), i.e. a
+  /// silent quality degradation worth surfacing in run results.
+  std::uint64_t untracked_overflow() const {
+    return untracked_overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate bytes held by the tables and parked records — part of the
   /// parallel driver's governor-sampled footprint.
   std::size_t memory_footprint_bytes() const;
 
  private:
-  struct Entry {
+  struct Slot {
+    VertexId id = kInvalidVertex;  // kInvalidVertex marks an empty slot
     std::uint32_t counter = 0;
     bool parked = false;
   };
 
-  std::vector<OwnedVertexRecord> release_ready_locked();
+  // Cache-line aligned so two shards' mutexes never share a line (the whole
+  // point of striping is that workers on different shards do not ping-pong).
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::vector<Slot> table;  // power-of-two open-addressed flat table
+    std::size_t table_mask = 0;
+    std::size_t entries = 0;
+    std::vector<OwnedVertexRecord> parked;  // tiny: linear search by id
+  };
+
+  Shard& shard_of(VertexId v) { return shards_[v & shard_mask_]; }
+  const Shard& shard_of(VertexId v) const { return shards_[v & shard_mask_]; }
+
+  static std::size_t probe_home(const Shard& shard, VertexId v);
+  /// Index of v's slot, or table.size() if absent. Caller holds shard.mutex.
+  static std::size_t find_locked(const Shard& shard, VertexId v);
+  /// Inserts v (must be absent); grows the table when past half full (only
+  /// reachable via restore_parked — register_vertex refuses first). Returns
+  /// the slot index. Caller holds shard.mutex.
+  std::size_t insert_locked(Shard& shard, VertexId v);
+  /// Backward-shift deletion at `hole`. Caller holds shard.mutex.
+  static void erase_locked(Shard& shard, std::size_t hole);
+  static void grow_locked(Shard& shard);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::unordered_map<VertexId, Entry> entries_;
-  std::unordered_map<VertexId, OwnedVertexRecord> parked_;
-  std::uint64_t nonzero_sum_ = 0;
-  std::uint32_t nonzero_count_ = 0;
+  std::size_t shard_capacity_ = 0;  // per-shard entry and parked bound
+  std::uint32_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> nonzero_sum_{0};
+  std::atomic<std::uint32_t> nonzero_count_{0};
+  std::atomic<std::size_t> entry_count_{0};
+  std::atomic<std::size_t> parked_count_{0};
+  std::atomic<std::uint64_t> untracked_overflow_{0};
 };
 
 }  // namespace spnl

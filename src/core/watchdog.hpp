@@ -101,7 +101,10 @@ class PipelineWatchdog {
   static constexpr std::uint8_t kProcessing = 2;
   static constexpr std::uint8_t kStolen = 3;
 
-  struct Slot {
+  // Cache-line aligned: each worker hammers its own heartbeat on every
+  // commit, and the monitor polls all of them — without the alignment the
+  // slots would share lines and every heartbeat would ping-pong the others.
+  struct alignas(64) Slot {
     std::atomic<std::uint8_t> state{kIdle};
     std::atomic<std::int64_t> heartbeat_nanos{0};
     /// Counted into stalled_workers() at most once.

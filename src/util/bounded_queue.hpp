@@ -9,6 +9,23 @@
 // unboundedly — a wedged peer surfaces as a timeout the caller can act on,
 // and abort() tears the whole pipeline down, waking every waiter and
 // discarding undelivered items (unlike close(), which drains them).
+//
+// Micro-batched handoff: push_batch / pop_batch move whole record batches
+// under one lock acquisition, amortizing the mutex + condvar traffic by the
+// batch size. The drain path needs no special casing — close() wakes
+// consumers, which take whatever partial batch remains.
+//
+// Wakeup protocol (audited for the batched variant):
+//  * Every state transition that can unblock exactly one waiter class uses
+//    notify_one on the matching condvar, issued after the lock is released
+//    (legal, and avoids the woken thread immediately blocking on the mutex).
+//  * Batched operations pass a baton instead of broadcasting: pop_batch
+//    re-notifies not_empty_ when items remain after its take, and the push
+//    paths re-notify not_full_ when free space remains after their insert,
+//    so k items / k slots wake a chain of waiters without notify_all storms
+//    or lost wakeups under multiple producers/consumers.
+//  * notify_all is reserved for close() and abort(), the only transitions
+//    that must wake EVERY waiter on both condvars.
 #pragma once
 
 #include <chrono>
@@ -17,7 +34,9 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace spnl {
 
@@ -33,12 +52,18 @@ class BoundedQueue {
   /// (the item is dropped — pushing after close is a caller bug but must not
   /// deadlock).
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || done_(); });
-    if (done_()) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || done_(); });
+      if (done_()) return false;
+      items_.push_back(std::move(item));
+      chain = items_.size() < capacity_;
+    }
     not_empty_.notify_one();
+    // Baton for a second waiting producer (multi-producer case): free space
+    // remains, so the slot this push did not consume is advertised too.
+    if (chain) not_full_.notify_one();
     return true;
   }
 
@@ -47,39 +72,135 @@ class BoundedQueue {
   /// (after checking aborted()/closed()) or dispose of it.
   template <typename Rep, typename Period>
   bool push_for(T& item, std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    if (!not_full_.wait_for(lock, timeout,
-                            [&] { return items_.size() < capacity_ || done_(); })) {
-      return false;  // timed out while full
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      if (!not_full_.wait_for(lock, timeout,
+                              [&] { return items_.size() < capacity_ || done_(); })) {
+        return false;  // timed out while full
+      }
+      if (done_()) return false;
+      items_.push_back(std::move(item));
+      chain = items_.size() < capacity_;
     }
-    if (done_()) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
     not_empty_.notify_one();
+    if (chain) not_full_.notify_one();
+    return true;
+  }
+
+  /// Pushes every item of `batch` as one unit: blocks until the WHOLE batch
+  /// fits (throws std::length_error if it can never fit), moves the items in
+  /// under a single lock acquisition and leaves `batch` empty. Returns false
+  /// with the batch intact if the queue was closed or aborted first.
+  bool push_batch(std::vector<T>& batch) {
+    if (batch.empty()) return true;
+    if (batch.size() > capacity_) {
+      throw std::length_error("BoundedQueue::push_batch: batch exceeds capacity");
+    }
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [&] {
+        return items_.size() + batch.size() <= capacity_ || done_();
+      });
+      if (done_()) return false;
+      for (T& item : batch) items_.push_back(std::move(item));
+      batch.clear();
+      chain = items_.size() < capacity_;
+    }
+    // One consumer is woken; if it cannot drain everything, its pop_batch
+    // passes the baton onward (see pop_batch).
+    not_empty_.notify_one();
+    if (chain) not_full_.notify_one();
+    return true;
+  }
+
+  /// Timed batch push; same contract as push_batch but returns false (batch
+  /// intact) on timeout so a watchdog-supervised producer never blocks
+  /// unboundedly.
+  template <typename Rep, typename Period>
+  bool push_batch_for(std::vector<T>& batch,
+                      std::chrono::duration<Rep, Period> timeout) {
+    if (batch.empty()) return true;
+    if (batch.size() > capacity_) {
+      throw std::length_error("BoundedQueue::push_batch_for: batch exceeds capacity");
+    }
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      if (!not_full_.wait_for(lock, timeout, [&] {
+            return items_.size() + batch.size() <= capacity_ || done_();
+          })) {
+        return false;  // timed out while full
+      }
+      if (done_()) return false;
+      for (T& item : batch) items_.push_back(std::move(item));
+      batch.clear();
+      chain = items_.size() < capacity_;
+    }
+    not_empty_.notify_one();
+    if (chain) not_full_.notify_one();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
   /// After abort() returns nullopt immediately, dropping undelivered items.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
-    if (aborted_ || items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
+      if (aborted_ || items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+      chain = !items_.empty();
+    }
     not_full_.notify_one();
+    // Baton for a second waiting consumer: items remain after this take.
+    if (chain) not_empty_.notify_one();
     return item;
+  }
+
+  /// Pops up to `max_items` into `out` (cleared first) under one lock
+  /// acquisition. Blocks while the queue is empty and open. Returns the
+  /// number of items taken; 0 means no item will ever arrive again (aborted,
+  /// or closed and drained). A partial batch at stream end is delivered
+  /// as-is — the drain path needs no flush handshake.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    out.clear();
+    if (max_items == 0) max_items = 1;
+    bool more;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
+      if (aborted_ || items_.empty()) return 0;
+      const std::size_t take = items_.size() < max_items ? items_.size() : max_items;
+      out.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      more = !items_.empty();
+    }
+    not_full_.notify_one();
+    if (more) not_empty_.notify_one();
+    return out.size();
   }
 
   /// Non-blocking pop; nullopt if empty (regardless of closed state).
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
-    if (aborted_ || items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      if (aborted_ || items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+      chain = !items_.empty();
+    }
     not_full_.notify_one();
+    if (chain) not_empty_.notify_one();
     return item;
   }
 
@@ -87,14 +208,19 @@ class BoundedQueue {
   /// distinguish "retry" from "stop" via finished().
   template <typename Rep, typename Period>
   std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return !items_.empty() || closed_ || aborted_; });
-    if (aborted_ || items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    bool chain;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait_for(lock, timeout,
+                          [&] { return !items_.empty() || closed_ || aborted_; });
+      if (aborted_ || items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+      chain = !items_.empty();
+    }
     not_full_.notify_one();
+    if (chain) not_empty_.notify_one();
     return item;
   }
 

@@ -121,6 +121,12 @@ class ResourceGovernor {
     return enabled() && placements > 0 && placements % options_.sample_interval == 0;
   }
 
+  /// Crossing-aware variant for batched producers (see Checkpointer::due):
+  /// true when [prev, now] crossed at least one sample boundary.
+  bool due(std::uint64_t prev, std::uint64_t now) const {
+    return enabled() && now / options_.sample_interval > prev / options_.sample_interval;
+  }
+
   /// Records a sample; returns the breach descriptor when a budget is
   /// exceeded (nullopt = within budget). Under DegradePolicy::kAbort a
   /// breach throws BudgetExceededError instead of returning.

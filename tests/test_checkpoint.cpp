@@ -410,6 +410,76 @@ TEST_F(CheckpointTest, KillAndResumeParallelDriverIsByteIdentical) {
   }
 }
 
+TEST_F(CheckpointTest, KillAndResumeParallelOddBatchStrideIsByteIdentical) {
+  // Batch size 7 does not divide checkpoint_every=512, so `produced` steps
+  // OVER the exact multiples and the crossing-aware Checkpointer::due must
+  // fire on the first batch boundary past each one. The snapshot cursor
+  // therefore lands at 518/1029/1540 (the first multiples of 7 past 512/
+  // 1024/1536) — and the resumed route must still be byte-identical: with
+  // one worker the placement sequence is the stream order for any batching.
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  ParallelOptions base;
+  base.num_threads = 1;
+  base.batch_size = 7;
+
+  std::vector<PartitionId> reference;
+  {
+    InMemoryStream stream(g);
+    reference = run_parallel(stream, config, base).route;
+  }
+  validate_route(reference, 8, g.num_vertices());
+
+  {
+    ParallelOptions opts = base;
+    opts.checkpoint_path = path("par-odd.ckpt");
+    opts.checkpoint_every = 512;
+    InMemoryStream inner(g);
+    TruncatedStream stream(inner, 1600);
+    const auto partial = run_parallel(stream, config, opts);
+    EXPECT_EQ(partial.checkpoints_written, 3u);  // past 512, 1024, 1536
+  }
+  ParallelOptions opts = base;
+  opts.resume_from = path("par-odd.ckpt");
+  InMemoryStream stream(g);
+  const auto resumed = run_parallel(stream, config, opts);
+  EXPECT_EQ(resumed.resumed_at, 1540u);  // 220 * 7, first stride past 1536
+  EXPECT_EQ(resumed.route, reference);
+}
+
+TEST_F(CheckpointTest, ResumeWithDifferentBatchSizeIsByteIdentical) {
+  // The micro-batch size is a transport knob, not partitioner state: a
+  // snapshot taken by a batch-64 run must resume under batch-3 (or any
+  // other) into the same route.
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  ParallelOptions base;
+  base.num_threads = 1;
+
+  std::vector<PartitionId> reference;
+  {
+    InMemoryStream stream(g);
+    reference = run_parallel(stream, config, base).route;
+  }
+
+  {
+    ParallelOptions opts = base;
+    opts.batch_size = 64;
+    opts.checkpoint_path = path("par-xbatch.ckpt");
+    opts.checkpoint_every = 512;
+    InMemoryStream inner(g);
+    TruncatedStream stream(inner, 1600);
+    run_parallel(stream, config, opts);
+  }
+  ParallelOptions opts = base;
+  opts.batch_size = 3;
+  opts.resume_from = path("par-xbatch.ckpt");
+  InMemoryStream stream(g);
+  const auto resumed = run_parallel(stream, config, opts);
+  EXPECT_EQ(resumed.resumed_at, 1536u);
+  EXPECT_EQ(resumed.route, reference);
+}
+
 TEST_F(CheckpointTest, ParallelCheckpointUnderContentionStaysConsistent) {
   // With several workers the route is schedule-dependent, so byte equality
   // is out of scope — but every snapshot must restore into a valid state

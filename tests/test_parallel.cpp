@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/spnl.hpp"
 #include "graph/adjacency_stream.hpp"
 #include "graph/generators.hpp"
 #include "partition/driver.hpp"
 #include "partition/metrics.hpp"
+#include "reference_partitioners.hpp"
 
 namespace spnl {
 namespace {
@@ -138,6 +141,132 @@ TEST(Parallel, ReportsMemoryFootprint) {
   const Graph g = crawl(5000, 19);
   const auto result = run(g, 2);
   EXPECT_GT(result.peak_partitioner_bytes, 0u);
+}
+
+TEST(Parallel, ValidatedBatchSizeClampsAndRejects) {
+  EXPECT_EQ(validated_batch_size(1, 4096), 1u);
+  EXPECT_EQ(validated_batch_size(64, 4096), 64u);
+  EXPECT_EQ(validated_batch_size(64, 10), 10u);   // clamp to queue capacity
+  EXPECT_EQ(validated_batch_size(5, 0), 1u);      // degenerate queue
+  EXPECT_THROW(validated_batch_size(0, 4096), std::invalid_argument);
+  EXPECT_THROW(validated_batch_size(-3, 4096), std::invalid_argument);
+}
+
+TEST(Parallel, ZeroBatchSizeRejected) {
+  const Graph g = crawl(100, 15);
+  InMemoryStream stream(g);
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.batch_size = 0;
+  EXPECT_THROW(run_parallel(stream, {.num_partitions = 2}, options),
+               std::invalid_argument);
+}
+
+TEST(Parallel, BatchLargerThanQueueIsClampedNotFatal) {
+  const Graph g = crawl(2000, 17);
+  InMemoryStream stream(g);
+  ParallelOptions options;
+  options.num_threads = 3;
+  options.queue_capacity = 2;
+  options.batch_size = 1024;  // > capacity: must clamp, not throw or wedge
+  const auto result = run_parallel(stream, {.num_partitions = 4}, options);
+  EXPECT_TRUE(is_complete_assignment(result.route, 4));
+}
+
+TEST(Parallel, SingleWorkerRouteInvariantAcrossBatchSizes) {
+  // Batching changes how records cross the queue, not what the (single)
+  // worker does with them: with M=1 the placement sequence is the stream
+  // order for every batch size, so the routes must be byte-identical.
+  const Graph g = crawl(4000, 33);
+  std::vector<PartitionId> reference;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+    InMemoryStream stream(g);
+    ParallelOptions options;
+    options.num_threads = 1;
+    options.batch_size = batch;
+    const auto result = run_parallel(stream, {.num_partitions = 8}, options);
+    if (reference.empty()) {
+      reference = result.route;
+      EXPECT_TRUE(is_complete_assignment(reference, 8));
+    } else {
+      EXPECT_EQ(result.route, reference) << "batch size " << batch;
+    }
+  }
+}
+
+TEST(Parallel, UntrackedOverflowSurfacesInResult) {
+  // A deliberately undersized RCT (tiny ε) on a clustered multi-worker
+  // stream: parked records pin their shard's only slot, so some
+  // registrations must be refused — and every refusal must be visible in
+  // the result instead of silently degrading quality. Summed over seeds so
+  // one lucky schedule cannot zero the expectation.
+  std::uint64_t total_overflow = 0;
+  for (std::uint64_t seed : {41u, 43u, 47u}) {
+    const Graph g = crawl(10000, seed);
+    InMemoryStream stream(g);
+    ParallelOptions options;
+    options.num_threads = 4;
+    options.epsilon = 0.5;  // capacity max(2, shards=4) = 4 -> 1 per shard
+    const auto result = run_parallel(stream, {.num_partitions = 8}, options);
+    EXPECT_TRUE(is_complete_assignment(result.route, 8));
+    total_overflow += result.untracked_overflow;
+  }
+  EXPECT_GT(total_overflow, 0u);
+}
+
+// The 24-config fuzz race of the micro-batched pipeline: worker counts ×
+// batch sizes × Γ-window shards × injected stragglers. Every configuration
+// must produce a complete in-range route, hold the capacity balance, and
+// stay quality-equivalent (~5% edge-cut) to the sequential oracle in
+// reference_partitioners.hpp.
+TEST(Parallel, BatchedFuzzRaceStaysValidBalancedAndNearOracle) {
+  const Graph g = crawl(4000, 37);
+  const PartitionId k = 8;
+  const PartitionConfig config{.num_partitions = k};
+
+  // Sequential oracle per window setting (the window width changes what any
+  // partitioner, sequential or parallel, can see).
+  auto oracle_ecr = [&](std::uint32_t shards) {
+    ReferenceSpnlPartitioner oracle(g.num_vertices(), g.num_edges(), config,
+                                    SpnlOptions{.num_shards = shards});
+    InMemoryStream stream(g);
+    return evaluate_partition(g, run_streaming(stream, oracle).route, k).ecr;
+  };
+  const double oracle_default = oracle_ecr(1);  // 1 shard = full window
+  const double oracle_sharded = oracle_ecr(4);
+
+  int configs = 0;
+  for (const unsigned threads : {2u, 4u}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{5}, std::size_t{64}}) {
+      for (const std::uint32_t shards : {1u, 4u}) {
+        for (const bool slow : {false, true}) {
+          ++configs;
+          ParallelOptions options;
+          options.num_threads = threads;
+          options.batch_size = batch;
+          options.spnl.num_shards = shards;
+          if (slow) {
+            options.faults.slow.push_back(
+                {.worker = 0, .delay_seconds = 0.0002, .every = 16});
+          }
+          InMemoryStream stream(g);
+          const auto result = run_parallel(stream, config, options);
+          const std::string label = "threads=" + std::to_string(threads) +
+                                    " batch=" + std::to_string(batch) +
+                                    " shards=" + std::to_string(shards) +
+                                    " slow=" + std::to_string(slow);
+          EXPECT_TRUE(is_complete_assignment(result.route, k)) << label;
+          const auto metrics = evaluate_partition(g, result.route, k);
+          EXPECT_LE(metrics.delta_v, 1.2) << label;
+          const double oracle = shards == 1 ? oracle_default : oracle_sharded;
+          // ±5% edge-cut equivalence, with a small absolute floor so a
+          // near-zero oracle cut cannot make the bound vacuous-tight.
+          EXPECT_LE(metrics.ecr, oracle + std::max(0.05 * oracle, 0.04)) << label;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(configs, 24);
 }
 
 }  // namespace

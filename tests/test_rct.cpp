@@ -149,5 +149,127 @@ TEST(Rct, ZeroCapacityClampsToOne) {
   EXPECT_FALSE(rct.register_vertex(2));
 }
 
+TEST(Rct, RecommendedShardsIsNextPow2) {
+  EXPECT_EQ(Rct::recommended_shards(0), 1u);
+  EXPECT_EQ(Rct::recommended_shards(1), 1u);
+  EXPECT_EQ(Rct::recommended_shards(3), 4u);
+  EXPECT_EQ(Rct::recommended_shards(8), 8u);
+  EXPECT_EQ(Rct::recommended_shards(9), 16u);
+}
+
+TEST(Rct, ShardedSemanticsMatchSingleShard) {
+  // The Fig. 6 release scenario must behave identically regardless of the
+  // stripe count: sharding is a locking strategy, not a semantic change.
+  for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    Rct rct(32, shards);
+    EXPECT_EQ(rct.num_shards(), shards);
+    for (VertexId v : {1u, 2u, 3u, 4u}) ASSERT_TRUE(rct.register_vertex(v));
+    rct.bump_if_present(1);
+    rct.bump_if_present(1);
+    rct.bump_if_present(1);
+    ASSERT_TRUE(rct.should_delay(1)) << "shards=" << shards;
+    ASSERT_TRUE(rct.park(record(1, {})));
+    EXPECT_TRUE(rct.on_placed(2, std::vector<VertexId>{1}).empty());
+    EXPECT_TRUE(rct.on_placed(3, std::vector<VertexId>{1}).empty());
+    const auto released = rct.on_placed(4, std::vector<VertexId>{1});
+    ASSERT_EQ(released.size(), 1u) << "shards=" << shards;
+    EXPECT_EQ(released[0].id, 1u);
+    EXPECT_EQ(rct.parked_size(), 0u);
+    rct.on_placed(1, std::vector<VertexId>{});
+    EXPECT_EQ(rct.size(), 0u);
+    EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 0.0);
+  }
+}
+
+TEST(Rct, UntrackedOverflowIsCounted) {
+  Rct rct(2);
+  EXPECT_TRUE(rct.register_vertex(1));
+  EXPECT_TRUE(rct.register_vertex(2));
+  EXPECT_EQ(rct.untracked_overflow(), 0u);
+  EXPECT_FALSE(rct.register_vertex(3));  // full table: silent degradation
+  EXPECT_FALSE(rct.register_vertex(4));
+  EXPECT_EQ(rct.untracked_overflow(), 2u);
+  // A duplicate rejection is a protocol error, not an overflow.
+  rct.on_placed(1, std::vector<VertexId>{});
+  EXPECT_FALSE(rct.register_vertex(2));
+  EXPECT_EQ(rct.untracked_overflow(), 2u);
+}
+
+TEST(Rct, ShardedSnapshotRestoreRoundTrip) {
+  Rct rct(16, 4);
+  for (VertexId v : {3u, 7u, 11u, 12u}) ASSERT_TRUE(rct.register_vertex(v));
+  rct.bump_if_present(3);
+  rct.bump_if_present(3);
+  rct.bump_if_present(7);
+  ASSERT_TRUE(rct.park(record(3, {7, 11})));
+  ASSERT_TRUE(rct.park(record(7, {12})));
+  const auto snapshot = rct.snapshot_parked();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].id, 3u);
+  EXPECT_EQ(snapshot[0].counter, 2u);
+  EXPECT_EQ(snapshot[1].id, 7u);
+  EXPECT_EQ(snapshot[1].counter, 1u);
+
+  // Restore into a DIFFERENT stripe/capacity layout (resume with fewer
+  // workers): must be lossless, including the dependency counters.
+  Rct resumed(2, 1);
+  resumed.restore_parked(snapshot);
+  EXPECT_EQ(resumed.parked_size(), 2u);
+  EXPECT_EQ(resumed.count(3), 2u);
+  EXPECT_EQ(resumed.count(7), 1u);
+  EXPECT_DOUBLE_EQ(resumed.mean_nonzero_count(), 1.5);
+  const auto drained = resumed.drain_parked();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 3u);
+  EXPECT_EQ(drained[0].out, (std::vector<VertexId>{7, 11}));
+  EXPECT_EQ(drained[1].id, 7u);
+}
+
+TEST(Rct, RestoreIntoNonEmptyTableThrows) {
+  Rct rct(8, 2);
+  rct.register_vertex(1);
+  std::vector<Rct::ParkedState> parked;
+  parked.push_back({2, 1, {}});
+  EXPECT_THROW(rct.restore_parked(std::move(parked)), std::logic_error);
+}
+
+TEST(Rct, ShardedConcurrentRegisterBumpPlaceStress) {
+  // 4 threads churn register/bump/park/place over a sharded table; the
+  // relaxed-atomic statistics must drain back to exactly zero when every
+  // vertex has been placed — any lost or double-counted transition shows up
+  // as a non-zero residue.
+  Rct rct(256, 4);
+  constexpr int kThreads = 4;
+  constexpr VertexId kPerThread = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const VertexId base = static_cast<VertexId>(t) * kPerThread;
+      for (VertexId i = 0; i < kPerThread; ++i) {
+        const VertexId v = base + i;
+        ASSERT_TRUE(rct.register_vertex(v));
+        // Bump a neighbor owned by another thread (cross-shard traffic).
+        const VertexId u = (v + kPerThread) % (kThreads * kPerThread);
+        rct.bump_if_present(u);
+        rct.bump_if_present(u);
+      }
+      for (VertexId i = 0; i < kPerThread; ++i) {
+        const VertexId v = base + i;
+        const VertexId u = (v + kPerThread) % (kThreads * kPerThread);
+        rct.on_placed(v, std::vector<VertexId>{u});
+        rct.on_placed(v, std::vector<VertexId>{});  // second call: no-op
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Everything placed: decrements may miss already-placed neighbors (their
+  // entries are gone — same as the single-lock table), but sum/count must
+  // still be consistent with the surviving entries, which is none.
+  EXPECT_EQ(rct.size(), 0u);
+  EXPECT_EQ(rct.parked_size(), 0u);
+  EXPECT_EQ(rct.untracked_overflow(), 0u);
+  EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 0.0);
+}
+
 }  // namespace
 }  // namespace spnl

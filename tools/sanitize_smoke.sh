@@ -65,10 +65,17 @@ mkdir -p "${smoke_dir}"
 "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
   --algo=spn --perf-report
 # Watchdog-enabled parallel run with an injected straggler (stolen + rescued
-# record) and a governed run forced down the degradation ladder.
+# record) and a governed run forced down the degradation ladder. The default
+# runs above already exercise the micro-batched handoff (batch 64) and the
+# sharded RCT; the explicit --batch-size=16 run below adds a small-batch
+# straggler interleaving (partial tail flush + steal mid-batch) so TSan sees
+# the batched queue crossing under watchdog pressure too.
 "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
   --algo=spnl --threads=4 --watchdog-timeout=0.2 \
   --inject-faults=stuck:1@50 --quiet
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --threads=4 --batch-size=16 --watchdog-timeout=0.2 \
+  --inject-faults=stuck:2@75,slow:0@0.0001 --quiet
 "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
   --algo=spnl --threads=4 --watchdog-timeout=0.2 --memory-budget=64K \
   --perf-json="${smoke_dir}/perf_degraded.json" --quiet
@@ -79,5 +86,6 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "${smoke_dir}/perf_degraded.json" 2>/dev/null \
   || grep -q '"total_nanos"' "${smoke_dir}/perf_degraded.json"
 grep -q '"degradations"' "${smoke_dir}/perf_degraded.json"
+grep -q '"untracked_overflow"' "${smoke_dir}/perf_parallel.json"
 
 echo "sanitize smoke (${mode}): OK"

@@ -3,7 +3,8 @@
 // Usage:
 //   spnl_partition <graph-file> --k=32 [--algo=spnl] [--out=route.txt]
 //                  [--lambda=0.5] [--shards=0] [--balance=vertex|edge]
-//                  [--slack=1.1] [--threads=1] [--passes=1] [--buffer=0]
+//                  [--slack=1.1] [--threads=1] [--batch-size=64] [--passes=1]
+//                  [--buffer=0]
 //                  [--format=adj|edgelist|binary] [--window=0] [--quiet]
 //                  [--checkpoint=ckpt.bin] [--checkpoint-every=N]
 //                  [--resume-from=ckpt.bin]
@@ -19,9 +20,11 @@
 //
 // Algorithms: hash, range, ldg, fennel, spn, spnl (default), balanced, dg,
 // edg, triangles, multilevel, labelprop. --threads > 1 selects parallel
-// SPNL / parallel label-prop; --passes > 1 wraps streaming algos in
-// re-streaming; --buffer > 0 uses the hybrid buffered mode; --window > 0
-// uses WSGP-style most-confident-first selection.
+// SPNL / parallel label-prop; --batch-size tunes the parallel pipeline's
+// micro-batched queue handoff (clamped to the queue capacity; < 1 is a typed
+// error); --passes > 1 wraps streaming algos in re-streaming; --buffer > 0
+// uses the hybrid buffered mode; --window > 0 uses WSGP-style
+// most-confident-first selection.
 //
 // Robustness flags: --checkpoint + --checkpoint-every snapshot the
 // partitioner state every N placements (sequential greedy algos and the
@@ -93,8 +96,8 @@ int usage() {
                "[--out=route.txt]\n"
                "  [--lambda=0.5] [--shards=0] [--balance=vertex|edge] "
                "[--slack=1.1]\n"
-               "  [--threads=1] [--passes=1] [--buffer=0] [--window=0] "
-               "[--format=adj|edgelist|binary] [--quiet]\n"
+               "  [--threads=1] [--batch-size=64] [--passes=1] [--buffer=0] "
+               "[--window=0] [--format=adj|edgelist|binary] [--quiet]\n"
                "  [--checkpoint=ckpt.bin] [--checkpoint-every=N] "
                "[--resume-from=ckpt.bin]\n"
                "  [--workers=W] [--sync-interval=N] [--recover=reassign|none]\n"
@@ -302,6 +305,12 @@ int main(int argc, char** argv) {
     double seconds = 0.0;
     std::size_t bytes = 0;
     std::vector<DegradationEvent> degradations;
+    // Parallel-pipeline counters, spliced into the perf JSON when that path
+    // ran (untracked_overflow > 0 means the RCT shed dependency tracking).
+    bool ran_parallel = false;
+    std::uint64_t delayed_vertices = 0;
+    std::uint64_t forced_vertices = 0;
+    std::uint64_t untracked_overflow = 0;
 
     ParsedFaults faults;
     if (args.has("inject-faults")) {
@@ -375,6 +384,10 @@ int main(int argc, char** argv) {
       ParallelOptions options;
       options.num_threads = threads;
       options.use_locality = algo == "spnl";
+      // Validate eagerly so --batch-size=0 is a typed CLI error here rather
+      // than a failure deep inside run_parallel.
+      options.batch_size = validated_batch_size(
+          args.get_int("batch-size", 64), options.queue_capacity);
       options.spnl.lambda = lambda;
       options.spnl.num_shards = shards;
       options.checkpoint_path = checkpoint_path;
@@ -399,6 +412,15 @@ int main(int argc, char** argv) {
       seconds = result.partition_seconds;
       bytes = result.peak_partitioner_bytes;
       degradations = result.degradations;
+      ran_parallel = true;
+      delayed_vertices = result.delayed_vertices;
+      forced_vertices = result.forced_vertices;
+      untracked_overflow = result.untracked_overflow;
+      if (!quiet && untracked_overflow > 0) {
+        std::printf("rct: untracked_overflow=%llu (table full; consider a "
+                    "larger epsilon)\n",
+                    static_cast<unsigned long long>(untracked_overflow));
+      }
       if (!quiet && (result.checkpoints_written > 0 || result.resumed_at > 0)) {
         std::printf("checkpoints_written=%llu resumed_at=%llu\n",
                     static_cast<unsigned long long>(result.checkpoints_written),
@@ -487,12 +509,20 @@ int main(int argc, char** argv) {
       }
     }
     if (perf_ptr != nullptr) {
-      // Splice the governor's ladder transitions into the perf JSON object so
-      // one artifact carries both timing and degradation history.
+      // Splice the governor's ladder transitions and the parallel pipeline's
+      // RCT counters into the perf JSON object so one artifact carries
+      // timing, degradation history and dependency-tracking health.
       std::string json = perf.to_json();
       if (!degradations.empty() && !json.empty() && json.back() == '}') {
         json.pop_back();
         json += ",\"degradations\":" + degradation_events_json(degradations) + "}";
+      }
+      if (ran_parallel && !json.empty() && json.back() == '}') {
+        json.pop_back();
+        json += ",\"parallel\":{\"delayed\":" + std::to_string(delayed_vertices) +
+                ",\"forced\":" + std::to_string(forced_vertices) +
+                ",\"untracked_overflow\":" + std::to_string(untracked_overflow) +
+                "}}";
       }
       if (perf_report) {
         std::printf("%s", perf.report().c_str());
