@@ -4,6 +4,8 @@
 #include <charconv>
 #include <stdexcept>
 
+#include "graph/io.hpp"
+
 namespace spnl {
 
 std::optional<VertexRecord> InMemoryStream::next() {
@@ -55,19 +57,28 @@ bool parse_ids(const std::string& line, std::vector<VertexId>& out) {
 
 }  // namespace
 
+void BadRecordQuarantine::ensure_log_writable() {
+  // Fail fast at construction: an unwritable quarantine log used to be
+  // discovered only at the first bad record — and then silently ignored,
+  // losing the very records the operator asked to keep. Opening (and
+  // truncating) eagerly turns a bad --quarantine-log path into a typed
+  // startup error instead of silent data loss mid-stream.
+  if (!enabled() || options_.quarantine_log.empty() || log_opened_) return;
+  log_.open(options_.quarantine_log, std::ios::out | std::ios::trunc);
+  log_opened_ = true;
+  if (!log_) {
+    throw IoError("quarantine log not writable: " + options_.quarantine_log);
+  }
+}
+
 void BadRecordQuarantine::record(const std::string& line,
                                  const std::string& context) {
   ++count_;
-  if (!options_.quarantine_log.empty()) {
-    if (!log_opened_) {
-      // Truncate on the first bad record of this stream's lifetime, append
-      // within it — one log per run, not per pass.
-      log_.open(options_.quarantine_log, std::ios::out | std::ios::trunc);
-      log_opened_ = true;
-    }
-    if (log_) {
-      log_ << line << '\n';
-      log_.flush();  // bad records are rare; the log must survive a crash
+  if (log_opened_ && log_) {
+    log_ << line << '\n';
+    log_.flush();  // bad records are rare; the log must survive a crash
+    if (!log_) {
+      throw IoError("quarantine log write failed: " + options_.quarantine_log);
     }
   }
   if (count_ > options_.max_bad_records) {

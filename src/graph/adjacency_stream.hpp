@@ -32,8 +32,12 @@ struct StreamHardeningOptions {
 class BadRecordQuarantine {
  public:
   BadRecordQuarantine() = default;
+  /// Throws IoError when a quarantine log is configured but not writable —
+  /// discovered at startup, not at the first (silently lost) bad record.
   explicit BadRecordQuarantine(StreamHardeningOptions options)
-      : options_(std::move(options)) {}
+      : options_(std::move(options)) {
+    ensure_log_writable();
+  }
 
   bool enabled() const { return options_.max_bad_records > 0; }
 
@@ -47,6 +51,8 @@ class BadRecordQuarantine {
   void reset_count() { count_ = 0; }
 
  private:
+  void ensure_log_writable();
+
   StreamHardeningOptions options_;
   std::uint64_t count_ = 0;
   std::ofstream log_;

@@ -92,7 +92,8 @@ void enforce_budget(ResourceGovernor& governor, StreamingPartitioner& partitione
 /// sequential analogue of the parallel driver's queue pop).
 void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
            Checkpointer& checkpointer, std::uint64_t placed, RunResult& result,
-           PerfStats* perf, ResourceGovernor* governor) {
+           PerfStats* perf, ResourceGovernor* governor,
+           const std::atomic<bool>* stop) {
   const bool governed = governor != nullptr && governor->enabled();
   for (;;) {
     std::optional<VertexRecord> record;
@@ -109,6 +110,17 @@ void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
     }
     if (checkpointer.due(placed)) {
       checkpointer.write(snapshot_sequential(partitioner, placed));
+    }
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      // Graceful interruption: the record in flight was finished above, so
+      // the partitioner state is at a record boundary. A final snapshot
+      // (when configured) makes the interruption resumable; the caller sees
+      // interrupted=true and a consistent partial route.
+      if (checkpointer.enabled() && !checkpointer.due(placed)) {
+        checkpointer.write(snapshot_sequential(partitioner, placed));
+      }
+      result.interrupted = true;
+      break;
     }
   }
   result.checkpoints_written = checkpointer.snapshots_taken();
@@ -136,7 +148,8 @@ class ScopedPerfAttach {
 
 RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                         const StreamingCheckpointOptions& checkpoint,
-                        PerfStats* perf, ResourceGovernor* governor) {
+                        PerfStats* perf, ResourceGovernor* governor,
+                        const std::atomic<bool>* stop) {
   RunResult result;
   result.partitioner_name = partitioner.name();
   Checkpointer checkpointer(checkpoint.path, checkpoint.every);
@@ -147,7 +160,7 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
 
   ScopedPerfAttach attach(partitioner, perf);
   Timer timer;
-  drain(stream, partitioner, checkpointer, 0, result, perf, governor);
+  drain(stream, partitioner, checkpointer, 0, result, perf, governor, stop);
   result.partition_seconds = timer.seconds();
   // Streaming structures only grow or stay flat — except when the governor
   // shrinks them, in which case its samples saw the true peak.
@@ -161,7 +174,8 @@ RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partition
 RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                            const std::string& checkpoint_path,
                            const StreamingCheckpointOptions& checkpoint,
-                           PerfStats* perf, ResourceGovernor* governor) {
+                           PerfStats* perf, ResourceGovernor* governor,
+                           const std::atomic<bool>* stop) {
   RunResult result;
   result.partitioner_name = partitioner.name();
 
@@ -190,7 +204,7 @@ RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partit
   // ladder cursor so enforcement continues from the restored rung instead of
   // replaying milder rungs that no longer apply.
   if (governor != nullptr) governor->set_stage(partitioner.degradation_stage());
-  drain(stream, partitioner, checkpointer, placed, result, perf, governor);
+  drain(stream, partitioner, checkpointer, placed, result, perf, governor, stop);
   result.partition_seconds = timer.seconds();
   result.peak_partitioner_bytes =
       std::max(partitioner.memory_footprint_bytes(),

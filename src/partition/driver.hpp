@@ -8,6 +8,7 @@
 // from the latest snapshot with a byte-identical final route.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -32,6 +33,11 @@ struct RunResult {
   /// Ladder transitions the resource governor applied (empty without a
   /// governor or when the run stayed within budget).
   std::vector<DegradationEvent> degradations;
+  /// True when the run stopped early because the caller's stop flag was
+  /// raised (graceful SIGINT/SIGTERM): the current record was finished, a
+  /// final checkpoint was written when checkpointing is enabled, and
+  /// `route` holds the consistent partial assignment.
+  bool interrupted = false;
 };
 
 /// Checkpoint cadence for run_streaming / resume_streaming: snapshot the
@@ -55,10 +61,17 @@ struct StreamingCheckpointOptions {
 /// recorded only (kOff). After a memory breach the ladder is stepped until
 /// the footprint is back under budget or the ladder is exhausted, so the
 /// budget holds at every subsequent sample point.
+///
+/// `stop`, when non-null, is polled after every placed record: once true
+/// the driver finishes that record, writes a final snapshot (when
+/// checkpointing is enabled) and returns with result.interrupted set — the
+/// graceful-signal path of spnl_partition (util/shutdown.hpp) feeds the
+/// process-global SIGINT/SIGTERM flag through here.
 RunResult run_streaming(AdjacencyStream& stream, StreamingPartitioner& partitioner,
                         const StreamingCheckpointOptions& checkpoint = {},
                         PerfStats* perf = nullptr,
-                        ResourceGovernor* governor = nullptr);
+                        ResourceGovernor* governor = nullptr,
+                        const std::atomic<bool>* stop = nullptr);
 
 /// Resumes an interrupted run: restores the partitioner from
 /// `checkpoint_path`, fast-forwards `stream` (which must be reset and emit
@@ -72,6 +85,7 @@ RunResult resume_streaming(AdjacencyStream& stream, StreamingPartitioner& partit
                            const std::string& checkpoint_path,
                            const StreamingCheckpointOptions& checkpoint = {},
                            PerfStats* perf = nullptr,
-                           ResourceGovernor* governor = nullptr);
+                           ResourceGovernor* governor = nullptr,
+                           const std::atomic<bool>* stop = nullptr);
 
 }  // namespace spnl

@@ -1,0 +1,287 @@
+#include "server/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// Internal control-flow signals for the retry loop; never escape partition().
+struct Retryable {
+  std::string what;
+};
+struct BusySignal {
+  std::uint32_t retry_after_ms;
+  std::string reason;
+};
+struct SessionLost {};  // resume token expired server-side: restart fresh
+
+int to_ms(double seconds) {
+  const double ms = seconds * 1000.0;
+  return ms < 1.0 ? 1 : static_cast<int>(ms);
+}
+
+/// Reads the next frame, translating transport endings into Retryable.
+Frame expect_frame(Socket& sock, int timeout_ms) {
+  std::optional<Frame> frame = read_frame(sock, timeout_ms);
+  if (!frame) throw Retryable{"server closed the connection"};
+  return std::move(*frame);
+}
+
+/// Decodes a kError frame into the retry policy's vocabulary: draining is
+/// retryable (the restarted server will restore the session), an expired
+/// token restarts fresh, everything else is fatal.
+[[noreturn]] void raise_wire_error(StateReader& payload) {
+  const auto code = static_cast<WireError>(payload.get_u32());
+  const std::string message = payload.get_string();
+  if (code == WireError::kDraining) {
+    throw Retryable{"server draining: " + message};
+  }
+  if (code == WireError::kUnknownSession) throw SessionLost{};
+  throw ClientError(std::string("server error (") + wire_error_name(code) +
+                    "): " + message);
+}
+
+}  // namespace
+
+ClientRunResult SpnlClient::partition(AdjacencyStream& stream,
+                                      const WireSessionConfig& config) {
+  ClientRunResult result;
+  Timer elapsed;
+  SplitMix64 jitter(options_.jitter_seed);
+  const int io_ms = to_ms(options_.io_timeout_seconds);
+  const std::uint64_t total_records = config.num_vertices;
+  std::uint64_t received = 0;  // server-committed record count
+  std::uint32_t failures = 0;
+  bool injected = false;
+
+  auto remaining_seconds = [&]() -> double {
+    if (options_.deadline_seconds <= 0.0) return 1e18;
+    return options_.deadline_seconds - elapsed.seconds();
+  };
+  auto check_deadline = [&] {
+    if (remaining_seconds() <= 0.0) {
+      throw ClientError("deadline budget (" +
+                        std::to_string(options_.deadline_seconds) +
+                        "s) exhausted after " + std::to_string(failures) +
+                        " failed attempt(s)");
+    }
+  };
+  auto backoff_sleep = [&](std::uint32_t floor_ms) {
+    const std::uint32_t shift = std::min(failures, 20u);
+    std::uint64_t delay = std::min<std::uint64_t>(
+        options_.backoff_max_ms,
+        static_cast<std::uint64_t>(options_.backoff_base_ms) << shift);
+    delay = std::max<std::uint64_t>(delay, floor_ms);
+    // Deterministic jitter in [0.5, 1.5): decorrelates a thundering herd of
+    // clients retrying after one server restart without sacrificing test
+    // reproducibility.
+    const double factor = 0.5 + static_cast<double>(jitter.next() % 1024) / 1024.0;
+    delay = static_cast<std::uint64_t>(static_cast<double>(delay) * factor);
+    const double cap = remaining_seconds() * 1000.0;
+    if (cap > 0 && static_cast<double>(delay) > cap) {
+      delay = static_cast<std::uint64_t>(cap);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  };
+
+  for (;;) {
+    check_deadline();
+    if (failures >= options_.max_attempts) {
+      throw ClientError("attempt budget (" +
+                        std::to_string(options_.max_attempts) +
+                        ") exhausted");
+    }
+    try {
+      Socket sock = connect_endpoint(options_.endpoint,
+                                     to_ms(std::min(remaining_seconds(),
+                                                    options_.io_timeout_seconds)));
+
+      StateWriter hello;
+      hello.put_u32(kProtocolVersion);
+      write_frame(sock, MsgType::kHello, hello, io_ms);
+      Frame ack = expect_frame(sock, io_ms);
+      if (ack.type == MsgType::kError) raise_wire_error(ack.payload);
+      if (ack.type != MsgType::kHelloAck) {
+        throw ClientError(std::string("expected HelloAck, got ") +
+                          msg_type_name(ack.type));
+      }
+      ack.payload.get_u32();  // server's version (equal or it errored)
+
+      if (result.token.empty()) {
+        StateWriter open;
+        config.save(open);
+        write_frame(sock, MsgType::kOpen, open, io_ms);
+        Frame reply = expect_frame(sock, io_ms);
+        if (reply.type == MsgType::kBusy) {
+          const std::uint32_t hint = reply.payload.get_u32();
+          throw BusySignal{hint, reply.payload.get_string()};
+        }
+        if (reply.type == MsgType::kError) raise_wire_error(reply.payload);
+        if (reply.type != MsgType::kOpenAck) {
+          throw ClientError(std::string("expected OpenAck, got ") +
+                            msg_type_name(reply.type));
+        }
+        result.token = reply.payload.get_string();
+        reply.payload.get_u64();  // session id (informational)
+      } else {
+        StateWriter resume;
+        resume.put_string(result.token);
+        write_frame(sock, MsgType::kResume, resume, io_ms);
+        Frame reply = expect_frame(sock, io_ms);
+        if (reply.type == MsgType::kBusy) {
+          const std::uint32_t hint = reply.payload.get_u32();
+          throw BusySignal{hint, reply.payload.get_string()};
+        }
+        if (reply.type == MsgType::kError) raise_wire_error(reply.payload);
+        if (reply.type != MsgType::kResumeAck) {
+          throw ClientError(std::string("expected ResumeAck, got ") +
+                            msg_type_name(reply.type));
+        }
+        received = reply.payload.get_u64();
+        ++result.reconnects;
+      }
+
+      // Stream the unacknowledged suffix. The stream is rewound and the
+      // committed prefix skipped — the server drops any overlap anyway
+      // (idempotent sequence numbers), but not re-reading it saves the wire.
+      stream.reset();
+      for (std::uint64_t i = 0; i < received; ++i) {
+        if (!stream.next()) {
+          throw ClientError("stream shorter than server-committed prefix (" +
+                            std::to_string(received) + ")");
+        }
+      }
+
+      std::uint64_t next_seq = received;
+      std::vector<VertexId> ids;
+      std::vector<std::uint32_t> degrees;
+      std::vector<VertexId> neighbors;
+      const std::uint32_t batch = std::max(1u, options_.batch_records);
+      while (next_seq < total_records) {
+        ids.clear();
+        degrees.clear();
+        neighbors.clear();
+        while (ids.size() < batch && next_seq + ids.size() < total_records) {
+          std::optional<VertexRecord> record = stream.next();
+          if (!record) {
+            throw ClientError("stream ended at record " +
+                              std::to_string(next_seq + ids.size()) + " of " +
+                              std::to_string(total_records));
+          }
+          ids.push_back(record->id);
+          degrees.push_back(static_cast<std::uint32_t>(record->out.size()));
+          neighbors.insert(neighbors.end(), record->out.begin(), record->out.end());
+        }
+        StateWriter frame;
+        frame.put_u64(next_seq);
+        frame.put_vec(ids);
+        frame.put_vec(degrees);
+        frame.put_vec(neighbors);
+        write_frame(sock, MsgType::kRecords, frame, io_ms);
+        Frame reply = expect_frame(sock, io_ms);
+        if (reply.type == MsgType::kError) raise_wire_error(reply.payload);
+        if (reply.type != MsgType::kRecordsAck) {
+          throw ClientError(std::string("expected RecordsAck, got ") +
+                            msg_type_name(reply.type));
+        }
+        received = reply.payload.get_u64();
+        next_seq = received;
+
+        if (options_.inject_disconnect_after_records > 0 && !injected &&
+            received >= options_.inject_disconnect_after_records &&
+            next_seq < total_records) {
+          injected = true;
+          ++result.injected_disconnects;
+          sock.close();
+          throw Retryable{"injected mid-stream disconnect"};
+        }
+      }
+
+      StateWriter finish;
+      finish.put_u64(total_records);
+      write_frame(sock, MsgType::kFinish, finish, io_ms);
+      std::vector<PartitionId> route(config.num_vertices, kUnassigned);
+      for (;;) {
+        Frame reply = expect_frame(sock, io_ms);
+        if (reply.type == MsgType::kError) raise_wire_error(reply.payload);
+        if (reply.type == MsgType::kRouteChunk) {
+          const std::uint64_t offset = reply.payload.get_u64();
+          const auto part = reply.payload.get_vec<PartitionId>();
+          if (offset + part.size() > route.size()) {
+            throw ClientError("route chunk overruns route table");
+          }
+          std::copy(part.begin(), part.end(), route.begin() + offset);
+          continue;
+        }
+        if (reply.type == MsgType::kRouteDone) {
+          const std::uint64_t n = reply.payload.get_u64();
+          const std::uint32_t crc = reply.payload.get_u32();
+          if (n != route.size()) {
+            throw ClientError("route size mismatch (" + std::to_string(n) +
+                              " vs " + std::to_string(route.size()) + ")");
+          }
+          if (crc32(route.data(), route.size() * sizeof(PartitionId)) != crc) {
+            throw ClientError("route CRC mismatch (corrupt transfer)");
+          }
+          break;
+        }
+        throw ClientError(std::string("expected RouteChunk/RouteDone, got ") +
+                          msg_type_name(reply.type));
+      }
+      write_frame(sock, MsgType::kBye, io_ms);
+      result.route = std::move(route);
+      result.attempts = failures + 1;
+      return result;
+    } catch (const Retryable& r) {
+      ++failures;
+      check_deadline();
+      if (failures >= options_.max_attempts) {
+        throw ClientError("attempt budget (" +
+                          std::to_string(options_.max_attempts) +
+                          ") exhausted; last failure: " + r.what);
+      }
+      backoff_sleep(0);
+    } catch (const BusySignal& busy) {
+      // Admission pushback is queueing, not failure: no attempt consumed.
+      ++result.busy_retries;
+      check_deadline();
+      backoff_sleep(busy.retry_after_ms);
+    } catch (const SessionLost&) {
+      // The server reaped our session (or never saw it): restart fresh.
+      // Correctness is preserved — a reaped session has no partial state,
+      // so a fresh session replays every record.
+      ++failures;
+      result.token.clear();
+      received = 0;
+      check_deadline();
+      backoff_sleep(0);
+    } catch (const NetError& e) {
+      ++failures;
+      check_deadline();
+      if (failures >= options_.max_attempts) {
+        throw ClientError("attempt budget (" +
+                          std::to_string(options_.max_attempts) +
+                          ") exhausted; last failure: " + e.what());
+      }
+      backoff_sleep(0);
+    } catch (const ProtocolError& e) {
+      // Garbage from the server side of the wire: treat as transport loss.
+      ++failures;
+      check_deadline();
+      if (failures >= options_.max_attempts) {
+        throw ClientError("attempt budget (" +
+                          std::to_string(options_.max_attempts) +
+                          ") exhausted; last failure: " + e.what());
+      }
+      backoff_sleep(0);
+    }
+  }
+}
+
+}  // namespace spnl

@@ -1,0 +1,86 @@
+// spnl_client core: streams an adjacency stream to a running spnl_server
+// and returns the finished route, surviving the failures a real service
+// client must survive.
+//
+// Retry policy: every transport-level failure (refused connect, torn frame,
+// reset, server restart) costs one attempt and is retried after an
+// exponential backoff with deterministic jitter:
+//
+//   delay = min(backoff_max, backoff_base << attempt) * uniform(0.5, 1.5)
+//
+// A Busy reply (admission control) honors max(server retry-after hint,
+// current backoff) and does NOT consume an attempt — being queued is not a
+// failure. The whole run is bounded by a wall-clock deadline budget;
+// exceeding it (or the attempt budget) raises a typed ClientError.
+//
+// Resume: the first successful Open yields a server-issued session token.
+// After a reconnect the client sends Resume(token); the ResumeAck carries
+// the server's committed record count, and the client rewinds its stream
+// and re-sends only the unacknowledged suffix. Records the server already
+// committed are dropped server-side (sequence numbers), so retransmission
+// around a torn ack is safe.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+#include "server/protocol.hpp"
+#include "util/net.hpp"
+
+namespace spnl {
+
+/// Typed client failure: deadline exhausted, attempts exhausted, or a fatal
+/// server-reported error (bad config, quarantined session).
+class ClientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ClientOptions {
+  Endpoint endpoint;
+  /// Wall-clock budget for the whole partition() call. 0 = unbounded.
+  double deadline_seconds = 0.0;
+  /// Transport failures tolerated before giving up.
+  std::uint32_t max_attempts = 8;
+  std::uint32_t backoff_base_ms = 50;
+  std::uint32_t backoff_max_ms = 2000;
+  /// Seed for the deterministic backoff jitter.
+  std::uint64_t jitter_seed = 1;
+  /// Records per kRecords frame.
+  std::uint32_t batch_records = 256;
+  /// Per-socket-operation timeout.
+  double io_timeout_seconds = 10.0;
+
+  /// Fault injection for soak/smoke tests: after acking this many records,
+  /// drop the connection once mid-stream and exercise the resume path.
+  /// 0 = off.
+  std::uint64_t inject_disconnect_after_records = 0;
+};
+
+struct ClientRunResult {
+  std::vector<PartitionId> route;
+  std::string token;
+  std::uint32_t attempts = 1;      ///< connection attempts consumed
+  std::uint64_t busy_retries = 0;  ///< admission-control Busy replies honored
+  std::uint64_t reconnects = 0;    ///< successful resumes after a failure
+  std::uint64_t injected_disconnects = 0;
+};
+
+class SpnlClient {
+ public:
+  explicit SpnlClient(ClientOptions options) : options_(std::move(options)) {}
+
+  /// Streams `stream` (reset()-able; re-wound internally on resume) to the
+  /// server and returns the route. Throws ClientError when the deadline or
+  /// attempt budget is exhausted or the server reports a fatal error.
+  ClientRunResult partition(AdjacencyStream& stream,
+                            const WireSessionConfig& config);
+
+ private:
+  ClientOptions options_;
+};
+
+}  // namespace spnl

@@ -1,0 +1,153 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+namespace spnl {
+
+namespace {
+
+struct FrameHeader {
+  std::uint16_t magic;
+  std::uint8_t type;
+  std::uint8_t reserved;
+  std::uint32_t payload_len;
+};
+static_assert(sizeof(FrameHeader) == 8);
+
+}  // namespace
+
+bool is_known_msg_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         type <= static_cast<std::uint8_t>(MsgType::kBye);
+}
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kHelloAck: return "HelloAck";
+    case MsgType::kOpen: return "Open";
+    case MsgType::kOpenAck: return "OpenAck";
+    case MsgType::kBusy: return "Busy";
+    case MsgType::kResume: return "Resume";
+    case MsgType::kResumeAck: return "ResumeAck";
+    case MsgType::kRecords: return "Records";
+    case MsgType::kRecordsAck: return "RecordsAck";
+    case MsgType::kFinish: return "Finish";
+    case MsgType::kRouteChunk: return "RouteChunk";
+    case MsgType::kRouteDone: return "RouteDone";
+    case MsgType::kError: return "Error";
+    case MsgType::kBye: return "Bye";
+  }
+  return "?";
+}
+
+const char* wire_error_name(WireError code) {
+  switch (code) {
+    case WireError::kProtocol: return "protocol";
+    case WireError::kUnknownSession: return "unknown-session";
+    case WireError::kQuarantined: return "quarantined";
+    case WireError::kSequenceGap: return "sequence-gap";
+    case WireError::kDraining: return "draining";
+    case WireError::kBadConfig: return "bad-config";
+    case WireError::kInternal: return "internal";
+  }
+  return "?";
+}
+
+void WireSessionConfig::save(StateWriter& out) const {
+  out.put_string(algo);
+  out.put_u64(num_vertices);
+  out.put_u64(num_edges);
+  out.put_u32(num_partitions);
+  out.put_f64(lambda);
+  out.put_u32(num_shards);
+  out.put_u32(balance);
+  out.put_f64(slack);
+}
+
+WireSessionConfig WireSessionConfig::restore(StateReader& in) {
+  WireSessionConfig config;
+  config.algo = in.get_string();
+  config.num_vertices = in.get_u64();
+  config.num_edges = in.get_u64();
+  config.num_partitions = in.get_u32();
+  config.lambda = in.get_f64();
+  config.num_shards = in.get_u32();
+  config.balance = static_cast<std::uint8_t>(in.get_u32());
+  config.slack = in.get_f64();
+  return config;
+}
+
+void write_frame(Socket& sock, MsgType type, const StateWriter& payload,
+                 int timeout_ms) {
+  const auto& bytes = payload.bytes();
+  if (bytes.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame payload exceeds kMaxFrameBytes (" +
+                        std::to_string(bytes.size()) + ")");
+  }
+  FrameHeader header{kFrameMagic, static_cast<std::uint8_t>(type), 0,
+                     static_cast<std::uint32_t>(bytes.size())};
+  // One buffered write per frame: header and payload land in a single
+  // send() in the common case, so a reader never observes a header-only
+  // prefix from a healthy peer (torn frames come only from real faults).
+  std::vector<std::uint8_t> wire(sizeof(header) + bytes.size());
+  std::memcpy(wire.data(), &header, sizeof(header));
+  if (!bytes.empty()) {
+    std::memcpy(wire.data() + sizeof(header), bytes.data(), bytes.size());
+  }
+  sock.write_all(wire.data(), wire.size(), timeout_ms);
+}
+
+void write_frame(Socket& sock, MsgType type, int timeout_ms) {
+  write_frame(sock, type, StateWriter{}, timeout_ms);
+}
+
+std::optional<Frame> read_frame(Socket& sock, int timeout_ms, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  FrameHeader header{};
+  const IoStatus status = sock.read_exact(&header, sizeof(header), timeout_ms);
+  if (status == IoStatus::kEof) return std::nullopt;
+  if (status == IoStatus::kTimeout) {
+    if (timed_out != nullptr) *timed_out = true;
+    return std::nullopt;
+  }
+  if (header.magic != kFrameMagic) {
+    throw ProtocolError("frame: bad magic 0x" + std::to_string(header.magic));
+  }
+  if (!is_known_msg_type(header.type)) {
+    throw ProtocolError("frame: unknown message type " +
+                        std::to_string(header.type));
+  }
+  if (header.payload_len > kMaxFrameBytes) {
+    throw ProtocolError("frame: payload length " +
+                        std::to_string(header.payload_len) + " exceeds cap");
+  }
+  std::vector<std::uint8_t> payload(header.payload_len);
+  if (header.payload_len > 0) {
+    // A peer that sent a header must follow through with the payload; EOF or
+    // stall here is a torn frame (read_exact throws on mid-message EOF).
+    if (sock.read_exact(payload.data(), payload.size(), timeout_ms) !=
+        IoStatus::kOk) {
+      throw NetError("frame: timed out reading payload (torn frame)");
+    }
+  }
+  return Frame{static_cast<MsgType>(header.type), StateReader(std::move(payload))};
+}
+
+void send_error(Socket& sock, WireError code, const std::string& message,
+                int timeout_ms) {
+  StateWriter out;
+  out.put_u32(static_cast<std::uint32_t>(code));
+  out.put_string(message);
+  write_frame(sock, MsgType::kError, out, timeout_ms);
+}
+
+void send_busy(Socket& sock, std::uint32_t retry_after_ms,
+               const std::string& reason, int timeout_ms) {
+  StateWriter out;
+  out.put_u32(retry_after_ms);
+  out.put_string(reason);
+  write_frame(sock, MsgType::kBusy, out, timeout_ms);
+}
+
+}  // namespace spnl

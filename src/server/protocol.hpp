@@ -1,0 +1,147 @@
+// Framed binary protocol spoken between spnl_client and spnl_server.
+//
+// Every message is one length-prefixed frame:
+//
+//   u16 magic 0x5350 ("SP") | u8 type | u8 reserved(0) | u32 payload_len
+//   | payload bytes
+//
+// followed by a payload encoded with the checkpoint subsystem's
+// StateWriter/StateReader field stream (length-prefixed vectors and strings,
+// little-endian PODs) — the server reuses the battle-tested bounds-checked
+// reader, so a hostile payload can at worst raise a typed error, never read
+// out of bounds. Frames are validated before any payload byte is trusted: a
+// bad magic, an unknown type, or a length above kMaxFrameBytes is a
+// ProtocolError and the server quarantines only the offending session.
+//
+// Session lifecycle (docs/server.md has the full state machine):
+//
+//   client                          server
+//   ------                          ------
+//   Hello(version)             ->
+//                              <-   HelloAck(version)
+//   Open(config)               ->
+//                              <-   OpenAck(token) | Busy(retry_after)
+//   Records(first_seq, batch)  ->
+//                              <-   RecordsAck(received_total)
+//   ... repeat ...
+//   Finish(total_records)      ->
+//                              <-   RouteChunk* , RouteDone(crc32)
+//
+// A disconnected client reconnects and sends Resume(token); the ResumeAck
+// carries the server's committed record count so the client re-streams only
+// the unacknowledged suffix (records below the committed count are
+// idempotently dropped — a retransmit can never double-place a vertex).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "graph/types.hpp"
+#include "util/net.hpp"
+
+namespace spnl {
+
+/// Protocol version; HelloAck echoes it and mismatches are a typed error so
+/// old clients fail loudly instead of misparsing frames.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload. Large enough for a 64K-record batch
+/// or a 4M-entry route chunk; small enough that a hostile length field can
+/// not drive an allocation-of-death.
+inline constexpr std::uint32_t kMaxFrameBytes = 32u << 20;
+
+inline constexpr std::uint16_t kFrameMagic = 0x5350;  // "SP"
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kOpen = 3,
+  kOpenAck = 4,
+  kBusy = 5,        ///< admission control: try again after retry_after_ms
+  kResume = 6,
+  kResumeAck = 7,
+  kRecords = 8,
+  kRecordsAck = 9,
+  kFinish = 10,
+  kRouteChunk = 11,
+  kRouteDone = 12,
+  kError = 13,
+  kBye = 14,        ///< orderly client goodbye (session stays resumable)
+};
+
+/// True for byte values that decode to a known MsgType.
+bool is_known_msg_type(std::uint8_t type);
+const char* msg_type_name(MsgType type);
+
+/// Error codes carried by kError frames.
+enum class WireError : std::uint32_t {
+  kProtocol = 1,        ///< malformed frame / unexpected message order
+  kUnknownSession = 2,  ///< resume token not found (expired or bogus)
+  kQuarantined = 3,     ///< this session misbehaved earlier and was isolated
+  kSequenceGap = 4,     ///< records frame skipped ahead of the committed count
+  kDraining = 5,        ///< server is shutting down; reconnect after restart
+  kBadConfig = 6,       ///< open rejected (unknown algo, zero vertices, ...)
+  kInternal = 7,
+};
+
+const char* wire_error_name(WireError code);
+
+/// Typed failure raised by the codec (torn/garbage frames) and by clients
+/// when the server reports a fatal kError.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what,
+                         WireError code = WireError::kProtocol)
+      : std::runtime_error(what), code_(code) {}
+  WireError code() const { return code_; }
+
+ private:
+  WireError code_;
+};
+
+/// Everything the server needs to instantiate a session's partitioner.
+/// Serialized inside kOpen and inside drain checkpoints (so a restored
+/// session rebuilds an identical partitioner).
+struct WireSessionConfig {
+  std::string algo = "spnl";
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t num_partitions = 2;
+  double lambda = 0.5;
+  std::uint32_t num_shards = 0;
+  std::uint8_t balance = 0;  ///< 0 = vertex, 1 = edge
+  double slack = 1.1;
+
+  void save(StateWriter& out) const;
+  static WireSessionConfig restore(StateReader& in);
+};
+
+/// One decoded frame: the type plus a bounds-checked payload reader.
+struct Frame {
+  MsgType type = MsgType::kError;
+  StateReader payload;
+};
+
+/// Writes one frame (header + payload) within `timeout_ms`.
+void write_frame(Socket& sock, MsgType type, const StateWriter& payload,
+                 int timeout_ms);
+
+/// Writes a payload-less frame.
+void write_frame(Socket& sock, MsgType type, int timeout_ms);
+
+/// Reads one frame. nullopt on orderly EOF before any header byte or on
+/// timeout with nothing read (`timed_out`, when non-null, tells the two
+/// apart). Throws ProtocolError on garbage (bad magic/type/length) and
+/// NetError on torn reads or socket failures.
+std::optional<Frame> read_frame(Socket& sock, int timeout_ms,
+                                bool* timed_out = nullptr);
+
+/// Convenience writers for the small control messages.
+void send_error(Socket& sock, WireError code, const std::string& message,
+                int timeout_ms);
+void send_busy(Socket& sock, std::uint32_t retry_after_ms,
+               const std::string& reason, int timeout_ms);
+
+}  // namespace spnl

@@ -1,0 +1,380 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "util/shutdown.hpp"
+
+namespace spnl {
+
+namespace {
+
+/// Handler threads and the accept loop poll shutdown/drain flags at this
+/// granularity, so a drain request is honored within ~one slice even while
+/// a connection is idle.
+constexpr int kPollSliceMs = 100;
+
+int to_ms(double seconds) {
+  const double ms = seconds * 1000.0;
+  return ms < 1.0 ? 1 : static_cast<int>(ms);
+}
+
+}  // namespace
+
+SpnlServer::SpnlServer(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.admission, options_.token_seed) {}
+
+SpnlServer::~SpnlServer() {
+  request_stop();
+  try {
+    wait();
+  } catch (...) {
+    // Destructor must not throw; wind-down errors were already surfaced to
+    // callers that used wait() directly.
+  }
+}
+
+void SpnlServer::start() {
+  listener_ = ListenSocket(options_.endpoint);
+  if (!options_.drain_dir.empty()) {
+    std::filesystem::create_directories(options_.drain_dir);
+    restore_drain_checkpoints();
+  }
+  started_.store(true);
+  accept_thread_ = std::thread(&SpnlServer::accept_loop, this);
+  reaper_thread_ = std::thread(&SpnlServer::reaper_loop, this);
+}
+
+void SpnlServer::request_drain() {
+  drain_requested_.store(true);
+  stop_requested_.store(true);
+}
+
+void SpnlServer::request_stop() { stop_requested_.store(true); }
+
+void SpnlServer::wait() {
+  if (!started_.load()) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Handlers observe stop_requested_ within one poll slice and exit.
+    std::lock_guard lock(handlers_mutex_);
+    for (std::thread& handler : handlers_) {
+      if (handler.joinable()) handler.join();
+    }
+    handlers_.clear();
+  }
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  if (wound_down_) return;
+  wound_down_ = true;
+  if (drain_requested_.load() && !options_.drain_dir.empty()) {
+    write_drain_checkpoints();
+  }
+}
+
+ServerStats SpnlServer::stats() const {
+  ServerStats out;
+  static_cast<RegistryStats&>(out) = registry_.stats();
+  std::lock_guard lock(stats_mutex_);
+  out.connections_accepted = connections_accepted_;
+  out.protocol_errors = protocol_errors_;
+  out.midstream_disconnects = midstream_disconnects_;
+  out.idle_connection_closes = idle_connection_closes_;
+  out.sessions_checkpointed_on_drain = drain_checkpoints_;
+  out.sessions_restored_from_drain = drain_restores_;
+  out.draining = drain_requested_.load();
+  return out;
+}
+
+void SpnlServer::accept_loop() {
+  while (!stop_requested_.load()) {
+    if (options_.watch_shutdown_flag && shutdown_requested()) {
+      request_drain();
+      break;
+    }
+    std::optional<Socket> conn = listener_.accept(kPollSliceMs);
+    if (!conn) continue;
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++connections_accepted_;
+    }
+    std::lock_guard lock(handlers_mutex_);
+    handlers_.emplace_back(
+        [this](Socket sock) { handle_connection(std::move(sock)); },
+        std::move(*conn));
+  }
+  // Refuse new connections immediately; in-flight handlers wind down on
+  // their own poll slices.
+  listener_.close();
+}
+
+void SpnlServer::reaper_loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.reaper_interval_seconds > 0 ? options_.reaper_interval_seconds
+                                           : 0.25);
+  while (!stop_requested_.load()) {
+    registry_.reap_idle(options_.idle_timeout_seconds);
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+void SpnlServer::handle_connection(Socket sock) {
+  const int write_ms = to_ms(options_.io_timeout_seconds);
+  const int read_total_ms = to_ms(options_.read_timeout_seconds);
+  const int slice_ms = std::min(kPollSliceMs, read_total_ms);
+
+  std::shared_ptr<Session> session;
+  auto detach = [&] {
+    if (session) {
+      session->detach();
+      session.reset();
+    }
+  };
+  bool greeted = false;
+
+  try {
+    for (;;) {
+      if (stop_requested_.load()) {
+        if (drain_requested_.load()) {
+          // Best-effort: tell the client to come back after the restart.
+          try {
+            send_error(sock, WireError::kDraining, "server draining", write_ms);
+          } catch (...) {
+          }
+        }
+        break;
+      }
+
+      // Sliced frame read: reacts to drain within one slice, enforces the
+      // full read timeout against slow-loris/idle peers.
+      std::optional<Frame> frame;
+      bool timed_out = false;
+      int waited_ms = 0;
+      for (;;) {
+        frame = read_frame(sock, slice_ms, &timed_out);
+        if (frame || !timed_out) break;
+        waited_ms += slice_ms;
+        if (stop_requested_.load() || waited_ms >= read_total_ms) break;
+      }
+      if (stop_requested_.load()) continue;  // top of loop sends kDraining
+      if (!frame) {
+        if (timed_out) {
+          // Slow-loris or just idle: drop the connection; the session (if
+          // any) detaches and stays resumable until the idle reaper fires.
+          std::lock_guard lock(stats_mutex_);
+          ++idle_connection_closes_;
+        } else if (session && session->state() == SessionState::kActive) {
+          std::lock_guard lock(stats_mutex_);
+          ++midstream_disconnects_;
+        }
+        break;
+      }
+
+      if (frame->type == MsgType::kHello) {
+        const std::uint32_t version = frame->payload.get_u32();
+        if (version != kProtocolVersion) {
+          throw ProtocolError("hello: protocol version " +
+                              std::to_string(version) + " (server speaks " +
+                              std::to_string(kProtocolVersion) + ")");
+        }
+        greeted = true;
+        StateWriter ack;
+        ack.put_u32(kProtocolVersion);
+        write_frame(sock, MsgType::kHelloAck, ack, write_ms);
+        continue;
+      }
+      if (!greeted) {
+        throw ProtocolError(std::string("expected Hello, got ") +
+                            msg_type_name(frame->type));
+      }
+
+      switch (frame->type) {
+        case MsgType::kOpen: {
+          if (session) {
+            throw ProtocolError("open: a session is already attached");
+          }
+          const WireSessionConfig config =
+              WireSessionConfig::restore(frame->payload);
+          std::string reason;
+          std::shared_ptr<Session> opened = registry_.open(config, &reason);
+          if (!opened) {
+            send_busy(sock, options_.retry_after_ms, reason, write_ms);
+            break;
+          }
+          opened->attach();
+          session = std::move(opened);
+          StateWriter ack;
+          ack.put_string(session->token());
+          ack.put_u64(session->id());
+          write_frame(sock, MsgType::kOpenAck, ack, write_ms);
+          break;
+        }
+        case MsgType::kResume: {
+          if (session) {
+            throw ProtocolError("resume: a session is already attached");
+          }
+          const std::string token = frame->payload.get_string();
+          std::shared_ptr<Session> found = registry_.find(token);
+          if (!found) {
+            send_error(sock, WireError::kUnknownSession,
+                       "no session for token (expired or never existed)",
+                       write_ms);
+            break;
+          }
+          if (!found->attach()) {
+            if (found->state() == SessionState::kQuarantined) {
+              send_error(sock, WireError::kQuarantined,
+                         found->quarantine_reason(), write_ms);
+            } else {
+              // The previous connection's handler has not yet noticed its
+              // EOF and detached — a reconnect race, not a failure. Busy
+              // makes the client back off and retry instead of giving up.
+              send_busy(sock, options_.retry_after_ms,
+                        "session attached to another connection", write_ms);
+            }
+            break;
+          }
+          session = std::move(found);
+          StateWriter ack;
+          ack.put_u64(session->records_received());
+          write_frame(sock, MsgType::kResumeAck, ack, write_ms);
+          break;
+        }
+        case MsgType::kRecords: {
+          if (!session) {
+            throw ProtocolError("records without an open/resumed session");
+          }
+          const std::uint64_t first_seq = frame->payload.get_u64();
+          const auto ids = frame->payload.get_vec<VertexId>();
+          const auto degrees = frame->payload.get_vec<std::uint32_t>();
+          const auto neighbors = frame->payload.get_vec<VertexId>();
+          if (ids.size() != degrees.size()) {
+            throw ProtocolError("records: ids/degrees length mismatch");
+          }
+          const std::uint64_t received =
+              session->feed(first_seq, ids, degrees, neighbors);
+          StateWriter ack;
+          ack.put_u64(received);
+          write_frame(sock, MsgType::kRecordsAck, ack, write_ms);
+          break;
+        }
+        case MsgType::kFinish: {
+          if (!session) {
+            throw ProtocolError("finish without an open/resumed session");
+          }
+          const std::uint64_t total = frame->payload.get_u64();
+          const std::vector<PartitionId>& route = session->finish(total);
+          const std::uint32_t chunk = options_.route_chunk_entries > 0
+                                          ? options_.route_chunk_entries
+                                          : 1u << 16;
+          for (std::size_t offset = 0; offset < route.size(); offset += chunk) {
+            const std::size_t count = std::min<std::size_t>(chunk, route.size() - offset);
+            StateWriter part;
+            part.put_u64(offset);
+            part.put_vec(std::vector<PartitionId>(route.begin() + offset,
+                                                  route.begin() + offset + count));
+            write_frame(sock, MsgType::kRouteChunk, part, write_ms);
+          }
+          StateWriter done;
+          done.put_u64(route.size());
+          done.put_u32(crc32(route.data(), route.size() * sizeof(PartitionId)));
+          write_frame(sock, MsgType::kRouteDone, done, write_ms);
+          // Only after the route reached the client does the session leave
+          // the registry; a write failure above keeps it finished+resumable
+          // so the client can refetch.
+          registry_.remove_completed(session->token());
+          detach();
+          break;
+        }
+        case MsgType::kBye: {
+          detach();
+          return;
+        }
+        default:
+          throw ProtocolError(std::string("unexpected message ") +
+                              msg_type_name(frame->type));
+      }
+    }
+  } catch (const ProtocolError& e) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++protocol_errors_;
+    }
+    if (session) {
+      // Quarantine only the offending session — never the process. The
+      // reaper collects it after the idle timeout.
+      session->quarantine(e.what());
+      registry_.count_quarantined();
+    }
+    try {
+      send_error(sock, e.code(), e.what(), write_ms);
+    } catch (...) {
+    }
+  } catch (const NetError&) {
+    // Torn frame or connection reset mid-message: the session stays
+    // resumable (records below the committed count are idempotent).
+    if (session) {
+      std::lock_guard lock(stats_mutex_);
+      ++midstream_disconnects_;
+    }
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++protocol_errors_;
+    }
+    try {
+      send_error(sock, WireError::kInternal, e.what(), write_ms);
+    } catch (...) {
+    }
+  }
+  detach();
+}
+
+void SpnlServer::write_drain_checkpoints() {
+  for (const std::shared_ptr<Session>& session : registry_.snapshot()) {
+    // Poisoned state is not worth persisting: quarantined sessions are
+    // dropped at drain (still counted, so reconciliation holds via
+    // remove_drained below).
+    if (session->state() != SessionState::kQuarantined) {
+      StateWriter out;
+      session->save(out);
+      const std::string path =
+          options_.drain_dir + "/" + session->token() + ".ckpt";
+      write_checkpoint_file(path, out);
+      std::lock_guard lock(stats_mutex_);
+      ++drain_checkpoints_;
+    }
+    registry_.remove_drained(session->token());
+  }
+}
+
+std::size_t SpnlServer::restore_drain_checkpoints() {
+  namespace fs = std::filesystem;
+  std::size_t restored = 0;
+  if (!fs::exists(options_.drain_dir)) return 0;
+  for (const auto& entry : fs::directory_iterator(options_.drain_dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".ckpt") continue;
+    const std::string path = entry.path().string();
+    try {
+      StateReader in = read_checkpoint_file(path);
+      registry_.adopt_restored(Session::restore(in));
+      fs::remove(entry.path());
+      ++restored;
+    } catch (const std::exception& e) {
+      // A torn/corrupt drain checkpoint loses one session, not the server:
+      // set it aside so the next restart does not trip over it again.
+      std::fprintf(stderr, "spnl_server: skipping corrupt drain checkpoint %s: %s\n",
+                   path.c_str(), e.what());
+      std::error_code ec;
+      fs::rename(entry.path(), entry.path().string() + ".corrupt", ec);
+    }
+  }
+  std::lock_guard lock(stats_mutex_);
+  drain_restores_ += restored;
+  return restored;
+}
+
+}  // namespace spnl

@@ -1,0 +1,136 @@
+// spnl_server core: a long-lived daemon multiplexing many concurrent
+// partitioning sessions over the framed protocol (server/protocol.hpp).
+//
+// Architecture — one accept loop, one handler thread per connection, one
+// reaper thread, a token-keyed SessionRegistry shared by all of them:
+//
+//   accept loop ──spawns──> handler(conn) ──drives──> Session (via registry)
+//        │                        │
+//        │ polls drain flag       │ per-frame read timeout (slow-loris cap)
+//        v                        v
+//     reaper ── idle/quarantined session collection
+//
+// Robustness properties (exercised by tests/test_server_soak.cpp):
+//  * Fault isolation: a malformed frame, sequence gap, or mid-stream
+//    disconnect quarantines/detaches only the offending session; the
+//    process and every other session keep running.
+//  * Admission control: opens are gated on live-session count and summed
+//    partitioner footprint; rejected clients get Busy + retry-after, which
+//    the client library turns into backoff (queueing without server-side
+//    waiter state).
+//  * Graceful drain: on request_drain() (SIGTERM via util/shutdown.hpp, or
+//    a direct call) the server stops accepting, winds down handlers, and
+//    checkpoints every live session into drain_dir using the PR-1 atomic
+//    checkpoint format; a restarted server restores them and clients resume
+//    by token with byte-identical continuation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/session_registry.hpp"
+#include "util/net.hpp"
+
+namespace spnl {
+
+struct ServerOptions {
+  Endpoint endpoint;
+  SessionRegistry::AdmissionPolicy admission;
+  /// Detached/quarantined/finished sessions idle past this are reaped.
+  double idle_timeout_seconds = 30.0;
+  /// A connection with no complete frame for this long is closed (its
+  /// session detaches and stays resumable until the idle reaper fires).
+  double read_timeout_seconds = 10.0;
+  /// Per-frame write deadline (a peer not draining its socket is dead).
+  double io_timeout_seconds = 10.0;
+  double reaper_interval_seconds = 0.25;
+  /// Where drain checkpoints live; empty disables drain/restore.
+  std::string drain_dir;
+  /// Hint carried by Busy replies.
+  std::uint32_t retry_after_ms = 200;
+  std::uint64_t token_seed = 0x53504e4cull;
+  /// Poll util/shutdown.hpp's SIGTERM/SIGINT flag from the accept loop and
+  /// turn it into request_drain() (the daemon tool arms the flag).
+  bool watch_shutdown_flag = false;
+  /// Route entries per kRouteChunk frame.
+  std::uint32_t route_chunk_entries = 1u << 16;
+};
+
+/// Registry counters plus connection-level ones; `reconciles()` (inherited)
+/// is the soak test's leak check.
+struct ServerStats : RegistryStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t midstream_disconnects = 0;
+  std::uint64_t idle_connection_closes = 0;
+  std::uint64_t sessions_checkpointed_on_drain = 0;
+  std::uint64_t sessions_restored_from_drain = 0;
+  bool draining = false;
+};
+
+class SpnlServer {
+ public:
+  explicit SpnlServer(ServerOptions options);
+  ~SpnlServer();
+
+  SpnlServer(const SpnlServer&) = delete;
+  SpnlServer& operator=(const SpnlServer&) = delete;
+
+  /// Binds the endpoint, restores any drain checkpoints, and spawns the
+  /// accept + reaper threads. Throws NetError/CheckpointError on failure.
+  void start();
+
+  /// The endpoint clients should dial (tcp port 0 is resolved after bind).
+  const Endpoint& endpoint() const { return listener_.endpoint(); }
+
+  /// Asks the server to stop accepting and checkpoint every live session.
+  /// Safe from any thread; actual drain work happens in wait().
+  void request_drain();
+
+  /// Stop without checkpointing (tests / hard shutdown).
+  void request_stop();
+
+  /// Blocks until the server has fully wound down: accept loop exited,
+  /// handlers joined, reaper stopped, and — when draining — every live
+  /// session checkpointed into drain_dir. Idempotent.
+  void wait();
+
+  bool draining() const { return drain_requested_.load(); }
+  ServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void reaper_loop();
+  void handle_connection(Socket sock);
+  void write_drain_checkpoints();
+  std::size_t restore_drain_checkpoints();
+
+  ServerOptions options_;
+  ListenSocket listener_;
+  SessionRegistry registry_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> started_{false};
+  bool wound_down_ = false;
+
+  std::thread accept_thread_;
+  std::thread reaper_thread_;
+  std::mutex handlers_mutex_;
+  std::vector<std::thread> handlers_;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t connections_accepted_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t midstream_disconnects_ = 0;
+  std::uint64_t idle_connection_closes_ = 0;
+  std::uint64_t drain_checkpoints_ = 0;
+  std::uint64_t drain_restores_ = 0;
+};
+
+}  // namespace spnl

@@ -1,0 +1,208 @@
+#include "server/session.hpp"
+
+#include "core/spn.hpp"
+#include "core/spnl.hpp"
+#include "partition/fennel.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/ldg.hpp"
+#include "partition/range_partitioner.hpp"
+
+namespace spnl {
+
+namespace {
+
+constexpr const char* kSessionTag = "spnl-session";
+
+PartitionConfig to_partition_config(const WireSessionConfig& config) {
+  PartitionConfig out;
+  out.num_partitions = config.num_partitions;
+  out.balance = config.balance == 1 ? BalanceMode::kEdge : BalanceMode::kVertex;
+  out.slack = config.slack;
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<StreamingPartitioner> make_session_partitioner(
+    const WireSessionConfig& config) {
+  if (config.num_vertices == 0) {
+    throw ProtocolError("open: num_vertices must be > 0", WireError::kBadConfig);
+  }
+  if (config.num_partitions == 0) {
+    throw ProtocolError("open: num_partitions must be > 0", WireError::kBadConfig);
+  }
+  if (config.balance > 1) {
+    throw ProtocolError("open: balance must be 0 (vertex) or 1 (edge)",
+                        WireError::kBadConfig);
+  }
+  const auto n = static_cast<VertexId>(config.num_vertices);
+  const auto m = static_cast<EdgeId>(config.num_edges);
+  const PartitionConfig pc = to_partition_config(config);
+  if (config.algo == "spnl") {
+    return std::make_unique<SpnlPartitioner>(
+        n, m, pc, SpnlOptions{.lambda = config.lambda, .num_shards = config.num_shards});
+  }
+  if (config.algo == "spn") {
+    return std::make_unique<SpnPartitioner>(
+        n, m, pc, SpnOptions{.lambda = config.lambda, .num_shards = config.num_shards});
+  }
+  if (config.algo == "ldg") return std::make_unique<LdgPartitioner>(n, m, pc);
+  if (config.algo == "fennel") return std::make_unique<FennelPartitioner>(n, m, pc);
+  if (config.algo == "hash") return std::make_unique<HashPartitioner>(n, m, pc);
+  if (config.algo == "range") return std::make_unique<RangePartitioner>(n, m, pc);
+  throw ProtocolError("open: unknown algo '" + config.algo + "'",
+                      WireError::kBadConfig);
+}
+
+const char* session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::kActive: return "active";
+    case SessionState::kDetached: return "detached";
+    case SessionState::kFinished: return "finished";
+    case SessionState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+Session::Session(std::string token, std::uint64_t id,
+                 const WireSessionConfig& config)
+    : token_(std::move(token)),
+      id_(id),
+      config_(config),
+      partitioner_(make_session_partitioner(config)),
+      last_activity_(std::chrono::steady_clock::now()) {}
+
+void Session::save(StateWriter& out) const {
+  std::lock_guard lock(mutex_);
+  out.put_string(kSessionTag);
+  out.put_string(token_);
+  out.put_u64(id_);
+  out.put_u32(state_ == SessionState::kFinished ? 1 : 0);
+  config_.save(out);
+  out.put_u64(received_);
+  partitioner_->save_state(out);
+}
+
+std::unique_ptr<Session> Session::restore(StateReader& in) {
+  in.expect_string(kSessionTag, "session tag");
+  auto session = std::unique_ptr<Session>(new Session());
+  session->token_ = in.get_string();
+  session->id_ = in.get_u64();
+  const bool finished = in.get_u32() != 0;
+  session->config_ = WireSessionConfig::restore(in);
+  session->received_ = in.get_u64();
+  session->partitioner_ = make_session_partitioner(session->config_);
+  session->partitioner_->restore_state(in);
+  session->state_ = finished ? SessionState::kFinished : SessionState::kDetached;
+  session->last_activity_ = std::chrono::steady_clock::now();
+  return session;
+}
+
+bool Session::attach() {
+  std::lock_guard lock(mutex_);
+  if (attached_ || state_ == SessionState::kQuarantined) return false;
+  attached_ = true;
+  if (state_ == SessionState::kDetached) state_ = SessionState::kActive;
+  last_activity_ = std::chrono::steady_clock::now();
+  return true;
+}
+
+void Session::detach() {
+  std::lock_guard lock(mutex_);
+  attached_ = false;
+  if (state_ == SessionState::kActive) state_ = SessionState::kDetached;
+  last_activity_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t Session::feed(std::uint64_t first_seq,
+                            std::span<const VertexId> ids,
+                            std::span<const std::uint32_t> degrees,
+                            std::span<const VertexId> neighbors) {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kQuarantined) {
+    throw ProtocolError("session quarantined: " + quarantine_reason_,
+                        WireError::kQuarantined);
+  }
+  if (state_ == SessionState::kFinished) {
+    throw ProtocolError("records after finish", WireError::kProtocol);
+  }
+  if (first_seq > received_) {
+    state_ = SessionState::kQuarantined;
+    quarantine_reason_ = "sequence gap (batch starts at " +
+                         std::to_string(first_seq) + ", committed " +
+                         std::to_string(received_) + ")";
+    throw ProtocolError(quarantine_reason_, WireError::kSequenceGap);
+  }
+  std::size_t neighbor_offset = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint32_t degree = degrees[i];
+    if (neighbor_offset + degree > neighbors.size()) {
+      state_ = SessionState::kQuarantined;
+      quarantine_reason_ = "records frame degree overruns neighbor block";
+      throw ProtocolError(quarantine_reason_, WireError::kProtocol);
+    }
+    const std::uint64_t seq = first_seq + i;
+    if (seq >= received_) {  // idempotent retransmit: skip committed prefix
+      partitioner_->place(ids[i],
+                          neighbors.subspan(neighbor_offset, degree));
+      received_ = seq + 1;
+    }
+    neighbor_offset += degree;
+  }
+  last_activity_ = std::chrono::steady_clock::now();
+  return received_;
+}
+
+const std::vector<PartitionId>& Session::finish(std::uint64_t total_records) {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kQuarantined) {
+    throw ProtocolError("session quarantined: " + quarantine_reason_,
+                        WireError::kQuarantined);
+  }
+  if (received_ != total_records) {
+    state_ = SessionState::kQuarantined;
+    quarantine_reason_ = "finish with " + std::to_string(received_) + " of " +
+                         std::to_string(total_records) + " records committed";
+    throw ProtocolError(quarantine_reason_, WireError::kSequenceGap);
+  }
+  state_ = SessionState::kFinished;
+  last_activity_ = std::chrono::steady_clock::now();
+  return partitioner_->route();
+}
+
+void Session::quarantine(const std::string& reason) {
+  std::lock_guard lock(mutex_);
+  if (state_ == SessionState::kQuarantined) return;
+  state_ = SessionState::kQuarantined;
+  quarantine_reason_ = reason;
+  last_activity_ = std::chrono::steady_clock::now();
+}
+
+SessionState Session::state() const {
+  std::lock_guard lock(mutex_);
+  return state_;
+}
+
+std::uint64_t Session::records_received() const {
+  std::lock_guard lock(mutex_);
+  return received_;
+}
+
+std::size_t Session::memory_footprint_bytes() const {
+  std::lock_guard lock(mutex_);
+  return partitioner_->memory_footprint_bytes();
+}
+
+double Session::idle_seconds() const {
+  std::lock_guard lock(mutex_);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_activity_)
+      .count();
+}
+
+void Session::touch() {
+  std::lock_guard lock(mutex_);
+  last_activity_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace spnl

@@ -1,0 +1,107 @@
+// One partitioning session: a streaming partitioner plus the bookkeeping
+// that makes it safe to drive over an unreliable connection.
+//
+// A session is keyed by a server-issued token and decoupled from any single
+// TCP/unix connection: the connection that feeds it may die and a new one
+// may resume it. Robustness invariants:
+//
+//  * Idempotent ingest — records carry sequence numbers; anything below the
+//    committed count is dropped, so a client that retransmits after a torn
+//    ack can never double-place a vertex (placement is irrevocable, Sec. II).
+//  * Single writer — at most one connection is attached at a time; a second
+//    connection presenting the same token while attached is rejected (a
+//    zombie connection's read timeout detaches it first).
+//  * Quarantine — a malformed frame or sequence gap poisons only this
+//    session; it stops accepting records and the reaper collects it.
+//  * Drain/restore — save() serializes config + progress + full partitioner
+//    state through the PR-1 checkpoint contract, so a restored session
+//    continues byte-identically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "partition/partitioning.hpp"
+#include "server/protocol.hpp"
+
+namespace spnl {
+
+/// Builds the partitioner a session config asks for. Supported algos: spnl,
+/// spn, ldg, fennel, hash, range — all checkpoint-capable, which drain
+/// requires. Throws ProtocolError(kBadConfig) on an unknown algo or
+/// degenerate dimensions.
+std::unique_ptr<StreamingPartitioner> make_session_partitioner(
+    const WireSessionConfig& config);
+
+enum class SessionState : std::uint8_t {
+  kActive,       ///< a connection is attached and feeding records
+  kDetached,     ///< no connection; resumable until the idle reaper fires
+  kFinished,     ///< route delivered; kept only until removal
+  kQuarantined,  ///< misbehaved; rejects everything, awaits the reaper
+};
+
+const char* session_state_name(SessionState state);
+
+class Session {
+ public:
+  Session(std::string token, std::uint64_t id, const WireSessionConfig& config);
+
+  /// Rebuilds a drained session from a checkpoint payload written by save().
+  static std::unique_ptr<Session> restore(StateReader& in);
+  void save(StateWriter& out) const;
+
+  const std::string& token() const { return token_; }
+  std::uint64_t id() const { return id_; }
+  const WireSessionConfig& config() const { return config_; }
+
+  /// Attach/detach the (single) feeding connection. attach() fails when a
+  /// connection is already attached or the session cannot take records.
+  bool attach();
+  void detach();
+
+  /// Ingests one batch starting at sequence `first_seq`. Records below the
+  /// committed count are skipped (idempotent retransmit); a gap above it
+  /// quarantines the session and throws ProtocolError(kSequenceGap).
+  /// Returns the new committed count.
+  std::uint64_t feed(std::uint64_t first_seq,
+                     std::span<const VertexId> ids,
+                     std::span<const std::uint32_t> degrees,
+                     std::span<const VertexId> neighbors);
+
+  /// Completes the session: verifies the committed count equals
+  /// `total_records` (mismatch quarantines) and returns the route.
+  const std::vector<PartitionId>& finish(std::uint64_t total_records);
+
+  void quarantine(const std::string& reason);
+
+  SessionState state() const;
+  std::uint64_t records_received() const;
+  std::size_t memory_footprint_bytes() const;
+  const std::string& quarantine_reason() const { return quarantine_reason_; }
+
+  /// Seconds since the session last made progress (fed/attached/created).
+  double idle_seconds() const;
+  void touch();
+
+ private:
+  Session() = default;
+
+  mutable std::mutex mutex_;
+  std::string token_;
+  std::uint64_t id_ = 0;
+  WireSessionConfig config_;
+  std::unique_ptr<StreamingPartitioner> partitioner_;
+  std::uint64_t received_ = 0;
+  SessionState state_ = SessionState::kDetached;
+  bool attached_ = false;
+  std::string quarantine_reason_;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace spnl

@@ -1,0 +1,146 @@
+#include "server/session_registry.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace spnl {
+
+namespace {
+
+std::string make_token(std::uint64_t seed, std::uint64_t id) {
+  // Two mixed words -> 32 hex chars. Unguessable enough to stop accidental
+  // cross-session resumes; this is an authz hint, not a security boundary
+  // (the socket itself is the trust boundary).
+  const std::uint64_t a = mix64(seed ^ id);
+  const std::uint64_t b = mix64(a ^ 0xa5a5a5a5a5a5a5a5ull);
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return std::string(buf);
+}
+
+}  // namespace
+
+SessionRegistry::SessionRegistry(AdmissionPolicy policy, std::uint64_t token_seed)
+    : policy_(policy), token_seed_(token_seed) {}
+
+std::shared_ptr<Session> SessionRegistry::open(const WireSessionConfig& config,
+                                               std::string* reason) {
+  // The candidate partitioner is built outside the lock (allocation-heavy),
+  // then admission is judged with its real footprint — no estimate drift.
+  const std::uint64_t id = [&] {
+    std::lock_guard lock(mutex_);
+    return next_id_++;
+  }();
+  auto session =
+      std::make_shared<Session>(make_token(token_seed_, id), id, config);
+  const std::size_t incoming = session->memory_footprint_bytes();
+
+  std::lock_guard lock(mutex_);
+  if (sessions_.size() >= policy_.max_sessions) {
+    if (reason != nullptr) {
+      *reason = "sessions (" + std::to_string(sessions_.size()) + "/" +
+                std::to_string(policy_.max_sessions) + ")";
+    }
+    ++stats_.rejected_busy;
+    return nullptr;
+  }
+  if (policy_.memory_budget_bytes > 0 &&
+      footprint_locked() + incoming > policy_.memory_budget_bytes) {
+    if (reason != nullptr) *reason = "memory";
+    ++stats_.rejected_busy;
+    return nullptr;
+  }
+  sessions_.push_back(session);
+  ++stats_.opened;
+  return session;
+}
+
+void SessionRegistry::adopt_restored(std::shared_ptr<Session> session) {
+  std::lock_guard lock(mutex_);
+  next_id_ = std::max(next_id_, session->id() + 1);
+  sessions_.push_back(std::move(session));
+  ++stats_.restored;
+}
+
+std::shared_ptr<Session> SessionRegistry::find(const std::string& token) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& session : sessions_) {
+    if (session->token() == token) return session;
+  }
+  return nullptr;
+}
+
+void SessionRegistry::remove_completed(const std::string& token) {
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&](const auto& s) { return s->token() == token; });
+  if (it != sessions_.end()) {
+    sessions_.erase(it);
+    ++stats_.completed;
+  }
+}
+
+std::size_t SessionRegistry::reap_idle(double idle_timeout_seconds) {
+  std::lock_guard lock(mutex_);
+  std::size_t reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const auto& session = *it;
+    const SessionState state = session->state();
+    const bool reapable =
+        state == SessionState::kDetached || state == SessionState::kQuarantined ||
+        state == SessionState::kFinished;
+    if (reapable && session->idle_seconds() >= idle_timeout_seconds) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.reaped += reaped;
+  return reaped;
+}
+
+std::vector<std::shared_ptr<Session>> SessionRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return sessions_;
+}
+
+void SessionRegistry::remove_drained(const std::string& token) {
+  std::lock_guard lock(mutex_);
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&](const auto& s) { return s->token() == token; });
+  if (it != sessions_.end()) {
+    sessions_.erase(it);
+    ++stats_.drained;
+  }
+}
+
+void SessionRegistry::count_quarantined() {
+  std::lock_guard lock(mutex_);
+  ++stats_.quarantined;
+}
+
+std::size_t SessionRegistry::total_footprint_bytes() const {
+  std::lock_guard lock(mutex_);
+  return footprint_locked();
+}
+
+RegistryStats SessionRegistry::stats() const {
+  std::lock_guard lock(mutex_);
+  RegistryStats out = stats_;
+  out.live = sessions_.size();
+  return out;
+}
+
+std::size_t SessionRegistry::footprint_locked() const {
+  std::size_t total = 0;
+  for (const auto& session : sessions_) {
+    total += session->memory_footprint_bytes();
+  }
+  return total;
+}
+
+}  // namespace spnl

@@ -1,0 +1,100 @@
+// Token-keyed registry of live sessions plus the admission and reaping
+// policy around it.
+//
+// Admission control is the governor-shaped gate in front of session
+// creation: a new session is admitted only while (a) the live session count
+// is below max_sessions and (b) the summed partitioner footprint of every
+// live session — plus the footprint the new one would add — fits the memory
+// budget. A rejected open gets a typed Busy reply with a retry-after hint;
+// the client's backoff turns rejection into queueing without the server
+// holding per-waiter state that a vanished client would leak.
+//
+// The reaper provides the leak-freedom half of the soak contract: every
+// session eventually leaves the registry through exactly one of
+// completed / reaped / drained, and the counters reconcile:
+//
+//   opened + restored == completed + reaped + drained + live
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/session.hpp"
+
+namespace spnl {
+
+/// Monotonic counters for reconciliation; `live` is the registry size at
+/// sampling time, the rest only grow.
+struct RegistryStats {
+  std::uint64_t opened = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t reaped = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t live = 0;
+
+  /// The leak-freedom invariant every soak asserts.
+  bool reconciles() const {
+    return opened + restored == completed + reaped + drained + live;
+  }
+};
+
+class SessionRegistry {
+ public:
+  struct AdmissionPolicy {
+    std::uint32_t max_sessions = 64;
+    /// Summed partitioner footprint across live sessions. 0 = unlimited.
+    std::size_t memory_budget_bytes = 0;
+  };
+
+  explicit SessionRegistry(AdmissionPolicy policy, std::uint64_t token_seed);
+
+  /// Admission-checked session creation. On admission the session is
+  /// registered and returned; on rejection returns nullptr and `reason`
+  /// names the refused resource ("sessions" / "memory").
+  std::shared_ptr<Session> open(const WireSessionConfig& config,
+                                std::string* reason);
+
+  /// Registers a session restored from a drain checkpoint (bypasses
+  /// admission — it was admitted before the restart).
+  void adopt_restored(std::shared_ptr<Session> session);
+
+  std::shared_ptr<Session> find(const std::string& token) const;
+
+  /// Removes a finished session whose route was delivered.
+  void remove_completed(const std::string& token);
+
+  /// Removes sessions idle past `idle_timeout_seconds` (detached and
+  /// quarantined ones; an attached session is never reaped — its connection
+  /// read timeout fires first and detaches it). Returns the number reaped.
+  std::size_t reap_idle(double idle_timeout_seconds);
+
+  /// Snapshot of every live session (drain iterates this).
+  std::vector<std::shared_ptr<Session>> snapshot() const;
+
+  /// Removes `session` after a successful drain checkpoint write.
+  void remove_drained(const std::string& token);
+
+  void count_quarantined();
+
+  std::size_t total_footprint_bytes() const;
+  RegistryStats stats() const;
+
+ private:
+  std::size_t footprint_locked() const;
+
+  AdmissionPolicy policy_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t token_seed_;
+  RegistryStats stats_;
+};
+
+}  // namespace spnl

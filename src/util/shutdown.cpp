@@ -1,0 +1,36 @@
+#include "util/shutdown.hpp"
+
+#include <csignal>
+
+namespace spnl {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void shutdown_handler(int) {
+  // Async-signal-safe: one relaxed store. After the first signal the
+  // handlers are re-armed as one-shot via SA_RESETHAND, so a second
+  // SIGINT/SIGTERM falls through to the default disposition and terminates
+  // a drain that itself got stuck.
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void arm_shutdown_flag() {
+  struct sigaction action = {};
+  action.sa_handler = shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool shutdown_requested() { return g_shutdown.load(std::memory_order_relaxed); }
+
+const std::atomic<bool>& shutdown_flag() { return g_shutdown; }
+
+void reset_shutdown_flag() { g_shutdown.store(false, std::memory_order_relaxed); }
+
+}  // namespace spnl

@@ -1,0 +1,39 @@
+// Process-wide graceful-shutdown flag shared by the CLI tools and the
+// partitioning daemon.
+//
+// arm_shutdown_flag() installs SIGINT/SIGTERM handlers whose only action is
+// setting a process-global atomic (the async-signal-safe subset — no locks,
+// no allocation, no I/O from the handler). Long-running loops poll
+// shutdown_requested() at record/accept granularity and wind down cleanly:
+// spnl_partition finishes the in-flight record and writes a final
+// checkpoint; spnl_server stops accepting and drains every live session to
+// its checkpoint directory. A second signal while winding down restores the
+// default disposition, so a stuck drain can still be killed the ordinary
+// way.
+#pragma once
+
+#include <atomic>
+
+namespace spnl {
+
+/// Installs the SIGINT/SIGTERM -> flag handlers (idempotent).
+void arm_shutdown_flag();
+
+/// True once a SIGINT/SIGTERM arrived after arm_shutdown_flag().
+bool shutdown_requested();
+
+/// The flag itself, for code that polls through a pointer (the streaming
+/// drivers take `const std::atomic<bool>*` so tests can drive interruption
+/// without raising real signals).
+const std::atomic<bool>& shutdown_flag();
+
+/// Clears the flag (tests; also lets a drained-and-restarted in-process
+/// server distinguish a fresh signal from the one it already honored).
+void reset_shutdown_flag();
+
+/// Distinct exit code for "interrupted by signal but wound down cleanly"
+/// (route/checkpoint state consistent) — distinguishable from success (0),
+/// errors (1) and usage (2).
+inline constexpr int kExitInterrupted = 3;
+
+}  // namespace spnl

@@ -168,6 +168,61 @@ TEST_F(CheckpointTest, TruncatedFileThrows) {
   EXPECT_THROW(read_checkpoint_file(path("t.ckpt")), CheckpointError);
 }
 
+TEST_F(CheckpointTest, TruncatedHeaderThrows) {
+  // A crash can leave a file shorter than even the 24-byte container header
+  // at a NON-atomic path (e.g. a .tmp manually promoted, or external
+  // corruption). Every prefix length must be rejected as a typed error, not
+  // parsed as garbage.
+  StateWriter out;
+  out.put_vec(std::vector<std::uint64_t>(8, 3));
+  write_checkpoint_file(path("h.ckpt"), out);
+  for (std::uintmax_t keep : {0u, 1u, 7u, 8u, 12u, 20u, 23u}) {
+    std::filesystem::copy_file(path("h.ckpt"), path("h_cut.ckpt"),
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(path("h_cut.ckpt"), keep);
+    EXPECT_THROW(read_checkpoint_file(path("h_cut.ckpt")), CheckpointError)
+        << "header prefix of " << keep << " bytes was accepted";
+  }
+}
+
+TEST_F(CheckpointTest, StaleTmpNeverShadowsPublishedSnapshot) {
+  // Crash-atomicity contract of write_checkpoint_file: bytes land in
+  // <path>.tmp and are renamed over <path> only when complete. A crash
+  // mid-write leaves a torn .tmp behind — readers of the published path must
+  // be unaffected, and the next successful write must replace the leftover.
+  StateWriter good;
+  good.put_string("published");
+  good.put_u64(42);
+  write_checkpoint_file(path("s.ckpt"), good);
+
+  // Simulate the mid-write crash: a torn, garbage .tmp next to the snapshot.
+  {
+    std::ofstream torn(path("s.ckpt.tmp"), std::ios::binary);
+    torn.write("SPNL-partial-garbage", 20);
+  }
+  StateReader in = read_checkpoint_file(path("s.ckpt"));
+  EXPECT_EQ(in.get_string(), "published");
+  EXPECT_EQ(in.get_u64(), 42u);
+
+  // The next snapshot overwrites the stale .tmp and publishes atomically.
+  StateWriter next;
+  next.put_string("second");
+  next.put_u64(43);
+  write_checkpoint_file(path("s.ckpt"), next);
+  EXPECT_FALSE(std::filesystem::exists(path("s.ckpt.tmp")));
+  StateReader again = read_checkpoint_file(path("s.ckpt"));
+  EXPECT_EQ(again.get_string(), "second");
+  EXPECT_EQ(again.get_u64(), 43u);
+}
+
+TEST_F(CheckpointTest, UnwritableCheckpointPathThrowsTyped) {
+  StateWriter out;
+  out.put_u32(1);
+  EXPECT_THROW(
+      write_checkpoint_file(path("no/such/dir/x.ckpt"), out),
+      CheckpointError);
+}
+
 TEST_F(CheckpointTest, BadMagicThrows) {
   StateWriter out;
   out.put_u32(1);

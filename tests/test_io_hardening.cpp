@@ -273,6 +273,29 @@ TEST_F(QuarantineTest, MaterializeToleratesQuarantinedVertices) {
   EXPECT_EQ(g.out_degree(0), 2u);
 }
 
+TEST_F(QuarantineTest, UnwritableQuarantineLogFailsFastAtConstruction) {
+  // An unwritable --quarantine-log used to be discovered at the first bad
+  // record and then silently swallowed — exactly the records the operator
+  // asked to keep were lost. The log is now opened eagerly: a bad path is a
+  // typed IoError at stream construction, before any record is consumed.
+  const std::string p = dirty_adjacency("failfast.adj");
+  const std::string bad_log = path("no/such/dir/bad.txt");
+  EXPECT_THROW(
+      FileAdjacencyStream(p, {.max_bad_records = 10, .quarantine_log = bad_log}),
+      IoError);
+  EXPECT_THROW(
+      EdgeListAdjacencyStream(path("nope.el"),
+                              {.max_bad_records = 10, .quarantine_log = bad_log}),
+      std::runtime_error);  // either the log or the missing input, both typed
+
+  // Quarantine without a log and a writable log both still construct.
+  FileAdjacencyStream no_log(p, {.max_bad_records = 10, .quarantine_log = {}});
+  FileAdjacencyStream good_log(
+      p, {.max_bad_records = 10, .quarantine_log = path("ok.txt")});
+  EXPECT_EQ(count_records(no_log), 4u);
+  EXPECT_EQ(count_records(good_log), 4u);
+}
+
 TEST_F(QuarantineTest, EdgeListStreamQuarantinesGarbagePairs) {
   const std::string p = path("dirty.el");
   {

@@ -346,6 +346,120 @@ TEST(BoundedQueue, BatchedContendedStressExactAccounting) {
   EXPECT_EQ(sum.load(), total * (total - 1) / 2);
 }
 
+TEST(BoundedQueue, AbortRacesInFlightPushBatch) {
+  // abort() must wake a producer blocked mid-push_batch (queue full, batch
+  // does not fit) and make it return false with the batch intact — the
+  // watchdog teardown path when the producer is wedged on a full queue.
+  BoundedQueue<int> queue(4);
+  std::vector<int> fill = {1, 2, 3, 4};
+  ASSERT_TRUE(queue.push_batch(fill));
+  std::atomic<bool> returned{false};
+  bool accepted = true;
+  std::vector<int> batch = {5, 6, 7};
+  std::thread producer([&] {
+    accepted = queue.push_batch(batch);  // blocks: only 0 of 3 slots free
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.abort();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(accepted);
+  EXPECT_EQ(batch.size(), 3u);  // batch left intact for the caller to dispose
+  EXPECT_EQ(queue.size(), 0u);  // pending items dropped
+}
+
+TEST(BoundedQueue, AbortRacesInFlightPopBatch) {
+  // abort() must wake a consumer blocked in pop_batch on an empty queue and
+  // make it return 0 (the "no item will ever arrive" signal).
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::size_t taken = 99;
+  std::thread consumer([&] {
+    std::vector<int> out;
+    taken = queue.pop_batch(out, 8);
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.abort();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_EQ(taken, 0u);
+  EXPECT_TRUE(queue.finished());
+}
+
+TEST(BoundedQueue, AbortStormDuringBatchedTraffic) {
+  // Concurrent producers + consumers with an abort landing mid-traffic:
+  // nothing deadlocks, every thread returns promptly, and post-abort the
+  // queue is terminally dead. Items may be lost (abort drops them) — the
+  // assertion is liveness + terminal state, not accounting.
+  BoundedQueue<int> queue(8);
+  std::vector<std::thread> threads;
+  std::atomic<int> running{0};
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      ++running;
+      std::vector<int> batch;
+      int next = p * 100000;
+      for (;;) {
+        batch.clear();
+        for (int i = 0; i < 5; ++i) batch.push_back(next++);
+        if (!queue.push_batch(batch)) return;  // closed or aborted
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      ++running;
+      std::vector<int> out;
+      while (queue.pop_batch(out, 3) > 0) {
+      }
+    });
+  }
+  while (running.load() < 4) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.abort();
+  for (auto& t : threads) t.join();  // liveness: every waiter woke up
+  EXPECT_TRUE(queue.aborted());
+  EXPECT_TRUE(queue.finished());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.push(1));
+}
+
+TEST(BoundedQueue, DoubleCloseIsSafeNoOp) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.close();
+  queue.close();  // second close must not wedge, throw, or drop the item
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, AbortAfterCloseAndCloseAfterAbortAreSafe) {
+  // close() promises a drain; a later abort() revokes it (pipeline died
+  // while draining). The reverse order must also hold terminally.
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.close();
+  queue.abort();  // abort-after-close: undelivered item is now dropped
+  EXPECT_TRUE(queue.closed());
+  EXPECT_TRUE(queue.aborted());
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_EQ(queue.size(), 0u);
+
+  BoundedQueue<int> other(4);
+  other.abort();
+  other.close();  // close-after-abort: stays dead, no revival
+  other.abort();  // and double-abort is a no-op too
+  EXPECT_TRUE(other.aborted());
+  EXPECT_TRUE(other.finished());
+  EXPECT_FALSE(other.push(2));
+  EXPECT_FALSE(other.pop().has_value());
+}
+
 TEST(TablePrinter, FormatsAlignedTable) {
   TablePrinter table({"a", "bb"});
   table.add_row({"1", "2"});

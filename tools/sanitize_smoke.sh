@@ -4,7 +4,7 @@
 # suite with --full) against it.
 #
 # Usage:
-#   tools/sanitize_smoke.sh [--full] [--tsan] [--build-dir DIR] [--jobs N]
+#   tools/sanitize_smoke.sh [--full] [--tsan] [--server] [--build-dir DIR] [--jobs N]
 #
 # The robustness tests deliberately walk every error path (corrupt
 # checkpoints, truncated graph files, crashed workers, stolen in-flight
@@ -19,11 +19,20 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 ctest_args=(-L robustness)
 sanitize="address;undefined"
 mode="asan"
+server_mode=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) ctest_args=(); shift ;;
     --tsan) sanitize="thread"; mode="tsan"; shift ;;
+    --server)
+      # Server focus: the protocol/session/registry/server unit tests plus
+      # the 55-session soak (handlers, reaper, drain, and clients all on
+      # real threads — a prime TSan surface), then a CLI drain/restart
+      # smoke below.
+      server_mode=1
+      ctest_args=(-R '^(Endpoint|CodecTest|SessionFactory|Session|SessionRegistry|ServerTest)\.|^server\.soak$')
+      shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --jobs) jobs="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -47,6 +56,57 @@ else
 fi
 
 ctest --test-dir "${build_dir}" --output-on-failure "${ctest_args[@]+"${ctest_args[@]}"}"
+
+if [[ "${server_mode}" == "1" ]]; then
+  # CLI drain/restart smoke: a real spnl_server process under the sanitizer,
+  # a client that tears its own connection mid-stream (resume-by-token), and
+  # a SIGTERM drain + restart with a second client riding across it. Routes
+  # must be byte-identical to the direct sequential run.
+  server_dir="${build_dir}/sanitize_smoke/server"
+  rm -rf "${server_dir}"
+  mkdir -p "${server_dir}/drain"
+  sock="${server_dir}/s.sock"
+  "${build_dir}/tools/spnl_gen" --out="${server_dir}/graph.adj" \
+    --model=webcrawl --vertices=30000 --avg-degree=8 --seed=11
+  "${build_dir}/tools/spnl_partition" "${server_dir}/graph.adj" --k=8 \
+    --algo=spnl --out="${server_dir}/route_direct.txt" --quiet
+
+  "${build_dir}/tools/spnl_server" --listen="unix:${sock}" \
+    --drain-dir="${server_dir}/drain" --idle-timeout=30 --quiet &
+  server_pid=$!
+  for _ in $(seq 1 100); do [[ -S "${sock}" ]] && break; sleep 0.1; done
+  [[ -S "${sock}" ]]
+
+  "${build_dir}/tools/spnl_client" "${server_dir}/graph.adj" \
+    --connect="unix:${sock}" --k=8 --algo=spnl --deadline=120 \
+    --inject-disconnect-after=5000 \
+    --out="${server_dir}/route_resume.txt" --quiet
+  cmp "${server_dir}/route_direct.txt" "${server_dir}/route_resume.txt"
+
+  # batch=1 keeps the second client mid-stream long enough for the SIGTERM
+  # to catch it; the drained server must exit 0 (session counts reconcile)
+  # and leave a checkpoint the restarted server restores.
+  "${build_dir}/tools/spnl_client" "${server_dir}/graph.adj" \
+    --connect="unix:${sock}" --k=8 --algo=spnl --deadline=180 \
+    --max-attempts=30 --batch=1 \
+    --out="${server_dir}/route_restart.txt" --quiet &
+  client_pid=$!
+  sleep 0.5
+  kill -TERM "${server_pid}"
+  wait "${server_pid}"
+  ls "${server_dir}/drain"/*.ckpt >/dev/null
+
+  "${build_dir}/tools/spnl_server" --listen="unix:${sock}" \
+    --drain-dir="${server_dir}/drain" --idle-timeout=30 --quiet &
+  server_pid=$!
+  wait "${client_pid}"
+  cmp "${server_dir}/route_direct.txt" "${server_dir}/route_restart.txt"
+  kill -TERM "${server_pid}"
+  wait "${server_pid}"
+
+  echo "sanitize smoke (${mode}, server): OK"
+  exit 0
+fi
 
 # Instrumented parallel driver under the sanitizers: the per-worker PerfStats
 # instances, the post-join merge, and the fused scoring kernel all run on

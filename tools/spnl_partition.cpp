@@ -85,6 +85,7 @@
 #include "util/memory.hpp"
 #include "util/perf_stats.hpp"
 #include "util/resource_governor.hpp"
+#include "util/shutdown.hpp"
 
 namespace {
 
@@ -467,12 +468,28 @@ int main(int argc, char** argv) {
       StreamingCheckpointOptions checkpoint;
       checkpoint.path = checkpoint_path;
       checkpoint.every = checkpoint_every;
+      // Graceful SIGINT/SIGTERM: the driver polls the process-global flag,
+      // finishes the record in flight, writes a final snapshot (when
+      // --checkpoint is set) and returns with interrupted set — instead of
+      // the process dying mid-route.
+      arm_shutdown_flag();
       const RunResult run =
           resume_from.empty()
               ? run_streaming(stream, *partitioner, checkpoint, perf_ptr,
-                              governor_ptr)
+                              governor_ptr, &shutdown_flag())
               : resume_streaming(stream, *partitioner, resume_from, checkpoint,
-                                 perf_ptr, governor_ptr);
+                                 perf_ptr, governor_ptr, &shutdown_flag());
+      if (run.interrupted) {
+        std::fprintf(stderr,
+                     "interrupted: %llu of %u records placed; %s\n",
+                     static_cast<unsigned long long>(run.vertices_placed),
+                     graph.num_vertices(),
+                     checkpoint_path.empty()
+                         ? "no --checkpoint configured, progress not persisted"
+                         : ("final checkpoint written to " + checkpoint_path)
+                               .c_str());
+        return kExitInterrupted;
+      }
       route = run.route;
       seconds = run.partition_seconds;
       bytes = run.peak_partitioner_bytes;
