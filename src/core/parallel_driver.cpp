@@ -445,10 +445,12 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
 
   SharedState state(n, m, config, options, shards);
   const std::uint32_t rct_shards = Rct::recommended_shards(options.num_threads);
-  // ε·M entries total, at least one per shard so a stripe can always track.
+  // ε·M entries total — the paper's sizing. Admission is global and shard
+  // tables grow on demand, so no per-stripe floor is needed; an undersized ε
+  // genuinely refuses registrations (surfaced as untracked_overflow).
   const auto rct_capacity = std::max<std::size_t>(
       static_cast<std::size_t>(std::ceil(options.epsilon * options.num_threads)),
-      rct_shards);
+      1);
   Rct rct(rct_capacity, rct_shards);
   Rct* rct_ptr = options.use_rct ? &rct : nullptr;
   // The watermark ring must span the maximum in-flight id spread: the queue,
@@ -530,12 +532,14 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   };
 
   // The governor's MC sample: every byte the parallel partitioner itself
-  // holds (Γ window, route, load counters, RCT).
+  // holds (Γ window, route, load counters, RCT) plus the input stream's own
+  // heap buffers (mmap-backed streams report only their decode buffers — the
+  // mapping is clean file-backed memory the kernel can reclaim).
   auto pipeline_bytes = [&]() -> std::size_t {
     return state.gamma.memory_footprint_bytes() +
            state.route.size() * sizeof(std::atomic<PartitionId>) +
            state.loads.size() * sizeof(PartitionLoad) +
-           rct.memory_footprint_bytes();
+           rct.memory_footprint_bytes() + stream.memory_footprint_bytes();
   };
 
   ResourceGovernor* governor = options.governor;

@@ -100,15 +100,26 @@ void Rct::erase_locked(Shard& shard, std::size_t hole) {
 }
 
 bool Rct::register_vertex(VertexId v) {
-  Shard& shard = shard_of(v);
-  std::lock_guard lock(shard.mutex);
-  if (shard.entries >= shard_capacity_) {
+  // Global admission: claim a ticket against the *total* capacity before
+  // touching the shard. The old per-shard bound (capacity_/S entries per
+  // shard) degenerated with ε·M ≈ 2·next_pow2(M): every shard could hold 2
+  // entries, so three in-flight vertices striping to one shard overflowed
+  // while the table as a whole was nearly empty (the M=4 untracked_overflow
+  // spike in BENCH_parallel.json). The shard tables themselves grow on
+  // demand (insert_locked), so only the global count needs bounding.
+  const std::size_t ticket = entry_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= capacity_) {
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
     untracked_overflow_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  if (find_locked(shard, v) != shard.table.size()) return false;  // duplicate
+  Shard& shard = shard_of(v);
+  std::lock_guard lock(shard.mutex);
+  if (find_locked(shard, v) != shard.table.size()) {
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    return false;  // duplicate (not an overflow)
+  }
   insert_locked(shard, v);
-  entry_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -152,15 +163,23 @@ bool Rct::should_delay(VertexId v) const {
 }
 
 bool Rct::park(OwnedVertexRecord&& record) {
+  // Same global-ticket admission as register_vertex: the parked bound is the
+  // table capacity, not capacity_/S per shard.
+  const std::size_t ticket = parked_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket >= capacity_) {
+    parked_count_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
   Shard& shard = shard_of(record.id);
   std::lock_guard lock(shard.mutex);
-  if (shard.parked.size() >= shard_capacity_) return false;
   const std::size_t i = find_locked(shard, record.id);
-  if (i == shard.table.size()) return false;   // untracked vertices cannot park
-  if (shard.table[i].parked) return false;     // double-park would lose a record
+  if (i == shard.table.size() || shard.table[i].parked) {
+    // Untracked vertices cannot park; a double-park would lose a record.
+    parked_count_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
   shard.table[i].parked = true;
   shard.parked.push_back(std::move(record));
-  parked_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

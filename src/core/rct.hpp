@@ -41,10 +41,13 @@ namespace spnl {
 
 class Rct {
  public:
-  /// `capacity` bounds the total tracked entries (clamped to >= 1); it is
-  /// split evenly across shards, so with S > 1 a hot shard can refuse a
-  /// registration while others have room — the vertex then proceeds
-  /// untracked, exactly as a globally full table would have it.
+  /// `capacity` bounds the total tracked entries (clamped to >= 1).
+  /// Admission is global — a lock-free ticket against the total — never
+  /// per shard: with ε·M ≈ 2·next_pow2(M) a per-shard bound degenerates to
+  /// 2 entries per shard and refuses registrations while the table is
+  /// nearly empty (the M=4 overflow spike documented in
+  /// docs/performance.md). Shard tables grow on demand, so capacity only
+  /// caps the count, not the distribution.
   explicit Rct(std::size_t capacity, std::uint32_t num_shards = 1);
 
   /// Shard count matched to the worker count: the smallest power of two
@@ -52,7 +55,7 @@ class Rct {
   static std::uint32_t recommended_shards(unsigned num_threads);
 
   /// Track v as in-flight. Returns false (vertex proceeds untracked) when
-  /// the shard is full or v is somehow already present.
+  /// the table is full or v is somehow already present.
   bool register_vertex(VertexId v);
 
   /// Bump u's counter if u is in flight; no-op otherwise. O(1).
@@ -74,9 +77,9 @@ class Rct {
   bool should_delay(VertexId v) const;
 
   /// Park the (tracked) record until its counter drains. Returns false if
-  /// the shard's parked set is at capacity or the vertex is untracked — in
-  /// that case the record is NOT consumed (only moved from on success) and
-  /// the caller must place it immediately.
+  /// the parked set is at capacity (globally) or the vertex is untracked —
+  /// in that case the record is NOT consumed (only moved from on success)
+  /// and the caller must place it immediately.
   bool park(OwnedVertexRecord&& record);
 
   /// Finalize v: untrack it and decrement in-flight out-neighbors' counters.
@@ -163,7 +166,7 @@ class Rct {
   static void grow_locked(Shard& shard);
 
   const std::size_t capacity_;
-  std::size_t shard_capacity_ = 0;  // per-shard entry and parked bound
+  std::size_t shard_capacity_ = 0;  // initial table-sizing hint only
   std::uint32_t shard_mask_ = 0;
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> nonzero_sum_{0};

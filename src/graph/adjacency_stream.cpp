@@ -71,6 +71,21 @@ void BadRecordQuarantine::ensure_log_writable() {
   }
 }
 
+void BadRecordQuarantine::reset_count() {
+  // Pass boundary: rewind the log along with the counter. Truncate-and-reopen
+  // (rather than append with a marker) keeps the log a verbatim copy of the
+  // *latest* pass's bad lines — every pass sees the same input, so earlier
+  // passes carry no extra information, only duplicates.
+  if (count_ > 0 && log_opened_) {
+    log_.close();
+    log_.open(options_.quarantine_log, std::ios::out | std::ios::trunc);
+    if (!log_) {
+      throw IoError("quarantine log not writable: " + options_.quarantine_log);
+    }
+  }
+  count_ = 0;
+}
+
 void BadRecordQuarantine::record(const std::string& line,
                                  const std::string& context) {
   ++count_;

@@ -47,8 +47,11 @@ class BadRecordQuarantine {
   void record(const std::string& line, const std::string& context);
 
   std::uint64_t count() const { return count_; }
-  /// Called from the owning stream's reset() so each pass recounts.
-  void reset_count() { count_ = 0; }
+  /// Called from the owning stream's reset() so each pass recounts. Also
+  /// rewinds the quarantine log: without this, re-streaming passes (two-pass
+  /// wrappers, resume) appended every quarantined line again, so a log
+  /// consumer saw each bad record once per pass instead of once.
+  void reset_count();
 
  private:
   void ensure_log_writable();
@@ -93,6 +96,17 @@ class AdjacencyStream {
 
   /// Total edge count (for edge-balanced capacities).
   virtual EdgeId num_edges() const = 0;
+
+  /// Heap bytes the stream itself owns (line/decode buffers). Charged to the
+  /// resource governor's footprint alongside the partitioner's structures.
+  /// Mmap-backed streams do NOT count their mapping here: the pages are
+  /// file-backed and clean, so the kernel can reclaim them under pressure —
+  /// they are visible to RSS sampling but are not owned memory.
+  virtual std::size_t memory_footprint_bytes() const { return 0; }
+
+  /// Malformed records quarantined so far in the current pass (file-backed
+  /// streams running with hardening; 0 for everything else).
+  virtual std::uint64_t bad_records() const { return 0; }
 };
 
 /// Streams an in-memory CSR graph in increasing vertex-id order.
@@ -143,9 +157,12 @@ class FileAdjacencyStream final : public AdjacencyStream {
   void reset() override;
   VertexId num_vertices() const override { return num_vertices_; }
   EdgeId num_edges() const override { return num_edges_; }
+  std::size_t memory_footprint_bytes() const override {
+    return line_.capacity() + buffer_.capacity() * sizeof(VertexId);
+  }
 
   /// Malformed lines quarantined so far in the current pass.
-  std::uint64_t bad_records() const { return quarantine_.count(); }
+  std::uint64_t bad_records() const override { return quarantine_.count(); }
 
  private:
   std::string path_;
@@ -172,9 +189,12 @@ class EdgeListAdjacencyStream final : public AdjacencyStream {
   void reset() override;
   VertexId num_vertices() const override { return num_vertices_; }
   EdgeId num_edges() const override { return num_edges_; }
+  std::size_t memory_footprint_bytes() const override {
+    return line_.capacity() + buffer_.capacity() * sizeof(VertexId);
+  }
 
   /// Malformed lines quarantined so far in the current pass.
-  std::uint64_t bad_records() const { return quarantine_.count(); }
+  std::uint64_t bad_records() const override { return quarantine_.count(); }
 
  private:
   /// Reads the next "from to" pair into pending_; false at EOF.

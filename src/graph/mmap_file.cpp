@@ -1,0 +1,76 @@
+#include "graph/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "graph/io.hpp"
+
+namespace spnl {
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw IoError("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw IoError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw IoError("cannot mmap " + path + ": not a regular file");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      throw IoError("cannot mmap " + path + ": " + std::strerror(err));
+    }
+    // Advisory only: readers walk front to back exactly once, so ask for
+    // aggressive readahead and let the kernel drop pages behind the cursor.
+    ::madvise(map, size_, MADV_SEQUENTIAL);
+    data_ = static_cast<const char*>(map);
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+}
+
+MmapFile::~MmapFile() { unmap(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : path_(std::move(other.path_)), data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MmapFile::unmap() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace spnl

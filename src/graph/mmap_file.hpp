@@ -1,0 +1,50 @@
+// Read-only memory-mapped file, the substrate of the zero-copy readers.
+//
+// The text streams in mmap_stream.hpp and the binary reader in
+// stream_binary.hpp walk pointers over the mapping instead of copying lines
+// through an ifstream buffer; MADV_SEQUENTIAL tells the kernel to read ahead
+// aggressively and drop pages behind the cursor, which is what lets the
+// binary reader stream graphs larger than RAM.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace spnl {
+
+/// RAII mapping of a whole file, read-only and private. Move-only. An empty
+/// file maps to {nullptr, 0} (a valid, immediately-exhausted range) — mmap
+/// itself rejects zero-length mappings. Throws IoError on open/stat/map
+/// failure.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const char* begin() const { return data_; }
+  const char* end() const { return data_ + size_; }
+  const std::string& path() const { return path_; }
+
+  /// Pages the kernel currently counts against us are file-backed and clean
+  /// (read-only mapping): they can be dropped and refaulted at any time, so
+  /// the mapping contributes nothing to the partitioner's *owned* footprint
+  /// (the governor's MC budget). RSS sampling still sees resident pages.
+  static constexpr std::size_t owned_bytes() { return 0; }
+
+ private:
+  void unmap() noexcept;
+
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spnl

@@ -1,0 +1,82 @@
+// Zero-copy text readers: the same adjacency-list and edge-list formats as
+// FileAdjacencyStream / EdgeListAdjacencyStream, but parsed by walking
+// pointers over an mmap'd file with std::from_chars — no getline, no line
+// copies. Drop-in replacements: identical header handling ("# V <n> E <m>"),
+// comment/blank-line rules, quarantine semantics, and record order, so routes
+// are byte-identical to the buffered readers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/adjacency_stream.hpp"
+#include "graph/mmap_file.hpp"
+
+namespace spnl {
+
+/// mmap-backed equivalent of FileAdjacencyStream ("<id> <out1> <out2> ..."
+/// lines, '#' comments, optional "# V <n> E <m>" header).
+class MmapAdjacencyStream final : public AdjacencyStream {
+ public:
+  explicit MmapAdjacencyStream(const std::string& path,
+                               StreamHardeningOptions hardening = {});
+
+  std::optional<VertexRecord> next() override;
+  void reset() override;
+  VertexId num_vertices() const override { return num_vertices_; }
+  EdgeId num_edges() const override { return num_edges_; }
+  std::size_t memory_footprint_bytes() const override {
+    // Only the id buffer is owned heap; the mapping is file-backed and clean
+    // (see MmapFile::owned_bytes).
+    return buffer_.capacity() * sizeof(VertexId);
+  }
+
+  /// Malformed lines quarantined so far in the current pass.
+  std::uint64_t bad_records() const override { return quarantine_.count(); }
+
+ private:
+  MmapFile map_;
+  const char* cursor_ = nullptr;
+  std::vector<VertexId> buffer_;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  BadRecordQuarantine quarantine_;
+};
+
+/// mmap-backed equivalent of EdgeListAdjacencyStream (source-grouped
+/// "<from> <to>" lines assembled into adjacency records, gap vertices
+/// emitted empty).
+class MmapEdgeListStream final : public AdjacencyStream {
+ public:
+  explicit MmapEdgeListStream(const std::string& path,
+                              StreamHardeningOptions hardening = {});
+
+  std::optional<VertexRecord> next() override;
+  void reset() override;
+  VertexId num_vertices() const override { return num_vertices_; }
+  EdgeId num_edges() const override { return num_edges_; }
+  std::size_t memory_footprint_bytes() const override {
+    return buffer_.capacity() * sizeof(VertexId);
+  }
+
+  /// Malformed lines quarantined so far in the current pass.
+  std::uint64_t bad_records() const override { return quarantine_.count(); }
+
+ private:
+  /// Reads the next "from to" pair into pending_; false at EOF.
+  bool read_pair();
+
+  MmapFile map_;
+  const char* pair_cursor_ = nullptr;
+  std::vector<VertexId> buffer_;
+  VertexId cursor_ = 0;  // next vertex id to emit
+  bool have_pending_ = false;
+  VertexId pending_from_ = 0;
+  VertexId pending_to_ = 0;
+  VertexId num_vertices_ = 0;
+  EdgeId num_edges_ = 0;
+  BadRecordQuarantine quarantine_;
+};
+
+}  // namespace spnl

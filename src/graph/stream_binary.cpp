@@ -1,0 +1,312 @@
+#include "graph/stream_binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "graph/io.hpp"
+
+namespace spnl {
+
+namespace sadj {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_signed(std::vector<std::uint8_t>& out, std::int64_t value) {
+  const std::uint64_t zigzag =
+      (static_cast<std::uint64_t>(value) << 1) ^
+      static_cast<std::uint64_t>(value >> 63);
+  put_varint(out, zigzag);
+}
+
+bool get_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                std::uint64_t& value) {
+  value = 0;
+  int shift = 0;
+  while (p < end) {
+    const std::uint8_t byte = *p++;
+    if (shift == 63 && (byte & 0x7E) != 0) return false;  // > 64 bits
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+    if (shift > 63) return false;  // overlong encoding
+  }
+  return false;  // truncated
+}
+
+bool get_signed(const std::uint8_t*& p, const std::uint8_t* end,
+                std::int64_t& value) {
+  std::uint64_t zigzag = 0;
+  if (!get_varint(p, end, zigzag)) return false;
+  value = static_cast<std::int64_t>(zigzag >> 1) ^
+          -static_cast<std::int64_t>(zigzag & 1);
+  return true;
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+}  // namespace sadj
+
+namespace {
+
+// Hot-path varint decode for next(): the one- and two-byte encodings (the
+// overwhelming majority under delta compression — the benchmark crawl
+// averages ~1.3 bytes per varint) decode with a single branch each; anything
+// longer, and anything near the mapping's end, falls through to the fully
+// validated sadj::get_varint. Semantics are identical: the fast paths can
+// only accept encodings the slow path accepts too.
+inline bool read_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                        std::uint64_t& value) {
+  const std::ptrdiff_t avail = end - p;
+  if (avail >= 1 && p[0] < 0x80) {
+    value = p[0];
+    ++p;
+    return true;
+  }
+  if (avail >= 2 && p[1] < 0x80) {
+    value = static_cast<std::uint64_t>(p[0] & 0x7F) |
+            (static_cast<std::uint64_t>(p[1]) << 7);
+    p += 2;
+    return true;
+  }
+  return sadj::get_varint(p, end, value);
+}
+
+inline bool read_signed(const std::uint8_t*& p, const std::uint8_t* end,
+                        std::int64_t& value) {
+  std::uint64_t zigzag = 0;
+  if (!read_varint(p, end, zigzag)) return false;
+  value = static_cast<std::int64_t>(zigzag >> 1) ^
+          -static_cast<std::int64_t>(zigzag & 1);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t write_sadj(AdjacencyStream& stream, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("write_sadj: cannot open " + path);
+
+  // Header with R = 0 for now; patched after the drain. E is trusted from
+  // the stream's metadata and cross-checked against the edges actually
+  // written — a mismatch means the source stream lied about its counts, and
+  // baking the lie into a binary header would defeat the reader's validation.
+  std::vector<std::uint8_t> buf;
+  buf.insert(buf.end(), sadj::kMagic, sadj::kMagic + 8);
+  sadj::put_u32(buf, sadj::kVersion);
+  sadj::put_u32(buf, 0);  // flags
+  sadj::put_u64(buf, stream.num_vertices());
+  sadj::put_u64(buf, stream.num_edges());
+  sadj::put_u64(buf, 0);  // R placeholder
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+
+  std::uint64_t records = 0;
+  std::uint64_t edges = 0;
+  std::int64_t prev_id = -1;
+  buf.clear();
+  while (auto record = stream.next()) {
+    sadj::put_signed(buf, static_cast<std::int64_t>(record->id) - prev_id);
+    prev_id = static_cast<std::int64_t>(record->id);
+    sadj::put_varint(buf, record->out.size());
+    std::int64_t prev_nbr = prev_id;
+    for (VertexId nbr : record->out) {
+      sadj::put_signed(buf, static_cast<std::int64_t>(nbr) - prev_nbr);
+      prev_nbr = static_cast<std::int64_t>(nbr);
+    }
+    edges += record->out.size();
+    ++records;
+    if (buf.size() >= (1u << 20)) {
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) {
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  if (edges != stream.num_edges()) {
+    throw IoError("write_sadj: stream metadata says " +
+                  std::to_string(stream.num_edges()) + " edges but " +
+                  std::to_string(edges) + " were streamed");
+  }
+
+  // Patch R.
+  buf.clear();
+  sadj::put_u64(buf, records);
+  out.seekp(32);
+  out.write(reinterpret_cast<const char*>(buf.data()), 8);
+  out.flush();
+  if (!out) throw IoError("write_sadj: write failed for " + path);
+  return records;
+}
+
+BinaryAdjacencyStream::BinaryAdjacencyStream(const std::string& path)
+    : map_(path) {
+  if (map_.size() < sadj::kHeaderBytes) {
+    corrupt("file shorter than the 40-byte header");
+  }
+  const std::uint8_t* base = reinterpret_cast<const std::uint8_t*>(map_.data());
+  if (std::memcmp(base, sadj::kMagic, 8) != 0) {
+    corrupt("bad magic (not a .sadj file)");
+  }
+  const std::uint32_t version = sadj::get_u32(base + 8);
+  if (version != sadj::kVersion) {
+    corrupt("unsupported version " + std::to_string(version) + " (expected " +
+            std::to_string(sadj::kVersion) + ")");
+  }
+  const std::uint32_t flags = sadj::get_u32(base + 12);
+  if (flags != 0) {
+    corrupt("unknown flags 0x" + std::to_string(flags));
+  }
+  const std::uint64_t v = sadj::get_u64(base + 16);
+  num_edges_ = sadj::get_u64(base + 24);
+  num_records_ = sadj::get_u64(base + 32);
+  if (v > std::numeric_limits<VertexId>::max()) {
+    corrupt("vertex count overflows VertexId");
+  }
+  num_vertices_ = static_cast<VertexId>(v);
+  if (num_records_ > v) {
+    corrupt("record count exceeds vertex count");
+  }
+  // Every record costs at least 2 bytes (id delta + degree), every edge at
+  // least 1 — a header promising more than the body could hold is truncation.
+  // (num_records_ <= v < 2^32 here, so the arithmetic cannot overflow once
+  // num_edges_ is known to fit in the body.)
+  const std::uint64_t body = map_.size() - sadj::kHeaderBytes;
+  if (num_edges_ > body || num_records_ * 2 + num_edges_ > body) {
+    corrupt("truncated: body smaller than the header's counts imply");
+  }
+  reset();
+}
+
+void BinaryAdjacencyStream::reset() {
+  cursor_ = reinterpret_cast<const std::uint8_t*>(map_.data()) +
+            sadj::kHeaderBytes;
+  prev_id_ = -1;
+  records_read_ = 0;
+  edges_read_ = 0;
+}
+
+void BinaryAdjacencyStream::corrupt(const std::string& what) const {
+  throw IoError("BinaryAdjacencyStream: " + map_.path() + ": " + what);
+}
+
+std::optional<VertexRecord> BinaryAdjacencyStream::next() {
+  const std::uint8_t* end =
+      reinterpret_cast<const std::uint8_t*>(map_.data()) + map_.size();
+  if (records_read_ == num_records_) {
+    if (cursor_ != end) corrupt("trailing bytes after the last record");
+    return std::nullopt;
+  }
+
+  // Decode through a local pointer so the compiler keeps it in a register
+  // across the neighbor loop; committed back to cursor_ only on success.
+  const std::uint8_t* p = cursor_;
+  std::int64_t delta = 0;
+  if (!read_signed(p, end, delta)) corrupt("truncated record id");
+  const std::int64_t id = prev_id_ + delta;
+  if (id < 0 || id > std::numeric_limits<VertexId>::max()) {
+    corrupt("record id out of range");
+  }
+  prev_id_ = id;
+
+  std::uint64_t degree = 0;
+  if (!read_varint(p, end, degree)) corrupt("truncated degree");
+  if (degree > num_edges_ - edges_read_) {
+    corrupt("degree exceeds the header's remaining edge budget");
+  }
+
+  // The buffer only ever grows to the max degree seen; neighbors are written
+  // by index to skip push_back's per-element capacity check.
+  if (buffer_.size() < degree) buffer_.resize(degree);
+  VertexId* dst = buffer_.data();
+  std::int64_t prev_nbr = id;
+  constexpr std::uint64_t kMaxId = std::numeric_limits<VertexId>::max();
+  // A varint occupies at most 10 bytes, so when the remaining mapping holds
+  // 10 bytes per neighbor no decode in this record can run off the end —
+  // skip the per-byte bounds checks entirely. Only the file's tail (or a
+  // truncated body) takes the checked loop. The negative-id test folds into
+  // one unsigned compare: a negative nbr casts to > kMaxId.
+  // 10 * degree cannot overflow: the ctor bounds degree by num_edges_,
+  // which it bounds by the body size (< 2^60 for any real file).
+  if (static_cast<std::uint64_t>(end - p) >= 10 * degree) {
+    for (std::uint64_t i = 0; i < degree; ++i) {
+      // Branchless 1-/2-byte decode: the delta mix makes "is this varint
+      // two bytes?" a coin flip, so a data dependency beats a mispredicted
+      // branch. `two` selects whether p[1] contributes (masked add) and how
+      // far to advance; only the rare >= 3-byte delta takes a real branch,
+      // and that one predicts not-taken essentially always.
+      const std::uint64_t b0 = p[0];
+      const std::uint64_t b1 = p[1];
+      const std::uint64_t two = b0 >> 7;
+      std::uint64_t zigzag =
+          (b0 & 0x7F) | ((b1 << 7) & (0 - two));
+      p += 1 + two;
+      if (two & (b1 >> 7)) [[unlikely]] {
+        p -= 2;  // wide delta: re-decode fully validated
+        if (!sadj::get_varint(p, end, zigzag)) corrupt("truncated neighbor");
+      }
+      const std::int64_t nbr =
+          prev_nbr + (static_cast<std::int64_t>(zigzag >> 1) ^
+                      -static_cast<std::int64_t>(zigzag & 1));
+      if (static_cast<std::uint64_t>(nbr) > kMaxId) [[unlikely]] {
+        corrupt("neighbor id out of range");
+      }
+      dst[i] = static_cast<VertexId>(nbr);
+      prev_nbr = nbr;
+    }
+  } else {
+    for (std::uint64_t i = 0; i < degree; ++i) {
+      if (!read_signed(p, end, delta)) corrupt("truncated neighbor");
+      const std::int64_t nbr = prev_nbr + delta;
+      if (static_cast<std::uint64_t>(nbr) > kMaxId) {
+        corrupt("neighbor id out of range");
+      }
+      dst[i] = static_cast<VertexId>(nbr);
+      prev_nbr = nbr;
+    }
+  }
+  cursor_ = p;
+  edges_read_ += degree;
+  ++records_read_;
+  if (records_read_ == num_records_) {
+    if (edges_read_ != num_edges_) {
+      corrupt("edge count disagrees with the header");
+    }
+    if (cursor_ != end) corrupt("trailing bytes after the last record");
+  }
+  return VertexRecord{static_cast<VertexId>(id),
+                      std::span<const VertexId>(buffer_.data(), degree)};
+}
+
+}  // namespace spnl

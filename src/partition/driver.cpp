@@ -65,8 +65,13 @@ bool step_ladder(ResourceGovernor& governor, StreamingPartitioner& partitioner,
 /// point; a deadline breach steps one rung per sample — speed, not space, is
 /// the problem, so the escalation is paced instead of immediate.
 void enforce_budget(ResourceGovernor& governor, StreamingPartitioner& partitioner,
-                    std::uint64_t placed) {
-  const auto breach = governor.sample(partitioner.memory_footprint_bytes());
+                    const AdjacencyStream& stream, std::uint64_t placed) {
+  // The stream's own heap (line/decode buffers) counts against the budget
+  // alongside the partitioner's structures; it cannot degrade, so the ladder
+  // only ever shrinks the partitioner side of the sum.
+  const std::size_t stream_bytes = stream.memory_footprint_bytes();
+  const auto breach =
+      governor.sample(partitioner.memory_footprint_bytes() + stream_bytes);
   if (!breach || governor.options().policy != DegradePolicy::kLadder ||
       governor.exhausted()) {
     return;
@@ -78,7 +83,8 @@ void enforce_budget(ResourceGovernor& governor, StreamingPartitioner& partitione
                        /*repeat_current=*/true)) {
         break;
       }
-      current.partitioner_bytes = partitioner.memory_footprint_bytes();
+      current.partitioner_bytes =
+          partitioner.memory_footprint_bytes() + stream_bytes;
     }
   } else if (breach->over_deadline) {
     step_ladder(governor, partitioner, *breach, placed, "deadline",
@@ -106,7 +112,7 @@ void drain(AdjacencyStream& stream, StreamingPartitioner& partitioner,
     ++placed;
     ++result.vertices_placed;
     if (governed && governor->due(placed)) {
-      enforce_budget(*governor, partitioner, placed);
+      enforce_budget(*governor, partitioner, stream, placed);
     }
     if (checkpointer.due(placed)) {
       checkpointer.write(snapshot_sequential(partitioner, placed));

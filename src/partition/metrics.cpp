@@ -6,33 +6,10 @@
 
 namespace spnl {
 
-QualityMetrics evaluate_partition(const Graph& graph,
-                                  const std::vector<PartitionId>& route,
-                                  PartitionId k) {
-  const VertexId n = graph.num_vertices();
-  if (route.size() != n) {
-    throw std::invalid_argument("evaluate_partition: route size != |V|");
-  }
-  if (k == 0) throw std::invalid_argument("evaluate_partition: k must be >= 1");
+namespace {
 
-  QualityMetrics metrics;
-  metrics.vertices_per_partition.assign(k, 0);
-  metrics.edges_per_partition.assign(k, 0);
-
-  for (VertexId v = 0; v < n; ++v) {
-    const PartitionId p = route[v];
-    if (p >= k) {
-      throw std::invalid_argument("evaluate_partition: vertex " + std::to_string(v) +
-                                  " unassigned or partition id out of range");
-    }
-    ++metrics.vertices_per_partition[p];
-    metrics.edges_per_partition[p] += graph.out_degree(v);
-    for (VertexId u : graph.out_neighbors(v)) {
-      if (route[u] != p) ++metrics.cut_edges;
-    }
-  }
-
-  const EdgeId m = graph.num_edges();
+// Ratios shared by both evaluate_partition overloads.
+void finalize_metrics(QualityMetrics& metrics, VertexId n, EdgeId m, PartitionId k) {
   metrics.ecr = m == 0 ? 0.0 : static_cast<double>(metrics.cut_edges) / m;
   const VertexId max_v = n == 0 ? 0
                                 : *std::max_element(metrics.vertices_per_partition.begin(),
@@ -42,6 +19,74 @@ QualityMetrics evaluate_partition(const Graph& graph,
                                                   metrics.edges_per_partition.end());
   metrics.delta_v = n == 0 ? 0.0 : static_cast<double>(max_v) * k / n;
   metrics.delta_e = m == 0 ? 0.0 : static_cast<double>(max_e) * k / m;
+}
+
+// Route-side accumulation (vertex balance + assignment validation) shared by
+// both overloads; adjacency-side accumulation differs.
+QualityMetrics count_vertices(const std::vector<PartitionId>& route, PartitionId k) {
+  QualityMetrics metrics;
+  metrics.vertices_per_partition.assign(k, 0);
+  metrics.edges_per_partition.assign(k, 0);
+  for (VertexId v = 0; v < route.size(); ++v) {
+    const PartitionId p = route[v];
+    if (p >= k) {
+      throw std::invalid_argument("evaluate_partition: vertex " + std::to_string(v) +
+                                  " unassigned or partition id out of range");
+    }
+    ++metrics.vertices_per_partition[p];
+  }
+  return metrics;
+}
+
+}  // namespace
+
+QualityMetrics evaluate_partition(const Graph& graph,
+                                  const std::vector<PartitionId>& route,
+                                  PartitionId k) {
+  const VertexId n = graph.num_vertices();
+  if (route.size() != n) {
+    throw std::invalid_argument("evaluate_partition: route size != |V|");
+  }
+  if (k == 0) throw std::invalid_argument("evaluate_partition: k must be >= 1");
+
+  QualityMetrics metrics = count_vertices(route, k);
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId p = route[v];
+    metrics.edges_per_partition[p] += graph.out_degree(v);
+    for (VertexId u : graph.out_neighbors(v)) {
+      if (route[u] != p) ++metrics.cut_edges;
+    }
+  }
+  finalize_metrics(metrics, n, graph.num_edges(), k);
+  return metrics;
+}
+
+QualityMetrics evaluate_partition(AdjacencyStream& stream,
+                                  const std::vector<PartitionId>& route,
+                                  PartitionId k) {
+  const VertexId n = stream.num_vertices();
+  if (route.size() != n) {
+    throw std::invalid_argument("evaluate_partition: route size != |V|");
+  }
+  if (k == 0) throw std::invalid_argument("evaluate_partition: k must be >= 1");
+
+  QualityMetrics metrics = count_vertices(route, k);
+  while (auto record = stream.next()) {
+    if (record->id >= n) {
+      throw std::invalid_argument("evaluate_partition: stream record " +
+                                  std::to_string(record->id) + " out of range");
+    }
+    const PartitionId p = route[record->id];
+    metrics.edges_per_partition[p] += record->out.size();
+    for (VertexId u : record->out) {
+      if (u >= n) {
+        throw std::invalid_argument("evaluate_partition: neighbor " +
+                                    std::to_string(u) + " out of range");
+      }
+      if (route[u] != p) ++metrics.cut_edges;
+    }
+  }
+  finalize_metrics(metrics, n, stream.num_edges(), k);
   return metrics;
 }
 

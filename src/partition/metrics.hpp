@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/adjacency_stream.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -28,6 +29,14 @@ struct QualityMetrics {
 /// Evaluates a complete route table against the graph. Throws if any vertex
 /// is unassigned or any partition id >= k.
 QualityMetrics evaluate_partition(const Graph& graph,
+                                  const std::vector<PartitionId>& route,
+                                  PartitionId k);
+
+/// Streaming variant for runs that never materialize the graph: one extra
+/// pass over the stream (reset() it first if already consumed). Vertices the
+/// stream does not mention count as degree-0; results are identical to the
+/// Graph overload whenever the stream covers every vertex.
+QualityMetrics evaluate_partition(AdjacencyStream& stream,
                                   const std::vector<PartitionId>& route,
                                   PartitionId k);
 

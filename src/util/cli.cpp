@@ -1,9 +1,29 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace spnl {
+
+namespace {
+
+// std::from_chars with a whole-string match: "4x", "abc", "" and overflow all
+// fail instead of yielding a silent prefix parse the way strtoll/strtod with
+// a null endptr did.
+template <typename T>
+T parse_full(const std::string& key, const std::string& value) {
+  T parsed{};
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  auto [next, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc() || next != end || value.empty()) {
+    throw CliError("--" + key + ": invalid numeric value '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -34,13 +54,13 @@ std::string CliArgs::get(const std::string& key, const std::string& fallback) co
 std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_full<std::int64_t>(key, it->second);
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_full<double>(key, it->second);
 }
 
 bool CliArgs::get_bool(const std::string& key, bool fallback) const {

@@ -6,10 +6,19 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace spnl {
+
+/// Typed error for malformed flag values (--batch-size=abc, --k=4x). The
+/// numeric getters throw it instead of silently parsing a prefix (or 0);
+/// front-ends catch it and exit with usage status.
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class CliArgs {
  public:
@@ -17,7 +26,10 @@ class CliArgs {
 
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;
+  /// Throws CliError when the flag is present but not a full valid integer
+  /// (empty value, trailing garbage, overflow). Absent flag -> fallback.
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// Throws CliError when the flag is present but not a full valid number.
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -86,13 +87,16 @@ Endpoint Endpoint::parse(const std::string& spec) {
       throw NetError("endpoint: want tcp:<host>:<port> in '" + spec + "'");
     }
     endpoint.host = rest.substr(0, colon);
-    try {
-      const unsigned long port = std::stoul(rest.substr(colon + 1));
-      if (port > 65535) throw std::out_of_range("port");
-      endpoint.port = static_cast<std::uint16_t>(port);
-    } catch (const std::exception&) {
+    // Whole-token parse: stoul accepted "80abc" (and leading whitespace/sign),
+    // silently connecting to a different port than the operator wrote.
+    const std::string port_str = rest.substr(colon + 1);
+    std::uint32_t port = 0;
+    const char* port_end = port_str.data() + port_str.size();
+    auto [next, ec] = std::from_chars(port_str.data(), port_end, port);
+    if (ec != std::errc() || next != port_end || port > 65535) {
       throw NetError("endpoint: bad port in '" + spec + "'");
     }
+    endpoint.port = static_cast<std::uint16_t>(port);
     return endpoint;
   }
   throw NetError("endpoint: want unix:<path> or tcp:<host>:<port>, got '" + spec + "'");

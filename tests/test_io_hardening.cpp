@@ -262,6 +262,29 @@ TEST_F(QuarantineTest, ResetRecountsPerPass) {
   EXPECT_EQ(stream.bad_records(), 2u);
 }
 
+TEST_F(QuarantineTest, ResetTruncatesQuarantineLogBetweenPasses) {
+  // Regression: reset_count() zeroed the counter but left the append-mode
+  // log open, so every re-streaming pass (two-pass wrappers, resume, the
+  // --stream metrics pass) appended the same quarantined lines again — a log
+  // consumer saw each bad record once per pass instead of once.
+  const std::string p = dirty_adjacency("relog.adj");
+  const std::string log = path("relog.txt");
+  FileAdjacencyStream stream(p, {.max_bad_records = 10, .quarantine_log = log});
+  EXPECT_EQ(count_records(stream), 4u);
+  stream.reset();
+  EXPECT_EQ(count_records(stream), 4u);
+  stream.reset();
+  EXPECT_EQ(count_records(stream), 4u);
+
+  std::ifstream in(log);
+  std::string line;
+  std::vector<std::string> logged;
+  while (std::getline(in, line)) logged.push_back(line);
+  ASSERT_EQ(logged.size(), 2u) << "log must hold one pass, not three";
+  EXPECT_EQ(logged[0], "2 3 oops");
+  EXPECT_EQ(logged[1], "4x 5");
+}
+
 TEST_F(QuarantineTest, MaterializeToleratesQuarantinedVertices) {
   const std::string p = dirty_adjacency("mat.adj");
   FileAdjacencyStream stream(p, {.max_bad_records = 10, .quarantine_log = {}});

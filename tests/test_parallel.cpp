@@ -195,8 +195,10 @@ TEST(Parallel, SingleWorkerRouteInvariantAcrossBatchSizes) {
 }
 
 TEST(Parallel, UntrackedOverflowSurfacesInResult) {
-  // A deliberately undersized RCT (tiny ε) on a clustered multi-worker
-  // stream: parked records pin their shard's only slot, so some
+  // Admission is global now, so a refusal means the whole table was full —
+  // not just one stripe. A deliberately undersized RCT (ε = 0.25 with four
+  // workers gives capacity ceil(1) = 1, no per-stripe floor inflating it)
+  // overflows whenever two workers merely overlap in flight, so some
   // registrations must be refused — and every refusal must be visible in
   // the result instead of silently degrading quality. Summed over seeds so
   // one lucky schedule cannot zero the expectation.
@@ -206,7 +208,7 @@ TEST(Parallel, UntrackedOverflowSurfacesInResult) {
     InMemoryStream stream(g);
     ParallelOptions options;
     options.num_threads = 4;
-    options.epsilon = 0.5;  // capacity max(2, shards=4) = 4 -> 1 per shard
+    options.epsilon = 0.25;  // capacity ceil(0.25 * 4) = 1 entry, globally
     const auto result = run_parallel(stream, {.num_partitions = 8}, options);
     EXPECT_TRUE(is_complete_assignment(result.route, 8));
     total_overflow += result.untracked_overflow;

@@ -195,6 +195,38 @@ TEST(Rct, UntrackedOverflowIsCounted) {
   EXPECT_EQ(rct.untracked_overflow(), 2u);
 }
 
+TEST(Rct, ShardedCapacityIsGlobalNotPerStripe) {
+  // Regression (BENCH_parallel.json M=4 overflow spike): capacity used to be
+  // split evenly across stripes, so a capacity-8 table with 4 shards refused
+  // the third vertex landing on one stripe even though the table held only 3
+  // entries total. Admission is a single global ticket now — any id mix up
+  // to `capacity` registers, regardless of how it stripes.
+  Rct rct(8, 4);
+  // All of these hash to stripe 0 (v & 3 == 0): 6 > 8/4 = 2 per-shard quota.
+  for (VertexId v : {0u, 4u, 8u, 12u, 16u, 20u}) {
+    ASSERT_TRUE(rct.register_vertex(v)) << "v=" << v;
+  }
+  EXPECT_EQ(rct.size(), 6u);
+  EXPECT_EQ(rct.untracked_overflow(), 0u);
+  // The global bound still holds exactly.
+  ASSERT_TRUE(rct.register_vertex(24));
+  ASSERT_TRUE(rct.register_vertex(28));
+  EXPECT_FALSE(rct.register_vertex(32));
+  EXPECT_EQ(rct.untracked_overflow(), 1u);
+  // Placement frees a slot for a new registrant.
+  rct.on_placed(0, std::vector<VertexId>{});
+  EXPECT_TRUE(rct.register_vertex(32));
+}
+
+TEST(Rct, ParkCapacityIsGlobalNotPerStripe) {
+  Rct rct(8, 4);
+  for (VertexId v : {0u, 4u, 8u, 12u}) {
+    ASSERT_TRUE(rct.register_vertex(v));
+    ASSERT_TRUE(rct.park(record(v))) << "v=" << v;
+  }
+  EXPECT_EQ(rct.parked_size(), 4u);
+}
+
 TEST(Rct, ShardedSnapshotRestoreRoundTrip) {
   Rct rct(16, 4);
   for (VertexId v : {3u, 7u, 11u, 12u}) ASSERT_TRUE(rct.register_vertex(v));

@@ -48,6 +48,17 @@ TEST(Endpoint, RejectsMalformedSpecs) {
   EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:99999"), NetError);
 }
 
+TEST(Endpoint, RejectsTrailingGarbageInPort) {
+  // Regression: the port went through std::stoul, which parses a numeric
+  // prefix and ignores the rest — "tcp:host:80abc" bound port 80. The whole
+  // token must be digits now.
+  EXPECT_THROW(Endpoint::parse("tcp:host:80abc"), NetError);
+  EXPECT_THROW(Endpoint::parse("tcp:host:8 0"), NetError);
+  EXPECT_THROW(Endpoint::parse("tcp:host:-80"), NetError);
+  EXPECT_THROW(Endpoint::parse("tcp:host:"), NetError);
+  EXPECT_EQ(Endpoint::parse("tcp:host:80").port, 80);
+}
+
 // ---------------------------------------------------------------------------
 // Frame codec over a real socketpair-style loopback listener.
 

@@ -501,5 +501,34 @@ TEST(Cli, FallbacksApply) {
   EXPECT_FALSE(args.has("missing"));
 }
 
+TEST(Cli, MalformedNumericsThrowTypedError) {
+  // Regression: get_int/get_double used strtol/strtod with a null endptr, so
+  // "--batch-size=abc" silently parsed as 0 and "--k=4x" as 4. Malformed
+  // values must now fail fast with CliError naming the flag.
+  const char* argv[] = {"prog", "--batch-size=abc", "--k=4x", "--lambda=",
+                        "--slack=0.5oops", "--shards=0x10"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_THROW(args.get_int("batch-size", 0), CliError);
+  EXPECT_THROW(args.get_int("k", 0), CliError);
+  EXPECT_THROW(args.get_double("lambda", 0.5), CliError);
+  EXPECT_THROW(args.get_double("slack", 1.1), CliError);
+  EXPECT_THROW(args.get_int("shards", 0), CliError);
+  try {
+    args.get_int("batch-size", 0);
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    EXPECT_NE(std::string(e.what()).find("batch-size"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(Cli, WellFormedNumericsStillParse) {
+  const char* argv[] = {"prog", "--k=12", "--lambda=0.75", "--neg=-3"};
+  CliArgs args(4, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("k", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("lambda", 0.0), 0.75);
+  EXPECT_EQ(args.get_int("neg", 0), -3);
+}
+
 }  // namespace
 }  // namespace spnl

@@ -3,7 +3,8 @@
 // connections via retry/backoff + token resume (docs/server.md).
 //
 //   spnl_client <graph-file> --connect=unix:/tmp/spnl.sock --k=4
-//               [--algo=spnl] [--format=adj|edges] [--lambda=0.5]
+//               [--algo=spnl] [--format=adj|edges|sadj]
+//               [--reader=buffered|mmap] [--lambda=0.5]
 //               [--shards=N] [--balance=vertex|edge] [--slack=1.1]
 //               [--out=route.txt] [--deadline=SEC] [--max-attempts=N]
 //               [--batch=RECORDS] [--inject-disconnect-after=N] [--quiet]
@@ -13,6 +14,8 @@
 
 #include "graph/adjacency_stream.hpp"
 #include "graph/io.hpp"
+#include "graph/mmap_stream.hpp"
+#include "graph/stream_binary.hpp"
 #include "server/client.hpp"
 #include "util/cli.hpp"
 
@@ -24,8 +27,11 @@ void usage() {
       "usage: spnl_client <graph-file> --connect=<unix:PATH|tcp:HOST:PORT> "
       "--k=<parts> [options]\n"
       "  --algo=NAME             spnl|spn|ldg|fennel|hash|range (spnl)\n"
-      "  --format=adj|edges      input format (adj = adjacency lines,\n"
-      "                          edges = source-grouped edge list; adj)\n"
+      "  --format=adj|edges|sadj input format (adj = adjacency lines,\n"
+      "                          edges = source-grouped edge list,\n"
+      "                          sadj = binary from spnl_convert; adj)\n"
+      "  --reader=buffered|mmap  text reader implementation (buffered);\n"
+      "                          sadj is always mmap-backed\n"
       "  --lambda=F --shards=N   SPNL scoring knobs\n"
       "  --balance=vertex|edge --slack=F   capacity model\n"
       "  --out=PATH              write the route, one partition per line\n"
@@ -48,27 +54,39 @@ int main(int argc, char** argv) {
   const bool quiet = args.get_bool("quiet", false);
 
   spnl::ClientOptions options;
-  try {
-    options.endpoint = spnl::Endpoint::parse(args.get("connect", ""));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
-  options.deadline_seconds = args.get_double("deadline", 0.0);
-  options.max_attempts =
-      static_cast<std::uint32_t>(args.get_int("max-attempts", 8));
-  options.batch_records = static_cast<std::uint32_t>(args.get_int("batch", 256));
-  options.inject_disconnect_after_records =
-      static_cast<std::uint64_t>(args.get_int("inject-disconnect-after", 0));
-
-  const std::string path = args.positional()[0];
-  const std::string format = args.get("format", "adj");
   std::unique_ptr<spnl::AdjacencyStream> stream;
   try {
+    options.endpoint = spnl::Endpoint::parse(args.get("connect", ""));
+    options.deadline_seconds = args.get_double("deadline", 0.0);
+    options.max_attempts =
+        static_cast<std::uint32_t>(args.get_int("max-attempts", 8));
+    options.batch_records =
+        static_cast<std::uint32_t>(args.get_int("batch", 256));
+    options.inject_disconnect_after_records =
+        static_cast<std::uint64_t>(args.get_int("inject-disconnect-after", 0));
+
+    const std::string path = args.positional()[0];
+    const std::string format = args.get("format", "adj");
+    const std::string reader = args.get("reader", "buffered");
+    const bool use_mmap = reader == "mmap";
+    if (!use_mmap && reader != "buffered") {
+      std::fprintf(stderr, "error: unknown --reader=%s\n", reader.c_str());
+      return 2;
+    }
     if (format == "adj") {
-      stream = std::make_unique<spnl::FileAdjacencyStream>(path);
+      if (use_mmap) {
+        stream = std::make_unique<spnl::MmapAdjacencyStream>(path);
+      } else {
+        stream = std::make_unique<spnl::FileAdjacencyStream>(path);
+      }
     } else if (format == "edges") {
-      stream = std::make_unique<spnl::EdgeListAdjacencyStream>(path);
+      if (use_mmap) {
+        stream = std::make_unique<spnl::MmapEdgeListStream>(path);
+      } else {
+        stream = std::make_unique<spnl::EdgeListAdjacencyStream>(path);
+      }
+    } else if (format == "sadj") {
+      stream = std::make_unique<spnl::BinaryAdjacencyStream>(path);
     } else {
       std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
       return 2;
@@ -79,19 +97,24 @@ int main(int argc, char** argv) {
   }
 
   spnl::WireSessionConfig config;
-  config.algo = args.get("algo", "spnl");
-  config.num_vertices = stream->num_vertices();
-  config.num_edges = stream->num_edges();
-  config.num_partitions = static_cast<std::uint32_t>(args.get_int("k", 2));
-  config.lambda = args.get_double("lambda", 0.5);
-  config.num_shards = static_cast<std::uint32_t>(args.get_int("shards", 0));
-  const std::string balance = args.get("balance", "vertex");
-  if (balance != "vertex" && balance != "edge") {
-    std::fprintf(stderr, "error: unknown --balance=%s\n", balance.c_str());
+  try {
+    config.algo = args.get("algo", "spnl");
+    config.num_vertices = stream->num_vertices();
+    config.num_edges = stream->num_edges();
+    config.num_partitions = static_cast<std::uint32_t>(args.get_int("k", 2));
+    config.lambda = args.get_double("lambda", 0.5);
+    config.num_shards = static_cast<std::uint32_t>(args.get_int("shards", 0));
+    const std::string balance = args.get("balance", "vertex");
+    if (balance != "vertex" && balance != "edge") {
+      std::fprintf(stderr, "error: unknown --balance=%s\n", balance.c_str());
+      return 2;
+    }
+    config.balance = balance == "edge" ? 1 : 0;
+    config.slack = args.get_double("slack", 1.1);
+  } catch (const spnl::CliError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  config.balance = balance == "edge" ? 1 : 0;
-  config.slack = args.get_double("slack", 1.1);
 
   spnl::SpnlClient client(options);
   spnl::ClientRunResult result;

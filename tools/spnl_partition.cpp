@@ -5,7 +5,8 @@
 //                  [--lambda=0.5] [--shards=0] [--balance=vertex|edge]
 //                  [--slack=1.1] [--threads=1] [--batch-size=64] [--passes=1]
 //                  [--buffer=0]
-//                  [--format=adj|edgelist|binary] [--window=0] [--quiet]
+//                  [--format=adj|edgelist|binary|sadj] [--reader=buffered|mmap]
+//                  [--stream] [--window=0] [--quiet]
 //                  [--checkpoint=ckpt.bin] [--checkpoint-every=N]
 //                  [--resume-from=ckpt.bin]
 //                  [--workers=W] [--sync-interval=N] [--recover=reassign|none]
@@ -25,6 +26,17 @@
 // error); --passes > 1 wraps streaming algos in re-streaming; --buffer > 0
 // uses the hybrid buffered mode; --window > 0 uses WSGP-style
 // most-confident-first selection.
+//
+// Ingestion: --format=sadj reads the delta-compressed binary adjacency
+// format written by spnl_convert (always mmap-backed); --reader=mmap swaps
+// the buffered getline reader for the zero-copy mmap pointer-walk reader on
+// --format=adj (identical records, identical routes). --stream skips graph
+// materialization entirely and feeds the file stream straight to the
+// partitioner — the memory profile the paper's streaming model assumes —
+// for the streaming algorithm paths (greedy sequential, --threads, --passes,
+// --window, --buffer, --workers); quality metrics then cost one extra
+// read-only pass after routing. Offline algos (multilevel, labelprop,
+// triangles) still need the materialized graph and reject --stream.
 //
 // Robustness flags: --checkpoint + --checkpoint-every snapshot the
 // partitioner state every N placements (sequential greedy algos and the
@@ -59,6 +71,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -68,7 +81,9 @@
 #include "core/spnl.hpp"
 #include "graph/adjacency_stream.hpp"
 #include "graph/io.hpp"
+#include "graph/mmap_stream.hpp"
 #include "graph/stats.hpp"
+#include "graph/stream_binary.hpp"
 #include "offline/label_prop.hpp"
 #include "offline/multilevel.hpp"
 #include "partition/buffered.hpp"
@@ -98,7 +113,8 @@ int usage() {
                "  [--lambda=0.5] [--shards=0] [--balance=vertex|edge] "
                "[--slack=1.1]\n"
                "  [--threads=1] [--batch-size=64] [--passes=1] [--buffer=0] "
-               "[--window=0] [--format=adj|edgelist|binary] [--quiet]\n"
+               "[--window=0] [--format=adj|edgelist|binary|sadj]\n"
+               "  [--reader=buffered|mmap] [--stream] [--quiet]\n"
                "  [--checkpoint=ckpt.bin] [--checkpoint-every=N] "
                "[--resume-from=ckpt.bin]\n"
                "  [--workers=W] [--sync-interval=N] [--recover=reassign|none]\n"
@@ -208,17 +224,25 @@ ParsedFaults parse_fault_plan(const std::string& spec) {
   return plan;
 }
 
-Graph load_graph(const std::string& path, const std::string& format,
-                 const StreamHardeningOptions& hardening,
-                 std::uint64_t* bad_records) {
+// File-backed stream for the formats that have a streaming reader: adj text
+// (buffered getline or zero-copy mmap) and the sadj binary format (always
+// mmap). Returns nullptr for materialize-only formats (edgelist, binary CSR).
+std::unique_ptr<AdjacencyStream> open_stream(
+    const std::string& path, const std::string& format,
+    const std::string& reader, const StreamHardeningOptions& hardening) {
+  if (format == "sadj") return std::make_unique<BinaryAdjacencyStream>(path);
+  if (format == "adj") {
+    if (reader == "mmap") {
+      return std::make_unique<MmapAdjacencyStream>(path, hardening);
+    }
+    return std::make_unique<FileAdjacencyStream>(path, hardening);
+  }
+  return nullptr;
+}
+
+Graph load_graph(const std::string& path, const std::string& format) {
   if (format == "edgelist") return read_edge_list(path, /*compact_ids=*/true);
   if (format == "binary") return read_binary(path);
-  if (format == "adj") {
-    FileAdjacencyStream stream(path, hardening);
-    Graph graph = materialize(stream);
-    if (bad_records != nullptr) *bad_records = stream.bad_records();
-    return graph;
-  }
   throw std::runtime_error("unknown --format " + format);
 }
 
@@ -228,37 +252,47 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.positional().size() != 1) return usage();
 
-  const auto k = static_cast<PartitionId>(args.get_int("k", 0));
-  if (k == 0) return usage();
-  const std::string algo = args.get("algo", "spnl");
-  const std::string format = args.get("format", "adj");
-  const bool quiet = args.get_bool("quiet", false);
-
-  PartitionConfig config;
-  config.num_partitions = k;
-  config.slack = args.get_double("slack", 1.1);
-  config.balance = args.get("balance", "vertex") == "edge" ? BalanceMode::kEdge
-                                                           : BalanceMode::kVertex;
-  const double lambda = args.get_double("lambda", 0.5);
-  const auto shards = static_cast<std::uint32_t>(args.get_int("shards", 0));
-  const auto threads = static_cast<unsigned>(args.get_int("threads", 1));
-  const int passes = static_cast<int>(args.get_int("passes", 1));
-  const auto buffer = static_cast<VertexId>(args.get_int("buffer", 0));
-  const auto window = static_cast<VertexId>(args.get_int("window", 0));
-
-  const std::string checkpoint_path = args.get("checkpoint", "");
-  const auto checkpoint_every =
-      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
-  const std::string resume_from = args.get("resume-from", "");
-  const auto workers = static_cast<unsigned>(args.get_int("workers", 0));
-
-  const bool perf_report = args.get_bool("perf-report", false);
-  const std::string perf_json_path = args.get("perf-json", "");
-  PerfStats perf;
-  // Instrumented paths: sequential greedy algos and the parallel driver.
-  PerfStats* perf_ptr = (perf_report || !perf_json_path.empty()) ? &perf : nullptr;
-
+  // Everything below — including the flag reads — sits in one try so a
+  // malformed numeric flag (--batch-size=abc) surfaces as a typed CliError
+  // with usage status, never a silent 0.
   try {
+    const auto k = static_cast<PartitionId>(args.get_int("k", 0));
+    if (k == 0) return usage();
+    const std::string algo = args.get("algo", "spnl");
+    const std::string format = args.get("format", "adj");
+    const std::string reader = args.get("reader", "buffered");
+    const bool stream_direct = args.get_bool("stream", false);
+    const bool quiet = args.get_bool("quiet", false);
+
+    PartitionConfig config;
+    config.num_partitions = k;
+    config.slack = args.get_double("slack", 1.1);
+    config.balance = args.get("balance", "vertex") == "edge"
+                         ? BalanceMode::kEdge
+                         : BalanceMode::kVertex;
+    const double lambda = args.get_double("lambda", 0.5);
+    const auto shards = static_cast<std::uint32_t>(args.get_int("shards", 0));
+    const auto threads = static_cast<unsigned>(args.get_int("threads", 1));
+    // Parsed eagerly (not just on the --threads>1 path) so a malformed
+    // --batch-size fails fast in every mode.
+    const auto batch_size = args.get_int("batch-size", 64);
+    const int passes = static_cast<int>(args.get_int("passes", 1));
+    const auto buffer = static_cast<VertexId>(args.get_int("buffer", 0));
+    const auto window = static_cast<VertexId>(args.get_int("window", 0));
+
+    const std::string checkpoint_path = args.get("checkpoint", "");
+    const auto checkpoint_every =
+        static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+    const std::string resume_from = args.get("resume-from", "");
+    const auto workers = static_cast<unsigned>(args.get_int("workers", 0));
+
+    const bool perf_report = args.get_bool("perf-report", false);
+    const std::string perf_json_path = args.get("perf-json", "");
+    PerfStats perf;
+    // Instrumented paths: sequential greedy algos and the parallel driver.
+    PerfStats* perf_ptr =
+        (perf_report || !perf_json_path.empty()) ? &perf : nullptr;
+
     // Resource governor (memory budget / deadline) for the greedy sequential
     // and parallel SPNL/SPN paths.
     ResourceGovernor::Options governor_options;
@@ -291,10 +325,54 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.get_int("max-bad-records", 0));
     hardening.quarantine_log = args.get("quarantine-log", "");
 
+    const std::string input_path = args.positional()[0];
+    if (format != "adj" && format != "edgelist" && format != "binary" &&
+        format != "sadj") {
+      throw std::runtime_error("unknown --format " + format);
+    }
+    if (reader != "buffered" && reader != "mmap") {
+      throw std::runtime_error("--reader: want buffered|mmap");
+    }
+    if (reader == "mmap" && format != "adj" && format != "sadj") {
+      throw std::runtime_error(
+          "--reader=mmap needs --format=adj (sadj is always mmap-backed)");
+    }
+
     std::uint64_t bad_records = 0;
-    const Graph graph =
-        load_graph(args.positional()[0], format, hardening, &bad_records);
-    if (!quiet) std::printf("%s\n", describe(graph, args.positional()[0]).c_str());
+    std::unique_ptr<AdjacencyStream> file_stream =
+        open_stream(input_path, format, reader, hardening);
+    if (stream_direct && file_stream == nullptr) {
+      throw std::runtime_error(
+          "--stream requires --format=adj or --format=sadj");
+    }
+
+    // Materialize unless --stream: offline algos and the triangle heuristic
+    // need the CSR, and the materialized path keeps the seed behavior
+    // (metrics over the in-memory graph, no second file pass).
+    std::optional<Graph> graph;
+    if (!stream_direct) {
+      if (file_stream != nullptr) {
+        graph = materialize(*file_stream);
+        bad_records = file_stream->bad_records();
+      } else {
+        graph = load_graph(input_path, format);
+      }
+    }
+    std::optional<InMemoryStream> mem_stream;
+    if (graph) mem_stream.emplace(*graph);
+    AdjacencyStream& stream =
+        graph ? static_cast<AdjacencyStream&>(*mem_stream) : *file_stream;
+
+    if (!quiet) {
+      if (graph) {
+        std::printf("%s\n", describe(*graph, input_path).c_str());
+      } else {
+        std::printf("%s: V=%u E=%llu (direct streaming via %s)\n",
+                    input_path.c_str(), stream.num_vertices(),
+                    static_cast<unsigned long long>(stream.num_edges()),
+                    format == "sadj" ? "sadj" : reader.c_str());
+      }
+    }
     if (!quiet && bad_records > 0) {
       std::printf("quarantined %llu malformed record(s)%s%s\n",
                   static_cast<unsigned long long>(bad_records),
@@ -318,7 +396,6 @@ int main(int argc, char** argv) {
       faults = parse_fault_plan(args.get("inject-faults", ""));
     }
 
-    InMemoryStream stream(graph);
     if (workers > 0) {
       // Distributed simulation with optional seeded fault injection.
       DistributedSimOptions options;
@@ -348,14 +425,22 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(result.duplicated_syncs));
       }
     } else if (algo == "multilevel") {
-      const auto result = multilevel_partition(graph, config);
+      if (!graph) {
+        throw std::runtime_error(
+            "--algo=multilevel needs the materialized graph; drop --stream");
+      }
+      const auto result = multilevel_partition(*graph, config);
       route = result.route;
       seconds = result.partition_seconds;
       bytes = result.peak_bytes;
     } else if (algo == "labelprop") {
+      if (!graph) {
+        throw std::runtime_error(
+            "--algo=labelprop needs the materialized graph; drop --stream");
+      }
       LabelPropOptions options;
       options.num_threads = threads;
-      const auto result = label_prop_partition(graph, config, options);
+      const auto result = label_prop_partition(*graph, config, options);
       route = result.route;
       seconds = result.partition_seconds;
       bytes = result.peak_bytes;
@@ -387,8 +472,8 @@ int main(int argc, char** argv) {
       options.use_locality = algo == "spnl";
       // Validate eagerly so --batch-size=0 is a typed CLI error here rather
       // than a failure deep inside run_parallel.
-      options.batch_size = validated_batch_size(
-          args.get_int("batch-size", 64), options.queue_capacity);
+      options.batch_size =
+          validated_batch_size(batch_size, options.queue_capacity);
       options.spnl.lambda = lambda;
       options.spnl.num_shards = shards;
       options.checkpoint_path = checkpoint_path;
@@ -434,8 +519,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::unique_ptr<StreamingPartitioner> partitioner;
-      const VertexId n = graph.num_vertices();
-      const EdgeId m = graph.num_edges();
+      const VertexId n = stream.num_vertices();
+      const EdgeId m = stream.num_edges();
       if (algo == "hash") {
         partitioner = std::make_unique<HashPartitioner>(n, m, config);
       } else if (algo == "range") {
@@ -460,8 +545,12 @@ int main(int argc, char** argv) {
         partitioner = std::make_unique<SkPartitioner>(
             n, m, config, SkHeuristic::kExponentialGreedy);
       } else if (algo == "triangles") {
+        if (!graph) {
+          throw std::runtime_error(
+              "--algo=triangles needs the materialized graph; drop --stream");
+        }
         partitioner = std::make_unique<SkPartitioner>(
-            n, m, config, SkHeuristic::kTriangles, &graph);
+            n, m, config, SkHeuristic::kTriangles, &*graph);
       } else {
         return usage();
       }
@@ -483,7 +572,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "interrupted: %llu of %u records placed; %s\n",
                      static_cast<unsigned long long>(run.vertices_placed),
-                     graph.num_vertices(),
+                     stream.num_vertices(),
                      checkpoint_path.empty()
                          ? "no --checkpoint configured, progress not persisted"
                          : ("final checkpoint written to " + checkpoint_path)
@@ -501,16 +590,39 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Direct streaming counts quarantined records during the routing pass
+    // itself, so report them now (the materialized path reported at load).
+    if (stream_direct) {
+      bad_records = stream.bad_records();
+      if (!quiet && bad_records > 0) {
+        std::printf("quarantined %llu malformed record(s)%s%s\n",
+                    static_cast<unsigned long long>(bad_records),
+                    hardening.quarantine_log.empty() ? "" : " -> ",
+                    hardening.quarantine_log.c_str());
+      }
+    }
+
     // A lost-slice run (--workers with --recover=none) legitimately leaves
-    // holes; every other path must produce a complete assignment.
-    const bool may_have_holes = workers > 0 && args.get("recover", "reassign") == "none";
-    if (!may_have_holes) validate_route(route, k, graph.num_vertices());
+    // holes, as does a direct-stream run whose quarantined records were
+    // never placed; every other path must produce a complete assignment.
+    const bool may_have_holes =
+        (workers > 0 && args.get("recover", "reassign") == "none") ||
+        (stream_direct && bad_records > 0);
+    if (!may_have_holes) validate_route(route, k, stream.num_vertices());
     if (may_have_holes && !is_complete_assignment(route, k)) {
-      std::printf("%s K=%u route incomplete (placements lost to crashes); "
-                  "quality metrics skipped\n",
-                  algo.c_str(), k);
+      std::printf("%s K=%u route incomplete (%s); quality metrics skipped\n",
+                  algo.c_str(), k,
+                  workers > 0 ? "placements lost to crashes"
+                              : "records quarantined mid-stream");
+    } else if (graph) {
+      const auto metrics = evaluate_partition(*graph, route, k);
+      std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
+                  summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
     } else {
-      const auto metrics = evaluate_partition(graph, route, k);
+      // Metrics cost one extra read-only pass; PT above excludes it, matching
+      // the paper's definition (partitioning ends when the route is final).
+      stream.reset();
+      const auto metrics = evaluate_partition(stream, route, k);
       std::printf("%s K=%u %s PT=%.3fs MC=%s\n", algo.c_str(), k,
                   summarize(metrics).c_str(), seconds, format_bytes(bytes).c_str());
     }
@@ -558,6 +670,9 @@ int main(int argc, char** argv) {
       write_route_table(route, args.get("out", ""));
       if (!quiet) std::printf("wrote %s\n", args.get("out", "").c_str());
     }
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -50,19 +50,19 @@ int main(int argc, char** argv) {
   spnl::ServerOptions options;
   try {
     options.endpoint = spnl::Endpoint::parse(args.get("listen", ""));
+    options.admission.max_sessions =
+        static_cast<std::uint32_t>(args.get_int("max-sessions", 64));
+    options.admission.memory_budget_bytes =
+        static_cast<std::size_t>(args.get_int("memory-budget", 0));
+    options.idle_timeout_seconds = args.get_double("idle-timeout", 30.0);
+    options.read_timeout_seconds = args.get_double("read-timeout", 10.0);
+    options.drain_dir = args.get("drain-dir", "");
+    options.retry_after_ms =
+        static_cast<std::uint32_t>(args.get_int("retry-after-ms", 200));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  options.admission.max_sessions =
-      static_cast<std::uint32_t>(args.get_int("max-sessions", 64));
-  options.admission.memory_budget_bytes =
-      static_cast<std::size_t>(args.get_int("memory-budget", 0));
-  options.idle_timeout_seconds = args.get_double("idle-timeout", 30.0);
-  options.read_timeout_seconds = args.get_double("read-timeout", 10.0);
-  options.drain_dir = args.get("drain-dir", "");
-  options.retry_after_ms =
-      static_cast<std::uint32_t>(args.get_int("retry-after-ms", 200));
   options.watch_shutdown_flag = true;
 
   // SIGINT/SIGTERM -> pollable flag -> graceful drain in the accept loop.
