@@ -1,12 +1,11 @@
 #include "core/checkpoint.hpp"
 
 #include <array>
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
-#include <fcntl.h>
 #include <fstream>
-#include <unistd.h>
+
+#include "graph/io.hpp"
+#include "util/checked_io.hpp"
 
 namespace spnl {
 
@@ -65,77 +64,32 @@ void StateReader::expect_string(const std::string& expected, const char* what) {
   }
 }
 
-namespace {
-
-/// Writes all of `data` to `fd`, retrying short writes and EINTR.
-void write_fully(int fd, const void* data, std::size_t size, const std::string& tmp) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, p + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      throw CheckpointError("checkpoint: write error: " + tmp + ": " +
-                            std::strerror(err));
-    }
-    written += static_cast<std::size_t>(n);
-  }
-}
-
-/// fsyncs the directory containing `path` so the rename that published a
-/// snapshot is itself durable (best-effort: some filesystems reject
-/// directory fsync, which leaves us no worse than before).
-void fsync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
-}
-
-}  // namespace
-
 void write_checkpoint_file(const std::string& path, const StateWriter& payload) {
-  // Crash-atomic publish protocol: bytes land in <path>.tmp, are fsynced to
+  // Crash-atomic publish protocol (AtomicFileWriter): bytes land in
+  // <path>.tmp through the checked fault-injectable writer, are fsynced to
   // stable storage, and only then renamed over <path> (with a directory
   // fsync sealing the rename). A crash or power cut at ANY point leaves
   // either the previous snapshot intact or the new one complete — never a
-  // torn file at the published path; a stale .tmp from a mid-write crash is
-  // simply overwritten by the next snapshot.
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    throw CheckpointError("checkpoint: cannot open for write: " + tmp + ": " +
-                          std::strerror(errno));
+  // torn file at the published path; the tmp of a failed write is unlinked
+  // on unwind, and a stale .tmp from a hard crash is simply overwritten by
+  // the next snapshot. I/O failures are rethrown as CheckpointError so
+  // resume-path callers keep one exception type.
+  try {
+    AtomicFileWriter atomic(path);
+    FdWriter& out = atomic.out();
+    const std::uint64_t magic = kCheckpointMagic;
+    const std::uint32_t version = kCheckpointVersion;
+    const std::uint64_t size = payload.bytes().size();
+    const std::uint32_t crc = crc32(payload.bytes().data(), payload.bytes().size());
+    out.append(&magic, sizeof(magic));
+    out.append(&version, sizeof(version));
+    out.append(&size, sizeof(size));
+    out.append(&crc, sizeof(crc));
+    out.append(payload.bytes().data(), payload.bytes().size());
+    atomic.commit();
+  } catch (const IoError& e) {
+    throw CheckpointError(std::string("checkpoint: ") + e.what());
   }
-  const std::uint64_t magic = kCheckpointMagic;
-  const std::uint32_t version = kCheckpointVersion;
-  const std::uint64_t size = payload.bytes().size();
-  const std::uint32_t crc = crc32(payload.bytes().data(), payload.bytes().size());
-  write_fully(fd, &magic, sizeof(magic), tmp);
-  write_fully(fd, &version, sizeof(version), tmp);
-  write_fully(fd, &size, sizeof(size), tmp);
-  write_fully(fd, &crc, sizeof(crc), tmp);
-  write_fully(fd, payload.bytes().data(), payload.bytes().size(), tmp);
-  if (::fsync(fd) != 0) {
-    const int err = errno;
-    ::close(fd);
-    throw CheckpointError("checkpoint: fsync failed: " + tmp + ": " +
-                          std::strerror(err));
-  }
-  if (::close(fd) != 0) {
-    throw CheckpointError("checkpoint: close failed: " + tmp + ": " +
-                          std::strerror(errno));
-  }
-  // Atomic publish: readers either see the old snapshot or the new one.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw CheckpointError("checkpoint: rename failed: " + tmp + " -> " + path +
-                          ": " + std::strerror(errno));
-  }
-  fsync_parent_dir(path);
 }
 
 StateReader read_checkpoint_file(const std::string& path) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/io.hpp"
+#include "util/checked_io.hpp"
 
 namespace spnl {
 
@@ -57,16 +58,23 @@ bool parse_ids(const std::string& line, std::vector<VertexId>& out) {
 
 }  // namespace
 
+BadRecordQuarantine::BadRecordQuarantine(StreamHardeningOptions options)
+    : options_(std::move(options)) {
+  ensure_log_writable();
+}
+
+BadRecordQuarantine::~BadRecordQuarantine() = default;
+
 void BadRecordQuarantine::ensure_log_writable() {
   // Fail fast at construction: an unwritable quarantine log used to be
   // discovered only at the first bad record — and then silently ignored,
   // losing the very records the operator asked to keep. Opening (and
   // truncating) eagerly turns a bad --quarantine-log path into a typed
   // startup error instead of silent data loss mid-stream.
-  if (!enabled() || options_.quarantine_log.empty() || log_opened_) return;
-  log_.open(options_.quarantine_log, std::ios::out | std::ios::trunc);
-  log_opened_ = true;
-  if (!log_) {
+  if (!enabled() || options_.quarantine_log.empty() || log_) return;
+  try {
+    log_ = std::make_unique<FdWriter>(options_.quarantine_log);
+  } catch (const IoError&) {
     throw IoError("quarantine log not writable: " + options_.quarantine_log);
   }
 }
@@ -75,12 +83,15 @@ void BadRecordQuarantine::reset_count() {
   // Pass boundary: rewind the log along with the counter. Truncate-and-reopen
   // (rather than append with a marker) keeps the log a verbatim copy of the
   // *latest* pass's bad lines — every pass sees the same input, so earlier
-  // passes carry no extra information, only duplicates.
-  if (count_ > 0 && log_opened_) {
-    log_.close();
-    log_.open(options_.quarantine_log, std::ios::out | std::ios::trunc);
-    if (!log_) {
-      throw IoError("quarantine log not writable: " + options_.quarantine_log);
+  // passes carry no extra information, only duplicates. A reopen failure is a
+  // storage fault on the side channel, not the stream: count it as a drop and
+  // keep partitioning (record() then counts every subsequent loss too).
+  if (count_ > 0 && log_) {
+    try {
+      log_.reset();
+      log_ = std::make_unique<FdWriter>(options_.quarantine_log);
+    } catch (const IoError&) {
+      ++log_drops_;
     }
   }
   count_ = 0;
@@ -89,12 +100,22 @@ void BadRecordQuarantine::reset_count() {
 void BadRecordQuarantine::record(const std::string& line,
                                  const std::string& context) {
   ++count_;
-  if (log_opened_ && log_) {
-    log_ << line << '\n';
-    log_.flush();  // bad records are rare; the log must survive a crash
-    if (!log_) {
-      throw IoError("quarantine log write failed: " + options_.quarantine_log);
+  if (log_) {
+    try {
+      log_->append(line);
+      log_->append_char('\n');
+      log_->flush();  // bad records are rare; the log must survive a crash
+    } catch (const IoError&) {
+      // The LOG failed, not the stream: dropping this line from the log is
+      // recoverable, aborting a multi-hour run over a side-channel file is
+      // not. FdWriter::flush discarded the buffered bytes, so later records
+      // retry cleanly if the disk recovers. The drop count is surfaced in
+      // the run summary.
+      ++log_drops_;
     }
+  } else if (!options_.quarantine_log.empty()) {
+    // Log was configured but is gone (reopen failed at a pass boundary).
+    ++log_drops_;
   }
   if (count_ > options_.max_bad_records) {
     throw std::runtime_error(context + ": too many malformed records (" +

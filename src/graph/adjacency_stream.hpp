@@ -17,6 +17,8 @@
 
 namespace spnl {
 
+class FdWriter;
+
 /// Hardening knobs for the file-backed streams. By default a malformed
 /// mid-stream record aborts the run (the seed behavior); with
 /// max_bad_records > 0 up to that many malformed lines are skipped, counted
@@ -29,28 +31,39 @@ struct StreamHardeningOptions {
 
 /// Bounded quarantine shared by the file streams: skip + count + log, hard
 /// error past the bound.
+///
+/// Storage-fault contract: a quarantine log that cannot be OPENED is a typed
+/// startup error (operator asked for a log they cannot have), but a log
+/// WRITE that fails mid-stream must not abort a multi-hour partitioning run
+/// over a side-channel file — the bad line is dropped from the log, the drop
+/// is counted, and the run's summary surfaces log_drops() so the loss is
+/// visible instead of silent.
 class BadRecordQuarantine {
  public:
   BadRecordQuarantine() = default;
   /// Throws IoError when a quarantine log is configured but not writable —
   /// discovered at startup, not at the first (silently lost) bad record.
-  explicit BadRecordQuarantine(StreamHardeningOptions options)
-      : options_(std::move(options)) {
-    ensure_log_writable();
-  }
+  explicit BadRecordQuarantine(StreamHardeningOptions options);
+  ~BadRecordQuarantine();
 
   bool enabled() const { return options_.max_bad_records > 0; }
 
   /// Records one malformed line (appends it to the quarantine log when
-  /// configured). Throws std::runtime_error when the count exceeds
+  /// configured; a failed log write counts toward log_drops() instead of
+  /// throwing). Throws std::runtime_error when the count exceeds
   /// max_bad_records; `context` prefixes the message.
   void record(const std::string& line, const std::string& context);
 
   std::uint64_t count() const { return count_; }
+  /// Quarantined lines that could NOT be appended to the log because the
+  /// log write failed (disk full, I/O error). Cumulative across passes.
+  std::uint64_t log_drops() const { return log_drops_; }
   /// Called from the owning stream's reset() so each pass recounts. Also
   /// rewinds the quarantine log: without this, re-streaming passes (two-pass
   /// wrappers, resume) appended every quarantined line again, so a log
-  /// consumer saw each bad record once per pass instead of once.
+  /// consumer saw each bad record once per pass instead of once. A reopen
+  /// failure here is counted in log_drops(), not thrown — reset runs at pass
+  /// boundaries deep inside partitioning loops.
   void reset_count();
 
  private:
@@ -58,8 +71,8 @@ class BadRecordQuarantine {
 
   StreamHardeningOptions options_;
   std::uint64_t count_ = 0;
-  std::ofstream log_;
-  bool log_opened_ = false;
+  std::uint64_t log_drops_ = 0;
+  std::unique_ptr<FdWriter> log_;
 };
 
 /// One streamed record: a vertex and its out-adjacency list. The span points
@@ -107,6 +120,11 @@ class AdjacencyStream {
   /// Malformed records quarantined so far in the current pass (file-backed
   /// streams running with hardening; 0 for everything else).
   virtual std::uint64_t bad_records() const { return 0; }
+
+  /// Quarantined lines lost because the quarantine LOG itself could not be
+  /// written (storage fault on the side channel). Cumulative; 0 for streams
+  /// without a quarantine log.
+  virtual std::uint64_t quarantine_log_drops() const { return 0; }
 };
 
 /// Streams an in-memory CSR graph in increasing vertex-id order.
@@ -163,6 +181,9 @@ class FileAdjacencyStream final : public AdjacencyStream {
 
   /// Malformed lines quarantined so far in the current pass.
   std::uint64_t bad_records() const override { return quarantine_.count(); }
+  std::uint64_t quarantine_log_drops() const override {
+    return quarantine_.log_drops();
+  }
 
  private:
   std::string path_;
@@ -195,6 +216,9 @@ class EdgeListAdjacencyStream final : public AdjacencyStream {
 
   /// Malformed lines quarantined so far in the current pass.
   std::uint64_t bad_records() const override { return quarantine_.count(); }
+  std::uint64_t quarantine_log_drops() const override {
+    return quarantine_.log_drops();
+  }
 
  private:
   /// Reads the next "from to" pair into pending_; false at EOF.

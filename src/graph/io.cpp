@@ -6,6 +6,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/checked_io.hpp"
+
 namespace spnl {
 
 namespace {
@@ -63,43 +65,57 @@ Graph read_edge_list(const std::string& path, bool compact_ids) {
   return builder.finish();
 }
 
+// The writers below go through FdWriter: every byte is checked (short-write
+// and EINTR retried, persistent errors typed as IoError naming the path and
+// errno) and close() is explicit so a full disk can't masquerade as success
+// the way an unchecked ofstream destructor lets it.
 void write_edge_list(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) fail("write_edge_list: cannot open", path);
-  out << "# Directed edge list; V " << graph.num_vertices() << " E "
-      << graph.num_edges() << "\n";
+  FdWriter out(path);
+  out.append("# Directed edge list; V ");
+  out.append_u64(graph.num_vertices());
+  out.append(" E ");
+  out.append_u64(graph.num_edges());
+  out.append_char('\n');
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    for (VertexId u : graph.out_neighbors(v)) out << v << ' ' << u << '\n';
+    for (VertexId u : graph.out_neighbors(v)) {
+      out.append_u64(v);
+      out.append_char(' ');
+      out.append_u64(u);
+      out.append_char('\n');
+    }
   }
-  if (!out) fail("write_edge_list: write error", path);
+  out.close();
 }
 
 void write_adjacency_list(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) fail("write_adjacency_list: cannot open", path);
-  out << "# V " << graph.num_vertices() << " E " << graph.num_edges() << "\n";
+  FdWriter out(path);
+  out.append("# V ");
+  out.append_u64(graph.num_vertices());
+  out.append(" E ");
+  out.append_u64(graph.num_edges());
+  out.append_char('\n');
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    out << v;
-    for (VertexId u : graph.out_neighbors(v)) out << ' ' << u;
-    out << '\n';
+    out.append_u64(v);
+    for (VertexId u : graph.out_neighbors(v)) {
+      out.append_char(' ');
+      out.append_u64(u);
+    }
+    out.append_char('\n');
   }
-  if (!out) fail("write_adjacency_list: write error", path);
+  out.close();
 }
 
 void write_binary(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail("write_binary: cannot open", path);
+  FdWriter out(path);
   const std::uint64_t magic = kBinaryMagic;
   const std::uint64_t n = graph.num_vertices();
   const std::uint64_t m = graph.num_edges();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
-  out.write(reinterpret_cast<const char*>(graph.offsets().data()),
-            static_cast<std::streamsize>(graph.offsets().size() * sizeof(EdgeId)));
-  out.write(reinterpret_cast<const char*>(graph.targets().data()),
-            static_cast<std::streamsize>(graph.targets().size() * sizeof(VertexId)));
-  if (!out) fail("write_binary: write error", path);
+  out.append(&magic, sizeof(magic));
+  out.append(&n, sizeof(n));
+  out.append(&m, sizeof(m));
+  out.append(graph.offsets().data(), graph.offsets().size() * sizeof(EdgeId));
+  out.append(graph.targets().data(), graph.targets().size() * sizeof(VertexId));
+  out.close();
 }
 
 Graph read_binary(const std::string& path) {
@@ -144,11 +160,15 @@ Graph read_binary(const std::string& path) {
 }
 
 void write_route_table(const std::vector<PartitionId>& route, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) fail("write_route_table: cannot open", path);
-  out << "# vertex partition\n";
-  for (std::size_t v = 0; v < route.size(); ++v) out << v << ' ' << route[v] << '\n';
-  if (!out) fail("write_route_table: write error", path);
+  FdWriter out(path);
+  out.append("# vertex partition\n");
+  for (std::size_t v = 0; v < route.size(); ++v) {
+    out.append_u64(v);
+    out.append_char(' ');
+    out.append_u64(route[v]);
+    out.append_char('\n');
+  }
+  out.close();
 }
 
 std::vector<PartitionId> read_route_table(const std::string& path) {

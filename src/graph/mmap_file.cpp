@@ -6,15 +6,17 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
 #include "graph/io.hpp"
+#include "util/fault_fs.hpp"
 
 namespace spnl {
 
 MmapFile::MmapFile(const std::string& path) : path_(path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
+  int fd = faultfs::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     throw IoError("cannot open " + path + ": " + std::strerror(errno));
   }
@@ -30,7 +32,7 @@ MmapFile::MmapFile(const std::string& path) : path_(path) {
   }
   size_ = static_cast<std::size_t>(st.st_size);
   if (size_ > 0) {
-    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    void* map = faultfs::mmap_file(size_, PROT_READ, MAP_PRIVATE, fd);
     if (map == MAP_FAILED) {
       int err = errno;
       ::close(fd);
@@ -63,6 +65,20 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
     other.size_ = 0;
   }
   return *this;
+}
+
+void MmapFile::throw_if_shrunk() const {
+  if (data_ == nullptr) return;
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) != 0) {
+    throw IoError("cannot stat " + path_ + " (file vanished under the mapping): " +
+                  std::strerror(errno));
+  }
+  if (static_cast<std::uint64_t>(st.st_size) < size_) {
+    throw IoError(path_ + ": file truncated while mapped (" +
+                  std::to_string(st.st_size) + " of " + std::to_string(size_) +
+                  " mapped bytes remain on disk)");
+  }
 }
 
 void MmapFile::unmap() noexcept {

@@ -33,6 +33,14 @@ class MmapFile {
   const char* end() const { return data_ + size_; }
   const std::string& path() const { return path_; }
 
+  /// Storage-fault check: fstat the path and throw a typed IoError if the
+  /// file on disk is now SHORTER than the mapping (pages past the new EOF
+  /// would SIGBUS on access). Readers call this at pass boundaries (reset)
+  /// so an already-truncated file fails up front with a precise message; the
+  /// SigbusGuard around the decode loops catches truncation that lands
+  /// mid-pass. Growth is fine — the mapping just doesn't see the new tail.
+  void throw_if_shrunk() const;
+
   /// Pages the kernel currently counts against us are file-backed and clean
   /// (read-only mapping): they can be dropped and refaulted at any time, so
   /// the mapping contributes nothing to the partitioner's *owned* footprint

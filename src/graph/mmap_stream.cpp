@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <charconv>
+#include <csetjmp>
 #include <cstdio>
 #include <stdexcept>
 #include <string_view>
 
+#include "graph/io.hpp"
+#include "util/sigbus_guard.hpp"
+
 namespace spnl {
 
 namespace {
+
+// Jump target for a SigbusGuard trip: the mapped text file shrank under the
+// reader and a parse touched a page past the new EOF.
+[[noreturn]] void truncated_under_reader(const std::string& path,
+                                         const SigbusGuard& guard) {
+  throw IoError(path + ": mapping faulted (SIGBUS) at offset " +
+                std::to_string(guard.fault_offset()) +
+                " — file truncated while streamed");
+}
 
 // Returns the next line [p, '\n') as a view and advances p past the
 // newline. The view aliases the mapping — valid until the file is unmapped.
@@ -66,6 +79,11 @@ MmapAdjacencyStream::MmapAdjacencyStream(const std::string& path,
   const char* end = map_.end();
   std::vector<VertexId> ids;
   bool have_header = false;
+  // SIGBUS-safe pre-scan: truncation under the mapping becomes a typed
+  // IoError. All scan state lives in pre-declared locals (siglongjmp skips
+  // destructors of objects constructed after the setjmp).
+  SigbusGuard guard(map_.data(), map_.size());
+  if (sigsetjmp(guard.env(), 0) != 0) truncated_under_reader(map_.path(), guard);
   while (p < end) {
     std::string_view line = take_line(p, end);
     if (!line.empty() && line[0] == '#') {
@@ -89,12 +107,15 @@ MmapAdjacencyStream::MmapAdjacencyStream(const std::string& path,
 }
 
 void MmapAdjacencyStream::reset() {
+  map_.throw_if_shrunk();
   cursor_ = map_.begin();
   quarantine_.reset_count();
 }
 
 std::optional<VertexRecord> MmapAdjacencyStream::next() {
   const char* end = map_.end();
+  SigbusGuard guard(map_.data(), map_.size());
+  if (sigsetjmp(guard.env(), 0) != 0) truncated_under_reader(map_.path(), guard);
   while (cursor_ < end) {
     std::string_view line = take_line(cursor_, end);
     if (line.empty() || line[0] == '#') continue;
@@ -125,6 +146,8 @@ MmapEdgeListStream::MmapEdgeListStream(const std::string& path,
   std::vector<VertexId> ids;
   VertexId last_from = 0;
   bool first = true;
+  SigbusGuard guard(map_.data(), map_.size());
+  if (sigsetjmp(guard.env(), 0) != 0) truncated_under_reader(map_.path(), guard);
   while (p < end) {
     std::string_view line = take_line(p, end);
     if (line.empty() || line[0] == '#') continue;
@@ -149,6 +172,7 @@ MmapEdgeListStream::MmapEdgeListStream(const std::string& path,
 }
 
 void MmapEdgeListStream::reset() {
+  map_.throw_if_shrunk();
   pair_cursor_ = map_.begin();
   cursor_ = 0;
   have_pending_ = false;
@@ -158,6 +182,8 @@ void MmapEdgeListStream::reset() {
 bool MmapEdgeListStream::read_pair() {
   const char* end = map_.end();
   std::vector<VertexId> ids;
+  SigbusGuard guard(map_.data(), map_.size());
+  if (sigsetjmp(guard.env(), 0) != 0) truncated_under_reader(map_.path(), guard);
   while (pair_cursor_ < end) {
     std::string_view line = take_line(pair_cursor_, end);
     if (line.empty() || line[0] == '#') continue;

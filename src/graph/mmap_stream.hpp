@@ -34,6 +34,9 @@ class MmapAdjacencyStream final : public AdjacencyStream {
 
   /// Malformed lines quarantined so far in the current pass.
   std::uint64_t bad_records() const override { return quarantine_.count(); }
+  std::uint64_t quarantine_log_drops() const override {
+    return quarantine_.log_drops();
+  }
 
  private:
   MmapFile map_;
@@ -62,6 +65,9 @@ class MmapEdgeListStream final : public AdjacencyStream {
 
   /// Malformed lines quarantined so far in the current pass.
   std::uint64_t bad_records() const override { return quarantine_.count(); }
+  std::uint64_t quarantine_log_drops() const override {
+    return quarantine_.log_drops();
+  }
 
  private:
   /// Reads the next "from to" pair into pending_; false at EOF.

@@ -1,10 +1,12 @@
 #include "graph/stream_binary.hpp"
 
+#include <csetjmp>
 #include <cstring>
-#include <fstream>
 #include <limits>
 
 #include "graph/io.hpp"
+#include "util/checked_io.hpp"
+#include "util/sigbus_guard.hpp"
 
 namespace spnl {
 
@@ -109,11 +111,27 @@ inline bool read_signed(const std::uint8_t*& p, const std::uint8_t* end,
   return true;
 }
 
+// Jump target for a SigbusGuard trip: the mapped file shrank under us and a
+// decode touched a page past the new EOF. Thrown (not returned to) via
+// siglongjmp, so keep it trivially [[noreturn]].
+[[noreturn]] void truncated_under_reader(const std::string& path,
+                                         const SigbusGuard& guard) {
+  throw IoError(path + ": mapping faulted (SIGBUS) at offset " +
+                std::to_string(guard.fault_offset()) +
+                " — file truncated while streamed");
+}
+
 }  // namespace
 
 std::uint64_t write_sadj(AdjacencyStream& stream, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("write_sadj: cannot open " + path);
+  // Crash-atomic publish (the PR-1 checkpoint protocol): bytes land in
+  // <path>.tmp through the checked fault-injectable writer, R is patched
+  // into the tmp header, and only a complete fsynced file is renamed over
+  // the destination. A crash — or an injected kill-9 — at any syscall
+  // boundary leaves the previous file intact; it is never truncated in
+  // place while a half-written replacement streams out.
+  AtomicFileWriter atomic(path);
+  FdWriter& out = atomic.out();
 
   // Header with R = 0 for now; patched after the drain. E is trusted from
   // the stream's metadata and cross-checked against the edges actually
@@ -126,8 +144,7 @@ std::uint64_t write_sadj(AdjacencyStream& stream, const std::string& path) {
   sadj::put_u64(buf, stream.num_vertices());
   sadj::put_u64(buf, stream.num_edges());
   sadj::put_u64(buf, 0);  // R placeholder
-  out.write(reinterpret_cast<const char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size()));
+  out.append(buf.data(), buf.size());
 
   std::uint64_t records = 0;
   std::uint64_t edges = 0;
@@ -145,28 +162,22 @@ std::uint64_t write_sadj(AdjacencyStream& stream, const std::string& path) {
     edges += record->out.size();
     ++records;
     if (buf.size() >= (1u << 20)) {
-      out.write(reinterpret_cast<const char*>(buf.data()),
-                static_cast<std::streamsize>(buf.size()));
+      out.append(buf.data(), buf.size());
       buf.clear();
     }
   }
-  if (!buf.empty()) {
-    out.write(reinterpret_cast<const char*>(buf.data()),
-              static_cast<std::streamsize>(buf.size()));
-  }
+  if (!buf.empty()) out.append(buf.data(), buf.size());
   if (edges != stream.num_edges()) {
     throw IoError("write_sadj: stream metadata says " +
                   std::to_string(stream.num_edges()) + " edges but " +
                   std::to_string(edges) + " were streamed");
   }
 
-  // Patch R.
+  // Patch R into the tmp file, then publish.
   buf.clear();
   sadj::put_u64(buf, records);
-  out.seekp(32);
-  out.write(reinterpret_cast<const char*>(buf.data()), 8);
-  out.flush();
-  if (!out) throw IoError("write_sadj: write failed for " + path);
+  out.patch(32, buf.data(), 8);
+  atomic.commit();
   return records;
 }
 
@@ -175,6 +186,10 @@ BinaryAdjacencyStream::BinaryAdjacencyStream(const std::string& path)
   if (map_.size() < sadj::kHeaderBytes) {
     corrupt("file shorter than the 40-byte header");
   }
+  // The header reads below dereference the mapping: guard them so a file
+  // truncated between fstat and first touch is a typed error, not SIGBUS.
+  SigbusGuard guard(map_.data(), map_.size());
+  if (sigsetjmp(guard.env(), 0) != 0) truncated_under_reader(map_.path(), guard);
   const std::uint8_t* base = reinterpret_cast<const std::uint8_t*>(map_.data());
   if (std::memcmp(base, sadj::kMagic, 8) != 0) {
     corrupt("bad magic (not a .sadj file)");
@@ -210,6 +225,9 @@ BinaryAdjacencyStream::BinaryAdjacencyStream(const std::string& path)
 }
 
 void BinaryAdjacencyStream::reset() {
+  // A multi-pass caller restarting on a file that was truncated between
+  // passes gets a typed error here, before any page past EOF is touched.
+  map_.throw_if_shrunk();
   cursor_ = reinterpret_cast<const std::uint8_t*>(map_.data()) +
             sadj::kHeaderBytes;
   prev_id_ = -1;
@@ -228,6 +246,13 @@ std::optional<VertexRecord> BinaryAdjacencyStream::next() {
     if (cursor_ != end) corrupt("trailing bytes after the last record");
     return std::nullopt;
   }
+
+  // SIGBUS-safe decode: a file truncated while we stream it surfaces as a
+  // typed IoError instead of killing the process. Decode state lives in
+  // members and pre-declared locals, so the siglongjmp skipping destructors
+  // of post-setjmp objects cannot leak anything but a dead stream's buffer.
+  SigbusGuard guard(map_.data(), map_.size());
+  if (sigsetjmp(guard.env(), 0) != 0) truncated_under_reader(map_.path(), guard);
 
   // Decode through a local pointer so the compiler keeps it in a register
   // across the neighbor loop; committed back to cursor_ only on success.

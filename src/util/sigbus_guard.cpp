@@ -1,0 +1,83 @@
+#include "util/sigbus_guard.hpp"
+
+#include <signal.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace spnl {
+
+namespace {
+
+// Innermost active guard per thread. The handler walks outward until a
+// guard's range contains the faulting address, so nested guards (a header
+// check inside a larger decode pass) resolve to the tightest owner.
+thread_local SigbusGuard* t_top_guard = nullptr;
+
+std::once_flag g_install_once;
+std::atomic<bool> g_installed{false};
+
+}  // namespace
+
+// Friend of SigbusGuard: finds the owning guard for `addr` on this thread
+// and siglongjmps through it (never returns in that case). Returns normally
+// when no active guard covers the address — the fault is not ours.
+void sigbus_guard_handler_hook(void* addr) {
+  const char* fault = static_cast<const char*>(addr);
+  for (SigbusGuard* g = t_top_guard; g != nullptr; g = g->prev_) {
+    if (fault == nullptr || (fault >= g->begin_ && fault < g->end_)) {
+      // A null si_addr (some kernels/filesystems omit it) is attributed to
+      // the innermost guard: a SIGBUS while a guard is armed is, with
+      // overwhelming likelihood, the mapping it protects.
+      g->tripped_ = true;
+      g->fault_offset_ =
+          fault != nullptr && fault >= g->begin_
+              ? static_cast<std::size_t>(fault - g->begin_)
+              : 0;
+      siglongjmp(g->env_, 1);
+    }
+  }
+}
+
+namespace {
+
+void sigbus_handler(int sig, siginfo_t* info, void* /*uctx*/) {
+  // Async-signal-safety: the hook touches only TLS, POD fields and
+  // siglongjmp. If it returns, the fault is outside every guarded range —
+  // restore the default disposition and re-raise so a real bug still
+  // crashes loudly with the right signal.
+  sigbus_guard_handler_hook(info != nullptr ? info->si_addr : nullptr);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_handler() {
+  struct sigaction sa{};
+  sa.sa_sigaction = sigbus_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_NODEFER keeps SIGBUS unblocked inside the handler, which is what
+  // lets sigsetjmp(env, 0) skip the per-call sigprocmask: the mask is never
+  // changed, so there is nothing to restore on the jump.
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  if (::sigaction(SIGBUS, &sa, nullptr) == 0) {
+    g_installed.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+SigbusGuard::SigbusGuard(const void* data, std::size_t size) noexcept
+    : begin_(static_cast<const char*>(data)),
+      end_(static_cast<const char*>(data) + size),
+      prev_(t_top_guard) {
+  std::call_once(g_install_once, install_handler);
+  t_top_guard = this;
+}
+
+SigbusGuard::~SigbusGuard() noexcept { t_top_guard = prev_; }
+
+bool sigbus_handler_installed() noexcept {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+}  // namespace spnl

@@ -1,0 +1,78 @@
+// Scoped SIGBUS protection for mmap decode loops.
+//
+// A file truncated while memory-mapped turns every access beyond the new EOF
+// page into SIGBUS — and an unhandled SIGBUS kills the whole process, which
+// for a multi-session daemon means one bad client file takes down every
+// other session. The guard converts exactly that case into a recoverable
+// control transfer:
+//
+//   SigbusGuard guard(map.data(), map.size());
+//   if (sigsetjmp(guard.env(), 0) != 0) {
+//     throw IoError("... truncated while streamed ...");   // typed, catchable
+//   }
+//   ... decode loop dereferencing the mapping ...
+//
+// Semantics:
+//  * The process-wide SIGBUS handler is installed once (first guard ever
+//    constructed) with SA_SIGINFO | SA_NODEFER. It consults a thread-local
+//    stack of active guards, so concurrent sessions on different threads
+//    each recover independently.
+//  * The handler siglongjmps ONLY when the faulting address lies inside the
+//    innermost active guard's registered range — any other SIGBUS (a real
+//    bug, a hardware fault) re-raises with the default disposition and
+//    crashes loudly, exactly as before.
+//  * sigsetjmp is called with savesigs=0 and the handler with SA_NODEFER,
+//    so no signal-mask syscall is paid per record: a guard costs two TLS
+//    stores plus one register-save setjmp — cheap enough for the per-next()
+//    decode hot path (the ingest bench's throughput gate stays green).
+//  * Escaping via siglongjmp skips destructors of objects constructed after
+//    the sigsetjmp. Guarded regions therefore keep their decode state in
+//    members / pre-declared locals; a transient allocation mid-fault can
+//    leak once, on a path whose stream is dead anyway.
+//
+// The guard catches truncation that happens MID-pass. Truncation that
+// already happened is cheaper to detect up front: MmapFile::throw_if_shrunk
+// (an fstat-vs-mapping length check) runs at stream reset so a shrunk file
+// fails with a precise message before any page is touched.
+#pragma once
+
+#include <csetjmp>
+#include <cstddef>
+
+namespace spnl {
+
+class SigbusGuard {
+ public:
+  /// Registers [data, data+size) as a recoverable range on this thread.
+  SigbusGuard(const void* data, std::size_t size) noexcept;
+  ~SigbusGuard() noexcept;
+
+  SigbusGuard(const SigbusGuard&) = delete;
+  SigbusGuard& operator=(const SigbusGuard&) = delete;
+
+  /// Jump target storage for the caller's sigsetjmp. Call
+  /// sigsetjmp(guard.env(), 0) before the first dereference of the range.
+  sigjmp_buf& env() noexcept { return env_; }
+
+  /// After the jump fired: byte offset of the faulting access into the
+  /// registered range (0 when the kernel gave no address).
+  std::size_t fault_offset() const noexcept { return fault_offset_; }
+
+  /// True once the handler has jumped through this guard.
+  bool tripped() const noexcept { return tripped_; }
+
+ private:
+  friend void sigbus_guard_handler_hook(void* addr);
+
+  const char* begin_;
+  const char* end_;
+  SigbusGuard* prev_;  // enclosing guard on this thread (nesting)
+  sigjmp_buf env_;
+  std::size_t fault_offset_ = 0;
+  volatile bool tripped_ = false;
+};
+
+/// Test hook: true when the process-wide handler has been installed.
+bool sigbus_handler_installed() noexcept;
+
+}  // namespace spnl

@@ -179,4 +179,28 @@ if "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
   echo "expected --batch-size=abc to fail" >&2; exit 1
 fi
 
+# Storage-fault injection under the sanitizers: a failed route write must be
+# a typed exit-1 error (never a silent 0 or a sanitizer abort), a malformed
+# fault plan must exit 2, and a survivable EINTR/short-write storm must
+# still publish a byte-identical route.
+if "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --out="${smoke_dir}/route_fail.txt" \
+  --inject-io-faults=fail:write@1@enospc --quiet 2>/dev/null; then
+  echo "expected injected ENOSPC route write to fail" >&2; exit 1
+fi
+if "${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --inject-io-faults=fail:bogus@1 --quiet 2>/dev/null; then
+  echo "expected malformed --inject-io-faults plan to exit 2" >&2; exit 1
+fi
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/graph.adj" --k=8 \
+  --algo=spnl --out="${smoke_dir}/route_storm.txt" \
+  --inject-io-faults=seed:3,eintr:write@1@4,short:write@r2@2 --quiet
+cmp "${smoke_dir}/route_text.txt" "${smoke_dir}/route_storm.txt"
+
+# Kill-9 crash torture over the instrumented tools: SIGKILL mid-publish in
+# convert/checkpoint/drain must never leave a torn artifact that a fresh
+# (sanitized) process accepts.
+bash "${repo_root}/tools/crash_torture.sh" --tools "${build_dir}/tools" \
+  --work-dir "${build_dir}/sanitize_crash_torture"
+
 echo "sanitize smoke (${mode}): OK"

@@ -18,6 +18,7 @@
 #include "graph/stream_binary.hpp"
 #include "server/client.hpp"
 #include "util/cli.hpp"
+#include "util/fault_fs.hpp"
 
 namespace {
 
@@ -39,7 +40,9 @@ void usage() {
       "  --max-attempts=N        transport failures tolerated (8)\n"
       "  --batch=N               records per frame (256)\n"
       "  --inject-disconnect-after=N  fault injection: drop the connection\n"
-      "                          once after N acked records (tests)\n");
+      "                          once after N acked records (tests)\n"
+      "  --inject-io-faults=PLAN storage-fault plan for the reader/route\n"
+      "                          writer (docs/fault_tolerance.md)\n");
 }
 
 }  // namespace
@@ -52,6 +55,15 @@ int main(int argc, char** argv) {
     return args.has("help") ? 0 : 2;
   }
   const bool quiet = args.get_bool("quiet", false);
+
+  if (args.has("inject-io-faults")) {
+    try {
+      spnl::faultfs::configure(args.get("inject-io-faults", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   spnl::ClientOptions options;
   std::unique_ptr<spnl::AdjacencyStream> stream;

@@ -13,7 +13,6 @@
 // route. Quarantine flags apply to text inputs only: malformed lines are
 // skipped (and logged) up to the bound, and never reach the output file.
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <string>
 
@@ -21,7 +20,9 @@
 #include "graph/io.hpp"
 #include "graph/mmap_stream.hpp"
 #include "graph/stream_binary.hpp"
+#include "util/checked_io.hpp"
 #include "util/cli.hpp"
+#include "util/fault_fs.hpp"
 
 namespace {
 
@@ -34,23 +35,32 @@ void usage() {
       "  --reader=buffered|mmap   text reader implementation (mmap)\n"
       "  --max-bad-records=N      quarantine up to N malformed text lines\n"
       "  --quarantine-log=PATH    append quarantined lines to PATH\n"
+      "  --inject-io-faults=PLAN  storage-fault plan (docs/fault_tolerance.md)\n"
       "  --quiet                  suppress the summary line\n");
 }
 
 // Text output: same "# V <n> E <m>"-headed adjacency-list format
 // write_adjacency_list emits, but streamed record-by-record so a
-// larger-than-RAM sadj file converts back without materializing.
+// larger-than-RAM sadj file converts back without materializing. Published
+// crash-atomically, like the sadj path: an interrupted conversion leaves the
+// previous output intact, never a truncated half-file at the final name.
 void write_adj_text(spnl::AdjacencyStream& stream, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw spnl::IoError("cannot open " + path + " for writing");
-  out << "# V " << stream.num_vertices() << " E " << stream.num_edges() << "\n";
+  spnl::AtomicFileWriter atomic(path);
+  spnl::FdWriter& out = atomic.out();
+  out.append("# V ");
+  out.append_u64(stream.num_vertices());
+  out.append(" E ");
+  out.append_u64(stream.num_edges());
+  out.append_char('\n');
   while (auto record = stream.next()) {
-    out << record->id;
-    for (spnl::VertexId nbr : record->out) out << ' ' << nbr;
-    out << '\n';
+    out.append_u64(record->id);
+    for (spnl::VertexId nbr : record->out) {
+      out.append_char(' ');
+      out.append_u64(nbr);
+    }
+    out.append_char('\n');
   }
-  out.flush();
-  if (!out) throw spnl::IoError("write failed for " + path);
+  atomic.commit();
 }
 
 }  // namespace
@@ -60,6 +70,17 @@ int main(int argc, char** argv) {
   if (args.has("help") || args.positional().size() != 1 || !args.has("out")) {
     usage();
     return args.has("help") ? 0 : 2;
+  }
+
+  // Armed before the first file is opened so the plan's operation indices
+  // count from the very first syscall of the run.
+  if (args.has("inject-io-faults")) {
+    try {
+      spnl::faultfs::configure(args.get("inject-io-faults", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
 
   try {
@@ -109,15 +130,20 @@ int main(int argc, char** argv) {
     }
 
     if (!quiet) {
-      std::printf("wrote %s: V=%u E=%llu records=%llu%s",
+      std::printf("wrote %s: V=%u E=%llu records=%llu",
                   out_path.c_str(), stream->num_vertices(),
                   static_cast<unsigned long long>(stream->num_edges()),
-                  static_cast<unsigned long long>(records),
-                  stream->bad_records() > 0 ? "" : "\n");
+                  static_cast<unsigned long long>(records));
       if (stream->bad_records() > 0) {
-        std::printf(" quarantined=%llu\n",
+        std::printf(" quarantined=%llu",
                     static_cast<unsigned long long>(stream->bad_records()));
       }
+      if (stream->quarantine_log_drops() > 0) {
+        std::printf(" quarantine-log-drops=%llu",
+                    static_cast<unsigned long long>(
+                        stream->quarantine_log_drops()));
+      }
+      std::printf("\n");
     }
   } catch (const spnl::CliError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -97,6 +97,7 @@
 #include "partition/stanton_kliot.hpp"
 #include "partition/window_stream.hpp"
 #include "util/cli.hpp"
+#include "util/fault_fs.hpp"
 #include "util/memory.hpp"
 #include "util/perf_stats.hpp"
 #include "util/resource_governor.hpp"
@@ -124,6 +125,8 @@ int usage() {
                "  [--degrade-policy=ladder|abort|off] [--governor-interval=N]\n"
                "  [--watchdog-timeout=SECS]\n"
                "  [--max-bad-records=N] [--quarantine-log=bad.txt]\n"
+               "  [--inject-io-faults=seed:S,fail:OP@N[@ERR],eintr:OP@N[@R],"
+               "short:OP@N[@D],enospc:BYTES,torn:N[@BYTES],kill:OP@N]\n"
                "  [--perf-report] [--perf-json=stats.json]\n"
                "algos: hash range ldg fennel spn spnl balanced dg edg "
                "triangles multilevel labelprop\n");
@@ -252,6 +255,18 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.positional().size() != 1) return usage();
 
+  // Storage-fault plan (distinct from --inject-faults, which schedules
+  // worker/compute faults): armed before the first file is opened so the
+  // plan's operation indices count from the very first syscall of the run.
+  if (args.has("inject-io-faults")) {
+    try {
+      faultfs::configure(args.get("inject-io-faults", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
   // Everything below — including the flag reads — sits in one try so a
   // malformed numeric flag (--batch-size=abc) surfaces as a typed CliError
   // with usage status, never a silent 0.
@@ -378,6 +393,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(bad_records),
                   hardening.quarantine_log.empty() ? "" : " -> ",
                   hardening.quarantine_log.c_str());
+    }
+    if (file_stream != nullptr && file_stream->quarantine_log_drops() > 0) {
+      std::printf("WARNING: %llu quarantined record(s) lost to quarantine-log "
+                  "write failures\n",
+                  static_cast<unsigned long long>(
+                      file_stream->quarantine_log_drops()));
     }
 
     std::vector<PartitionId> route;
@@ -599,6 +620,12 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(bad_records),
                     hardening.quarantine_log.empty() ? "" : " -> ",
                     hardening.quarantine_log.c_str());
+      }
+      if (stream.quarantine_log_drops() > 0) {
+        std::printf("WARNING: %llu quarantined record(s) lost to "
+                    "quarantine-log write failures\n",
+                    static_cast<unsigned long long>(
+                        stream.quarantine_log_drops()));
       }
     }
 

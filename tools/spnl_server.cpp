@@ -18,6 +18,7 @@
 
 #include "server/server.hpp"
 #include "util/cli.hpp"
+#include "util/fault_fs.hpp"
 #include "util/shutdown.hpp"
 
 namespace {
@@ -34,6 +35,8 @@ void usage() {
       "  --drain-dir=DIR       checkpoint sessions here on SIGTERM and\n"
       "                        restore them on startup (empty = disabled)\n"
       "  --retry-after-ms=MS   hint carried by Busy replies (200)\n"
+      "  --inject-io-faults=PLAN  storage-fault plan for drain/restore I/O\n"
+      "                        (docs/fault_tolerance.md)\n"
       "  --quiet               suppress the startup/stats lines\n");
 }
 
@@ -46,6 +49,17 @@ int main(int argc, char** argv) {
     return args.has("help") ? 0 : 2;
   }
   const bool quiet = args.get_bool("quiet", false);
+
+  // Armed before the drain-dir restore scan so the plan's operation indices
+  // cover restore reads as well as drain writes.
+  if (args.has("inject-io-faults")) {
+    try {
+      spnl::faultfs::configure(args.get("inject-io-faults", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   spnl::ServerOptions options;
   try {
