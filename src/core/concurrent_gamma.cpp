@@ -5,6 +5,39 @@
 
 namespace spnl {
 
+namespace {
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+GammaDeltaBuffer::GammaDeltaBuffer(PartitionId num_partitions, std::size_t rows)
+    : k_(num_partitions) {
+  if (num_partitions == 0) {
+    throw std::invalid_argument("GammaDeltaBuffer: K must be >= 1");
+  }
+  // Table is 2x the requested row budget so load factor stays <= 1/2.
+  const std::size_t slots = next_pow2(std::max<std::size_t>(rows, 1) * 2);
+  mask_ = slots - 1;
+  limit_ = slots / 2;
+  ids_.assign(slots, kInvalidVertex);
+  counts_.assign(slots * k_, 0);
+}
+
+void GammaDeltaBuffer::clear() {
+  if (used_ == 0) return;
+  for (std::size_t idx = 0; idx <= mask_; ++idx) {
+    if (ids_[idx] == kInvalidVertex) continue;
+    ids_[idx] = kInvalidVertex;
+    std::fill_n(counts_.begin() + static_cast<std::ptrdiff_t>(idx * k_), k_, 0u);
+  }
+  used_ = 0;
+}
+
 ConcurrentGammaWindow::ConcurrentGammaWindow(VertexId num_vertices,
                                              PartitionId num_partitions,
                                              std::uint32_t num_shards)
@@ -24,13 +57,33 @@ ConcurrentGammaWindow::ConcurrentGammaWindow(VertexId num_vertices,
   }
 }
 
-void ConcurrentGammaWindow::advance_to(VertexId head) {
-  // Cheap racy pre-check; the mutex serializes actual movement.
+void ConcurrentGammaWindow::advance_to(VertexId head, PerfStats* perf) {
+  // Fast path: the slide (or a pending request) already covers this head.
   if (head <= base_.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(advance_mutex_);
-  VertexId base = base_.load(std::memory_order_relaxed);
-  if (head <= base) return;
-  const VertexId steps = head - base;
+
+  // Publish the request wait-free: monotone fetch-max via CAS. release pairs
+  // with the acquire reload in the slide loop below, so the winner of the
+  // try_lock observes every published head.
+  VertexId cur = pending_head_.load(std::memory_order_relaxed);
+  while (cur < head) {
+    if (pending_head_.compare_exchange_weak(cur, head, std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+      break;
+    }
+    // cur was reloaded by the failed CAS; loop re-tests cur < head.
+    if (perf != nullptr) perf->add_count(PerfCounter::kGammaHeadCasRetries, 1);
+  }
+
+  // Only one worker slides at a time; everyone else cedes without blocking.
+  // The ceded request is picked up either by the current holder's re-check
+  // below or by the next advance_to() call — bounded staleness, and only of
+  // the heuristic Γ estimate (termination never waits on the slide).
+  std::unique_lock lock(advance_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (perf != nullptr) perf->add_count(PerfCounter::kGammaAdvanceContended, 1);
+    return;
+  }
+
   auto clear_rows = [this](VertexId first_slot, VertexId rows) {
     auto* begin = counters_.get() +
                   static_cast<std::size_t>(first_slot) * num_partitions_;
@@ -39,17 +92,64 @@ void ConcurrentGammaWindow::advance_to(VertexId head) {
       begin[i].store(0, std::memory_order_relaxed);
     }
   };
-  if (steps >= window_size_) {
-    clear_rows(0, window_size_);
-  } else {
-    // Retiring ids [base, head) occupy at most two contiguous slot runs (the
-    // ring wraps at W): clear them as ranges instead of per-id modulo walks.
-    const VertexId first = slot_of(base);
-    const VertexId head_rows = std::min<VertexId>(steps, window_size_ - first);
-    clear_rows(first, head_rows);
-    if (steps > head_rows) clear_rows(0, steps - head_rows);
+
+  // Slide to the latest published request, re-checking after each pass so a
+  // head published while we slid (by a worker whose try_lock lost against
+  // ours) is not stranded until the next call.
+  while (true) {
+    const VertexId target = pending_head_.load(std::memory_order_acquire);
+    const VertexId base = base_.load(std::memory_order_relaxed);
+    if (target <= base) break;
+    const VertexId steps = target - base;
+    if (steps >= window_size_) {
+      clear_rows(0, window_size_);
+    } else {
+      // Retiring ids [base, target) occupy at most two contiguous slot runs
+      // (the ring wraps at W): clear them as ranges instead of per-id modulo
+      // walks.
+      const VertexId first = slot_of(base);
+      const VertexId head_rows = std::min<VertexId>(steps, window_size_ - first);
+      clear_rows(first, head_rows);
+      if (steps > head_rows) clear_rows(0, steps - head_rows);
+    }
+    base_.store(target, std::memory_order_relaxed);
   }
-  base_.store(head, std::memory_order_relaxed);
+}
+
+void ConcurrentGammaWindow::publish(GammaDeltaBuffer& delta, PerfStats* perf) {
+  if (delta.empty()) return;
+  PerfScope scope(perf, PerfStage::kGammaPublish);
+  const VertexId b = base_.load(std::memory_order_relaxed);
+  const VertexId w = window_size_;
+  std::uint64_t cells = 0;
+  std::uint64_t dropped = 0;
+  for (std::size_t idx = 0; idx <= delta.mask_; ++idx) {
+    const VertexId u = delta.ids_[idx];
+    if (u == kInvalidVertex) continue;
+    const std::uint32_t* row = delta.counts_.data() + idx * delta.k_;
+    // Membership re-check at merge time: a row whose id retired between
+    // buffering and publish is dropped — the eager path's increments to it
+    // would have been cleared by the slide, so dropping is byte-identical.
+    if (u < b ||
+        static_cast<std::uint64_t>(u) >= static_cast<std::uint64_t>(b) + w) {
+      for (PartitionId p = 0; p < delta.k_; ++p) {
+        if (row[p] != 0) ++dropped;
+      }
+      continue;
+    }
+    auto* dest = counters_.get() + static_cast<std::size_t>(u % w) * num_partitions_;
+    for (PartitionId p = 0; p < delta.k_; ++p) {
+      if (row[p] == 0) continue;
+      dest[p].fetch_add(row[p], std::memory_order_relaxed);
+      ++cells;
+    }
+  }
+  delta.clear();
+  if (perf != nullptr) {
+    perf->add_count(PerfCounter::kGammaDeltaPublishes, 1);
+    perf->add_count(PerfCounter::kGammaDeltaCells, cells);
+    if (dropped != 0) perf->add_count(PerfCounter::kGammaDeltaDropped, dropped);
+  }
 }
 
 void ConcurrentGammaWindow::shrink_to(VertexId new_window) {
@@ -108,6 +208,7 @@ void ConcurrentGammaWindow::restore(StateReader& in) {
     throw CheckpointError("gamma restore: counter table size mismatch");
   }
   base_.store(base, std::memory_order_relaxed);
+  pending_head_.store(base, std::memory_order_relaxed);
   for (std::size_t i = 0; i < total; ++i) {
     counters_[i].store(counters[i], std::memory_order_relaxed);
   }

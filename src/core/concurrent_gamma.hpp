@@ -3,9 +3,28 @@
 // Counter increments and reads are lock-free relaxed atomics — the paper
 // explicitly tolerates heuristic noise from concurrent access (quality
 // degradation bounded by the RCT optimization, Table V discussion). Window
-// advancement (slot retirement) is serialized by a mutex and only ever moves
-// forward; a late increment racing with a slot clear is benign heuristic
-// loss, identical in kind to the windowing loss of Fig. 5.
+// advancement (slot retirement) is serialized, but the hot path never waits
+// for it: advance_to() publishes the requested head with a wait-free
+// fetch-max CAS and only the worker that wins a try_lock performs the slide;
+// losers return immediately and the winner re-checks the pending head after
+// each pass so no request is stranded (bounded staleness of one commit,
+// heuristic-only — termination never depends on the slide).
+//
+// Epoch-local Γ deltas: instead of fetch_add-ing the shared counter array
+// per neighbor (a cache-line ping-pong between workers placing ids with
+// colliding slots), each worker accumulates increments into a private
+// GammaDeltaBuffer and publishes it as one merge — at epoch boundaries, when
+// the buffer fills, and at every pipeline quiesce (in worker-index order, so
+// merges are deterministic and checkpoints carry the full counts). Reads add
+// the reader's OWN buffered row on top of the shared counters
+// (read-your-own-writes); other workers' unpublished rows are invisible
+// until their merge, the same bounded heuristic staleness as above. At M=1
+// "shared + own delta" equals the eager total exactly (uint32 sums, exact in
+// double), so routes stay byte-identical to the sequential oracle. Publish
+// drops rows whose id retired from the window before the merge — eager
+// increments to such ids would have been cleared by the slide anyway, so
+// dropping preserves byte-identity; the read path filters by contains() for
+// the same reason.
 #pragma once
 
 #include <atomic>
@@ -14,19 +33,92 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <vector>
 
 #include "core/checkpoint.hpp"
 #include "graph/types.hpp"
+#include "util/perf_stats.hpp"
 
 namespace spnl {
+
+/// Per-worker epoch-local Γ increment buffer: a small open-addressed table
+/// keyed by vertex id, one row of K counts per id. Single-owner (no
+/// synchronization) — the owning worker accumulates and reads it, and merges
+/// it into the shared window via ConcurrentGammaWindow::publish().
+class GammaDeltaBuffer {
+ public:
+  /// `rows` is the target number of distinct ids held between publishes;
+  /// the table keeps load factor <= 1/2 so probes stay short.
+  GammaDeltaBuffer(PartitionId num_partitions, std::size_t rows);
+
+  /// Accumulate `run` into row (u, p). Returns false — without accumulating —
+  /// when the buffer is at its load limit and u has no row yet; the caller
+  /// publishes and retries (an empty buffer always accepts).
+  bool add(PartitionId p, VertexId u, std::uint32_t run) {
+    std::size_t idx = home(u);
+    while (true) {
+      const VertexId id = ids_[idx];
+      if (id == u) {
+        counts_[idx * k_ + p] += run;
+        return true;
+      }
+      if (id == kInvalidVertex) {
+        if (used_ >= limit_) return false;
+        ids_[idx] = u;
+        ++used_;
+        counts_[idx * k_ + p] += run;  // row is all-zero between occupancies
+        return true;
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  /// The K buffered counts for u, or nullptr if u has no row. Valid until
+  /// the next add()/clear().
+  const std::uint32_t* row(VertexId u) const {
+    std::size_t idx = home(u);
+    while (true) {
+      const VertexId id = ids_[idx];
+      if (id == u) return counts_.data() + idx * k_;
+      if (id == kInvalidVertex) return nullptr;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  bool empty() const { return used_ == 0; }
+  std::size_t used() const { return used_; }
+  std::size_t capacity_rows() const { return limit_; }
+
+  void clear();
+
+ private:
+  friend class ConcurrentGammaWindow;
+
+  std::size_t home(VertexId u) const {
+    // splitmix64 finalizer — same mixer the RCT shards use for probe homes.
+    std::uint64_t x = static_cast<std::uint64_t>(u) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31)) & mask_;
+  }
+
+  PartitionId k_;
+  std::size_t mask_;
+  std::size_t limit_;
+  std::size_t used_ = 0;
+  std::vector<VertexId> ids_;          // kInvalidVertex = empty slot
+  std::vector<std::uint32_t> counts_;  // slot-major, K per slot
+};
 
 class ConcurrentGammaWindow {
  public:
   ConcurrentGammaWindow(VertexId num_vertices, PartitionId num_partitions,
                         std::uint32_t num_shards);
 
-  /// Monotone forward slide; thread-safe.
-  void advance_to(VertexId head);
+  /// Monotone forward slide; thread-safe and non-blocking: publishes the
+  /// head wait-free, then slides only if the serializing try_lock is won
+  /// (contended cedes are counted, never waited on).
+  void advance_to(VertexId head, PerfStats* perf = nullptr);
 
   void increment(PartitionId p, VertexId u) {
     if (contains(u)) {
@@ -60,10 +152,50 @@ class ConcurrentGammaWindow {
     }
   }
 
+  /// Epoch-local variant of increment_many(): accumulate into the caller's
+  /// private delta buffer instead of the shared counters. If the buffer is
+  /// full it is published inline and the add retried — so the call never
+  /// loses an increment. Out-of-window neighbors are skipped exactly as in
+  /// increment_many().
+  void increment_many_buffered(PartitionId p, std::span<const VertexId> out,
+                               GammaDeltaBuffer& delta,
+                               PerfStats* perf = nullptr) {
+    const VertexId b = base_.load(std::memory_order_relaxed);
+    const VertexId w = window_size_;
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n;) {
+      const VertexId u = out[i];
+      std::uint32_t run = 1;
+      while (i + run < n && out[i + run] == u) ++run;
+      i += run;
+      if (u < b || static_cast<std::uint64_t>(u) >= static_cast<std::uint64_t>(b) + w) {
+        continue;
+      }
+      if (!delta.add(p, u, run)) {
+        publish(delta, perf);
+        delta.add(p, u, run);  // empty buffer always accepts
+      }
+    }
+  }
+
+  /// Merge a delta buffer into the shared counters and clear it. Rows whose
+  /// id has left the window are dropped (counted), preserving byte-identity
+  /// with the eager path — those increments would have been erased by the
+  /// slide. Lock-free (per-cell fetch_add); deterministic merges come from
+  /// the CALLER's ordering discipline (the driver drains buffers in
+  /// worker-index order at quiesce points).
+  void publish(GammaDeltaBuffer& delta, PerfStats* perf = nullptr);
+
   std::uint32_t get(PartitionId p, VertexId u) const {
     if (!contains(u)) return 0;
     return counters_[static_cast<std::size_t>(slot_of(u)) * num_partitions_ + p]
         .load(std::memory_order_relaxed);
+  }
+
+  bool contains(VertexId u) const {
+    const VertexId b = base_.load(std::memory_order_relaxed);
+    return u >= b &&
+           static_cast<std::uint64_t>(u) < static_cast<std::uint64_t>(b) + window_size_;
   }
 
   VertexId window_size() const { return window_size_; }
@@ -82,22 +214,22 @@ class ConcurrentGammaWindow {
            sizeof(std::atomic<std::uint32_t>);
   }
 
-  /// Checkpoint support. Callers must quiesce all writers first (the
-  /// parallel driver snapshots under its pipeline-wide exclusive lock).
+  /// Checkpoint support. Callers must quiesce all writers first AND drain
+  /// every delta buffer (the parallel driver publishes all buffers under its
+  /// pipeline-wide exclusive lock before snapshotting), so the on-disk
+  /// format is unchanged and carries the full counts.
   void save(StateWriter& out) const;
   void restore(StateReader& in);
 
  private:
-  bool contains(VertexId u) const {
-    const VertexId b = base_.load(std::memory_order_relaxed);
-    return u >= b &&
-           static_cast<std::uint64_t>(u) < static_cast<std::uint64_t>(b) + window_size_;
-  }
   VertexId slot_of(VertexId u) const { return u % window_size_; }
 
   PartitionId num_partitions_;
   VertexId window_size_;
   std::atomic<VertexId> base_{0};
+  /// Highest head any worker has requested; the slide lags it by at most one
+  /// commit. Monotone via CAS fetch-max.
+  std::atomic<VertexId> pending_head_{0};
   std::mutex advance_mutex_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> counters_;
 };

@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/concurrent_gamma.hpp"
 #include "core/rct.hpp"
+#include "core/score_kernel.hpp"
 #include "core/watchdog.hpp"
 #include "partition/range_partitioner.hpp"
 #include "util/bounded_queue.hpp"
@@ -28,27 +29,69 @@ namespace {
 
 /// Tracks the contiguous prefix of placed vertex ids. The Γ window base
 /// follows this low-watermark so a delayed vertex's row survives its delay.
+///
+/// Two disciplines behind one interface (HotPathMode): the striped baseline
+/// serializes every mark behind a mutex; the lock-free mode stores a flag
+/// ring of atomics and advances the watermark with a CAS loop — the CAS
+/// winner retires the slot, losers just reload and re-test, so no worker
+/// ever blocks here. At M=1 the CAS always succeeds first try and the two
+/// modes return identical watermarks for identical mark sequences.
+///
+/// Ring-aliasing caveat (both modes, inherited from PR 4): the ring spans
+/// the maximum in-flight id spread, so two live ids should never share a
+/// slot. If sizing is ever violated, a lost or phantom mark can stall the
+/// watermark — which only stalls the Γ slide (heuristic staleness), never
+/// the pipeline: quiesce and termination are driven by placed_total. The
+/// lock-free clear-after-CAS preserves exactly this failure envelope.
 class WatermarkTracker {
  public:
-  explicit WatermarkTracker(std::size_t span)
-      : ring_(std::max<std::size_t>(span, 1), false) {}
+  WatermarkTracker(std::size_t span, bool lock_free)
+      : lock_free_(lock_free),
+        ring_(std::max<std::size_t>(span, 1), false),
+        flags_(std::max<std::size_t>(span, 1)) {
+    for (auto& f : flags_) f.store(0, std::memory_order_relaxed);
+  }
 
   /// Mark id placed; returns the new watermark (first unplaced id).
-  VertexId mark_done(VertexId id) {
-    std::lock_guard lock(mutex_);
-    const std::size_t slot = id % ring_.size();
-    ring_[slot] = true;
-    while (ring_[watermark_ % ring_.size()]) {
-      ring_[watermark_ % ring_.size()] = false;
-      ++watermark_;
+  VertexId mark_done(VertexId id, PerfStats* perf = nullptr) {
+    if (!lock_free_) {
+      std::lock_guard lock(mutex_);
+      const std::size_t slot = id % ring_.size();
+      ring_[slot] = true;
+      while (ring_[watermark_ % ring_.size()]) {
+        ring_[watermark_ % ring_.size()] = false;
+        ++watermark_;
+      }
+      return watermark_;
     }
-    return watermark_;
+    const std::size_t size = flags_.size();
+    // release pairs with the acquire flag loads below: whichever thread
+    // advances the watermark past `id` has observed this store.
+    flags_[id % size].store(1, std::memory_order_release);
+    VertexId w = watermark_atomic_.load(std::memory_order_acquire);
+    while (flags_[w % size].load(std::memory_order_acquire) != 0) {
+      if (watermark_atomic_.compare_exchange_weak(w, w + 1,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        // CAS winner owns slot w's retirement; the slot's next occupant is
+        // at least w + span, which sizing guarantees is not yet in flight.
+        flags_[w % size].store(0, std::memory_order_relaxed);
+        ++w;
+      } else if (perf != nullptr) {
+        // w was reloaded by the failed CAS; loop re-tests its flag.
+        perf->add_count(PerfCounter::kWatermarkCasRetries, 1);
+      }
+    }
+    return w;
   }
 
  private:
+  const bool lock_free_;
   std::mutex mutex_;
   std::vector<bool> ring_;
   VertexId watermark_ = 0;
+  std::vector<std::atomic<std::uint8_t>> flags_;
+  std::atomic<VertexId> watermark_atomic_{0};
 };
 
 /// Per-partition load counters, one cache line per partition: every commit
@@ -114,15 +157,22 @@ class Worker {
   /// thread-safe); nullptr disables instrumentation. `watchdog`+`index`
   /// route the per-commit heartbeat (nullptr = no watchdog, e.g. the
   /// monitor's own rescue worker).
+  /// `delta` is the worker's private epoch-local Γ buffer (nullptr = eager
+  /// shared increments — the striped mode, and the single-threaded rescue/
+  /// finisher workers which have no epoch structure). `epoch_records` > 0
+  /// publishes the buffer every that many commits.
   Worker(SharedState& state, Rct* rct, WatermarkTracker& watermark,
          PerfStats* perf = nullptr, PipelineWatchdog* watchdog = nullptr,
-         unsigned index = 0)
+         unsigned index = 0, GammaDeltaBuffer* delta = nullptr,
+         std::uint64_t epoch_records = 0)
       : state_(state),
         rct_(rct),
         watermark_(watermark),
         perf_(perf),
         watchdog_(watchdog),
-        index_(index) {}
+        index_(index),
+        delta_(delta),
+        epoch_records_(epoch_records) {}
 
   /// Score + pick; bumps RCT counters of in-flight out-neighbors along the
   /// out-list traversal (the "no additional runtime cost" counting of the
@@ -183,14 +233,33 @@ class Worker {
       scores_[i] = lambda * ((1.0 - e) * physical_[i] + e * logical_[i]);
     }
 
+    // Γ contributions read the shared window PLUS the worker's own
+    // unpublished delta row (read-your-own-writes): at M=1 the sum equals
+    // the eager total exactly — uint32 counts summed in uint64, one double
+    // conversion, one multiply, so the float sequence is bit-identical to
+    // the eager path. The delta row is only consulted for in-window ids,
+    // mirroring publish()'s membership drop rule.
     if (state_.options.spnl.estimator == InNeighborEstimator::kSelf) {
+      const std::uint32_t* drow =
+          delta_ != nullptr && state_.gamma.contains(record.id)
+              ? delta_->row(record.id)
+              : nullptr;
       for (PartitionId i = 0; i < k; ++i) {
-        scores_[i] += (1.0 - lambda) * state_.gamma.get(i, record.id);
+        const std::uint64_t g =
+            static_cast<std::uint64_t>(state_.gamma.get(i, record.id)) +
+            (drow != nullptr ? drow[i] : 0u);
+        scores_[i] += (1.0 - lambda) * static_cast<double>(g);
       }
     } else {
       for (VertexId u : record.out) {
+        const std::uint32_t* drow =
+            delta_ != nullptr && state_.gamma.contains(u) ? delta_->row(u)
+                                                          : nullptr;
         for (PartitionId i = 0; i < k; ++i) {
-          scores_[i] += (1.0 - lambda) * state_.gamma.get(i, u);
+          const std::uint64_t g =
+              static_cast<std::uint64_t>(state_.gamma.get(i, u)) +
+              (drow != nullptr ? drow[i] : 0u);
+          scores_[i] += (1.0 - lambda) * static_cast<double>(g);
         }
       }
     }
@@ -216,13 +285,28 @@ class Worker {
       // so membership is re-checked by id — but batched over the record's
       // whole out-list (one base load, duplicate runs coalesced) instead of
       // one increment call per neighbor. (Hash fallback stops feeding the
-      // window — the scores never read it again.)
+      // window — the scores never read it again.) With a delta buffer the
+      // increments stay worker-local and hit the shared array only at the
+      // next publish.
       PerfScope t(perf_, PerfStage::kGammaIncrement);
-      state_.gamma.increment_many(pid, record.out);
+      if (delta_ != nullptr) {
+        state_.gamma.increment_many_buffered(pid, record.out, *delta_, perf_);
+      } else {
+        state_.gamma.increment_many(pid, record.out);
+      }
     }
     {
       PerfScope t(perf_, PerfStage::kWindowAdvance);
-      state_.gamma.advance_to(watermark_.mark_done(record.id));
+      state_.gamma.advance_to(watermark_.mark_done(record.id, perf_), perf_);
+    }
+    // Epoch boundary: publish the delta so other workers see these counts.
+    // Happens after the slide so the membership drop rule sees the newest
+    // base (a retired row would be cleared by the slide an instant later
+    // anyway — dropping it keeps publish idempotent with the eager path).
+    if (delta_ != nullptr && epoch_records_ > 0 &&
+        ++commits_since_publish_ >= epoch_records_) {
+      commits_since_publish_ = 0;
+      state_.gamma.publish(*delta_, perf_);
     }
     // The liveness signal the monitor watches: any commit proves progress,
     // including mid-chain commits of RCT-released records.
@@ -267,29 +351,20 @@ class Worker {
   }
 
  private:
-  /// Capacity weight + argmax over scores_ (ties to lower load, then lower
-  /// id; all-full overflows to the globally least-loaded partition).
+  /// Capacity weight + argmax via the shared scoring kernel: one load
+  /// snapshot per decision, then score_kernel's weigh_and_pick — the exact
+  /// contract the sequential partitioners use (full partitions skipped, ties
+  /// to lower load then lower id, all-full overflow to the least loaded).
+  /// Snapshotting also fixes the old racy fallback, which re-read the live
+  /// atomic loads mid-scan and could compare two different snapshots of the
+  /// same partition; at M=1 the snapshot equals the live values, so routes
+  /// are unchanged.
   PartitionId pick(PartitionId k) const {
-    PartitionId best = kUnassigned;
-    double best_score = 0.0, best_load = 0.0;
-    for (PartitionId i = 0; i < k; ++i) {
-      const double load = state_.load(i);
-      if (load >= state_.capacity) continue;
-      const double score = scores_[i] * (1.0 - load / state_.capacity);
-      if (best == kUnassigned || score > best_score ||
-          (score == best_score && load < best_load)) {
-        best = i;
-        best_score = score;
-        best_load = load;
-      }
-    }
-    if (best == kUnassigned) {
-      best = 0;
-      for (PartitionId i = 1; i < k; ++i) {
-        if (state_.load(i) < state_.load(best)) best = i;
-      }
-    }
-    return best;
+    loads_.resize(k);
+    for (PartitionId i = 0; i < k; ++i) loads_[i] = state_.load(i);
+    return weigh_and_pick(std::span<double>(scores_.data(), k),
+                          std::span<const double>(loads_.data(), k),
+                          state_.capacity);
   }
 
   SharedState& state_;
@@ -298,7 +373,10 @@ class Worker {
   PerfStats* perf_;
   PipelineWatchdog* watchdog_;
   unsigned index_;
-  mutable std::vector<double> physical_, logical_, scores_;
+  GammaDeltaBuffer* delta_;
+  std::uint64_t epoch_records_;
+  std::uint64_t commits_since_publish_ = 0;
+  mutable std::vector<double> physical_, logical_, scores_, loads_;
 };
 
 constexpr const char* kParTag = "par-driver";
@@ -451,14 +529,38 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   const auto rct_capacity = std::max<std::size_t>(
       static_cast<std::size_t>(std::ceil(options.epsilon * options.num_threads)),
       1);
-  Rct rct(rct_capacity, rct_shards);
+  const bool lock_free = options.hot_path == HotPathMode::kLockFree;
+  Rct rct(rct_capacity, rct_shards,
+          lock_free ? RctMode::kLockFree : RctMode::kStriped);
   Rct* rct_ptr = options.use_rct ? &rct : nullptr;
   // The watermark ring must span the maximum in-flight id spread: the queue,
   // every worker's popped-but-unprocessed local batch, and the parked RCT
   // records.
   WatermarkTracker watermark(options.queue_capacity + rct_capacity +
-                             options.num_threads * batch_size + 16);
+                                 options.num_threads * batch_size + 16,
+                             lock_free);
   BoundedQueue<OwnedVertexRecord> queue(options.queue_capacity);
+  // Queue-lock contention accounting rides the same opt-in as the rest of
+  // the instrumentation: no sink, no clock reads on the queue path.
+  QueueStats queue_stats;
+  if (options.perf != nullptr) queue.set_stats(&queue_stats);
+  // Per-worker epoch-local Γ delta buffers, owned here (not by the worker
+  // lambdas) so the quiesce path can drain them ALL in worker-index order —
+  // that fixed order is what makes quiesce-point merges deterministic and
+  // checkpoints byte-identical regardless of which worker held what.
+  std::vector<GammaDeltaBuffer> deltas;
+  if (lock_free) {
+    deltas.reserve(options.num_threads);
+    for (unsigned t = 0; t < options.num_threads; ++t) {
+      deltas.emplace_back(config.num_partitions,
+                          std::max<std::size_t>(options.gamma_delta_rows, 1));
+    }
+  }
+  // Everything workers record lands here first (merged under a mutex after
+  // each worker's loop); options.perf receives one copy at the end. Keeping
+  // an internal sink lets the driver surface the contention counters in the
+  // result without double-counting a caller-reused sink.
+  PerfStats internal_perf;
 
   Checkpointer checkpointer(options.checkpoint_path, options.checkpoint_every);
   std::uint64_t resumed_at = 0;
@@ -515,6 +617,10 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   // record committed or parked). Returns false without running fn if the
   // pipeline aborted while waiting — a wedged worker would otherwise spin
   // this loop forever.
+  // Producer-thread-only sink for the quiesce-point delta merges (workers
+  // own their own locals; sharing internal_perf here could race a worker's
+  // exit merge on the abort path).
+  PerfStats quiesce_perf;
   auto quiesce = [&](const std::function<void()>& fn) -> bool {
     for (;;) {
       if (wd != nullptr && wd->aborted()) return false;
@@ -523,6 +629,15 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
         const std::uint64_t accounted =
             state.placed_total.load(std::memory_order_acquire) + rct.parked_size();
         if (accounted == produced) {
+          // Drain every epoch-local Γ delta in WORKER-INDEX ORDER before fn
+          // sees the state: snapshots carry the full counts (resume is then
+          // byte-identical) and the governor's footprint/shrink decisions
+          // act on merged truth. The fixed order makes quiesce merges
+          // deterministic; workers are excluded by the exclusive lock.
+          for (auto& delta : deltas) {
+            state.gamma.publish(
+                delta, options.perf != nullptr ? &quiesce_perf : nullptr);
+          }
           fn();
           return true;
         }
@@ -688,7 +803,9 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
       // instance and merges it into the shared sink once, after its loop.
       PerfStats local_perf;
       PerfStats* perf = options.perf != nullptr ? &local_perf : nullptr;
-      Worker worker(state, rct_ptr, watermark, perf, wd, t);
+      GammaDeltaBuffer* delta = lock_free ? &deltas[t] : nullptr;
+      Worker worker(state, rct_ptr, watermark, perf, wd, t, delta,
+                    options.gamma_epoch_records);
       std::uint64_t pops = 0;
       // Whole batches cross the queue; everything below the pop — fault
       // injection, watchdog publish/claim/steal, the shared-lock placement —
@@ -747,9 +864,15 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
           if (wd != nullptr) wd->complete(t);
         }
       }
+      // Exit drain: whatever the final partial epoch buffered becomes
+      // visible before the force-place/finisher phase reads the window.
+      // Never concurrent with a quiesce drain of the same buffer — the
+      // producer only quiesces before close(), and this worker only exits
+      // after close() (or after an abort, which ends quiescing too).
+      if (delta != nullptr) state.gamma.publish(*delta, perf);
       if (perf != nullptr) {
         std::lock_guard lock(perf_merge_mutex);
-        options.perf->merge(local_perf);
+        internal_perf.merge(local_perf);
       }
     });
   }
@@ -759,10 +882,12 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
   if (producer_error) std::rethrow_exception(producer_error);
 
   // Cyclically-parked leftovers: force-place in id order. Single-threaded by
-  // now, so the shared sink can be used directly. Runs on the abort path too
-  // — parked records should not punch extra holes in the partial route.
+  // now (every worker has exited and published its delta), so the internal
+  // sink can be used directly. Runs on the abort path too — parked records
+  // should not punch extra holes in the partial route.
   if (options.use_rct) {
-    Worker finisher(state, rct_ptr, watermark, options.perf);
+    Worker finisher(state, rct_ptr, watermark,
+                    options.perf != nullptr ? &internal_perf : nullptr);
     auto rest = rct.drain_parked();
     state.forced.fetch_add(rest.size(), std::memory_order_relaxed);
     for (auto& record : rest) {
@@ -770,6 +895,14 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
       finisher.commit(record, pid);
     }
   }
+
+  // Fold the side tallies together and hand the caller one merged view.
+  if (options.perf != nullptr) {
+    internal_perf.merge(quiesce_perf);
+    queue_stats.merge_into(internal_perf);
+  }
+  rct.merge_contention_into(internal_perf);
+  if (options.perf != nullptr) options.perf->merge(internal_perf);
 
   ParallelRunResult result;
   result.partition_seconds = timer.seconds();
@@ -792,6 +925,25 @@ ParallelRunResult run_parallel(AdjacencyStream& stream, const PartitionConfig& c
     result.abort_reason = wd->abort_reason();
   }
   if (governor != nullptr) result.degradations = governor->events();
+  {
+    ContentionReport& c = result.contention;
+    c.rct_shared_contended = rct.shared_contended();
+    c.rct_exclusive_contended = rct.exclusive_contended();
+    c.rct_exclusive_acquires = rct.exclusive_acquires();
+    c.rct_claim_cas_retries = rct.claim_cas_retries();
+    c.rct_decrement_cas_retries = rct.decrement_cas_retries();
+    c.queue_lock_contended = internal_perf.count(PerfCounter::kQueueLockContended);
+    c.queue_lock_acquires = internal_perf.count(PerfCounter::kQueueLockAcquires);
+    c.queue_lock_wait_nanos = internal_perf.nanos(PerfStage::kQueueLockWait);
+    c.queue_lock_hold_nanos = internal_perf.nanos(PerfStage::kQueueLockHold);
+    c.gamma_delta_publishes = internal_perf.count(PerfCounter::kGammaDeltaPublishes);
+    c.gamma_delta_cells = internal_perf.count(PerfCounter::kGammaDeltaCells);
+    c.gamma_delta_dropped = internal_perf.count(PerfCounter::kGammaDeltaDropped);
+    c.gamma_head_cas_retries = internal_perf.count(PerfCounter::kGammaHeadCasRetries);
+    c.gamma_advance_contended =
+        internal_perf.count(PerfCounter::kGammaAdvanceContended);
+    c.watermark_cas_retries = internal_perf.count(PerfCounter::kWatermarkCasRetries);
+  }
   if (result.aborted) {
     const std::string reason = result.abort_reason;
     throw StreamAborted("run_parallel aborted: " + reason, std::move(result));

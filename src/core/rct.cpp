@@ -25,12 +25,54 @@ std::size_t next_pow2(std::size_t x) {
 
 }  // namespace
 
+/// RAII shard guard implementing the mode split (see rct.hpp). "Shared
+/// intent" (exclusive=false) acquires shared in kLockFree mode, exclusive in
+/// kStriped mode — so the striped baseline runs the identical call sites with
+/// every operation serialized, and exclusive_acquires() measures the
+/// difference deterministically. try_lock-first detects contention without a
+/// clock.
+class Rct::Guard {
+ public:
+  Guard(const Rct& rct, const Shard& shard, bool exclusive)
+      : shard_(shard), exclusive_(exclusive || rct.mode_ == RctMode::kStriped) {
+    if (exclusive_) {
+      rct.exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+      if (!shard_.mutex.try_lock()) {
+        rct.exclusive_contended_.fetch_add(1, std::memory_order_relaxed);
+        shard_.mutex.lock();
+      }
+    } else {
+      if (!shard_.mutex.try_lock_shared()) {
+        rct.shared_contended_.fetch_add(1, std::memory_order_relaxed);
+        shard_.mutex.lock_shared();
+      }
+    }
+  }
+
+  ~Guard() {
+    if (exclusive_) {
+      shard_.mutex.unlock();
+    } else {
+      shard_.mutex.unlock_shared();
+    }
+  }
+
+  bool exclusive() const { return exclusive_; }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  const Shard& shard_;
+  bool exclusive_;
+};
+
 std::uint32_t Rct::recommended_shards(unsigned num_threads) {
   return static_cast<std::uint32_t>(next_pow2(num_threads ? num_threads : 1));
 }
 
-Rct::Rct(std::size_t capacity, std::uint32_t num_shards)
-    : capacity_(capacity ? capacity : 1) {
+Rct::Rct(std::size_t capacity, std::uint32_t num_shards, RctMode mode)
+    : capacity_(capacity ? capacity : 1), mode_(mode) {
   const std::size_t shards = next_pow2(num_shards ? num_shards : 1);
   shard_mask_ = static_cast<std::uint32_t>(shards - 1);
   shard_capacity_ = (capacity_ + shards - 1) / shards;
@@ -38,10 +80,15 @@ Rct::Rct(std::size_t capacity, std::uint32_t num_shards)
   const std::size_t table_size =
       next_pow2(std::max<std::size_t>(2 * shard_capacity_, 4));
   for (Shard& shard : shards_) {
-    shard.table.assign(table_size, Slot{});
-    shard.table_mask = table_size - 1;
+    alloc_table(shard, table_size);
     shard.parked.reserve(shard_capacity_);
   }
+}
+
+void Rct::alloc_table(Shard& shard, std::size_t size) {
+  shard.table = std::make_unique<Slot[]>(size);  // value-init: empty slots
+  shard.table_size = size;
+  shard.table_mask = size - 1;
 }
 
 std::size_t Rct::probe_home(const Shard& shard, VertexId v) {
@@ -49,54 +96,100 @@ std::size_t Rct::probe_home(const Shard& shard, VertexId v) {
 }
 
 std::size_t Rct::find_locked(const Shard& shard, VertexId v) {
+  // Probe chains only change under the exclusive lock (erase/grow), so a
+  // shared holder's walk is stable. The acquire load pairs with the claim
+  // CAS's release so a freshly claimed id is seen fully initialized (an
+  // empty slot's counter is 0 by invariant, so there is nothing else to
+  // see). The probe count is bounded defensively: a transiently full table
+  // (concurrent claims overshooting the load limit on a tiny table) must
+  // terminate as "absent" instead of spinning.
   std::size_t i = probe_home(shard, v);
-  while (shard.table[i].id != kInvalidVertex) {
-    if (shard.table[i].id == v) return i;
+  for (std::size_t probes = 0; probes < shard.table_size; ++probes) {
+    const VertexId id = shard.table[i].id.load(std::memory_order_acquire);
+    if (id == kInvalidVertex) return shard.table_size;
+    if (id == v) return i;
     i = (i + 1) & shard.table_mask;
   }
-  return shard.table.size();
+  return shard.table_size;
 }
 
 void Rct::grow_locked(Shard& shard) {
-  std::vector<Slot> old = std::move(shard.table);
-  shard.table.assign(old.size() * 2, Slot{});
-  shard.table_mask = shard.table.size() - 1;
-  for (const Slot& slot : old) {
-    if (slot.id == kInvalidVertex) continue;
-    std::size_t i = probe_home(shard, slot.id);
-    while (shard.table[i].id != kInvalidVertex) i = (i + 1) & shard.table_mask;
-    shard.table[i] = slot;
+  const std::size_t old_size = shard.table_size;
+  std::unique_ptr<Slot[]> old = std::move(shard.table);
+  alloc_table(shard, old_size * 2);
+  for (std::size_t s = 0; s < old_size; ++s) {
+    const VertexId id = old[s].id.load(std::memory_order_relaxed);
+    if (id == kInvalidVertex) continue;
+    std::size_t i = probe_home(shard, id);
+    while (shard.table[i].id.load(std::memory_order_relaxed) != kInvalidVertex) {
+      i = (i + 1) & shard.table_mask;
+    }
+    shard.table[i].id.store(id, std::memory_order_relaxed);
+    shard.table[i].counter.store(old[s].counter.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+    shard.table[i].parked = old[s].parked;
   }
 }
 
 std::size_t Rct::insert_locked(Shard& shard, VertexId v) {
-  // Keep the load factor <= 1/2 so probes stay short; only restore_parked
-  // can push a shard past its nominal capacity and trigger growth.
-  if (2 * (shard.entries + 1) > shard.table.size()) grow_locked(shard);
+  // Keep the load factor <= 1/2 so probes stay short. Plain relaxed stores:
+  // the caller holds the lock exclusively, and the mutex release publishes
+  // the writes to every later shared holder.
+  if (2 * (shard.entries.load(std::memory_order_relaxed) + 1) > shard.table_size) {
+    grow_locked(shard);
+  }
   std::size_t i = probe_home(shard, v);
-  while (shard.table[i].id != kInvalidVertex) i = (i + 1) & shard.table_mask;
-  shard.table[i] = Slot{v, 0, false};
-  ++shard.entries;
+  while (shard.table[i].id.load(std::memory_order_relaxed) != kInvalidVertex) {
+    i = (i + 1) & shard.table_mask;
+  }
+  shard.table[i].id.store(v, std::memory_order_relaxed);
+  shard.table[i].counter.store(0, std::memory_order_relaxed);
+  shard.table[i].parked = false;
+  shard.entries.fetch_add(1, std::memory_order_relaxed);
   return i;
 }
 
 void Rct::erase_locked(Shard& shard, std::size_t hole) {
   // Backward-shift deletion: walk the probe chain after the hole and pull
   // back any slot whose home position precedes the hole in probe order, so
-  // lookups never need tombstones.
+  // lookups never need tombstones. Exclusive lock held: no concurrent probe
+  // can observe the chain mid-rewrite.
   std::size_t i = hole;
   std::size_t j = hole;
   for (;;) {
     j = (j + 1) & shard.table_mask;
-    if (shard.table[j].id == kInvalidVertex) break;
-    const std::size_t home = probe_home(shard, shard.table[j].id);
+    const VertexId jid = shard.table[j].id.load(std::memory_order_relaxed);
+    if (jid == kInvalidVertex) break;
+    const std::size_t home = probe_home(shard, jid);
     if (((j - home) & shard.table_mask) >= ((j - i) & shard.table_mask)) {
-      shard.table[i] = shard.table[j];
+      shard.table[i].id.store(jid, std::memory_order_relaxed);
+      shard.table[i].counter.store(
+          shard.table[j].counter.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      shard.table[i].parked = shard.table[j].parked;
       i = j;
     }
   }
-  shard.table[i] = Slot{};
-  --shard.entries;
+  // Restore the empty-slot invariant (counter 0, parked false) so a future
+  // lock-free claim of this slot needs no initialization.
+  shard.table[i].id.store(kInvalidVertex, std::memory_order_relaxed);
+  shard.table[i].counter.store(0, std::memory_order_relaxed);
+  shard.table[i].parked = false;
+  shard.entries.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Rct::register_exclusive(VertexId v) {
+  // Exclusive-path insert: used by the striped mode for every registration
+  // and by the lock-free claim when the shard needs growth. The global
+  // admission ticket is already held; refund on duplicate.
+  Shard& shard = shard_of(v);
+  Guard guard(*this, shard, /*exclusive=*/true);
+  if (find_locked(shard, v) != shard.table_size) {
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    return false;  // duplicate (not an overflow)
+  }
+  insert_locked(shard, v);
+  return true;
 }
 
 bool Rct::register_vertex(VertexId v) {
@@ -106,40 +199,82 @@ bool Rct::register_vertex(VertexId v) {
   // entries, so three in-flight vertices striping to one shard overflowed
   // while the table as a whole was nearly empty (the M=4 untracked_overflow
   // spike in BENCH_parallel.json). The shard tables themselves grow on
-  // demand (insert_locked), so only the global count needs bounding.
+  // demand, so only the global count needs bounding.
   const std::size_t ticket = entry_count_.fetch_add(1, std::memory_order_relaxed);
   if (ticket >= capacity_) {
     entry_count_.fetch_sub(1, std::memory_order_relaxed);
     untracked_overflow_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  if (mode_ == RctMode::kStriped) return register_exclusive(v);
+
   Shard& shard = shard_of(v);
-  std::lock_guard lock(shard.mutex);
-  if (find_locked(shard, v) != shard.table.size()) {
-    entry_count_.fetch_sub(1, std::memory_order_relaxed);
-    return false;  // duplicate (not an overflow)
+  {
+    Guard guard(*this, shard, /*exclusive=*/false);
+    std::size_t i = probe_home(shard, v);
+    for (std::size_t probes = 0; probes < shard.table_size; ++probes) {
+      const VertexId id = shard.table[i].id.load(std::memory_order_acquire);
+      if (id == v) {
+        entry_count_.fetch_sub(1, std::memory_order_relaxed);
+        return false;  // duplicate (not an overflow)
+      }
+      if (id == kInvalidVertex) {
+        // Load check BEFORE claiming: growth is impossible under the shared
+        // lock, so an over-half claim must divert to the exclusive path.
+        // Concurrent claimers can overshoot the limit by at most M slots —
+        // find_locked's bounded probe tolerates even a transiently full
+        // table on the minimum-size table.
+        if (2 * (shard.entries.load(std::memory_order_relaxed) + 1) >
+            shard.table_size) {
+          break;
+        }
+        VertexId expected = kInvalidVertex;
+        if (shard.table[i].id.compare_exchange_strong(
+                expected, v, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          // Claimed: the slot's counter is 0 by the empty-slot invariant.
+          shard.entries.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+        claim_cas_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (expected == v) {
+          entry_count_.fetch_sub(1, std::memory_order_relaxed);
+          return false;  // lost the claim to a duplicate of v
+        }
+        // Lost to a different id: the slot is occupied now, keep probing.
+      }
+      i = (i + 1) & shard.table_mask;
+    }
   }
-  insert_locked(shard, v);
-  return true;
+  // AUDIT (PR 9, lock-free claim): the shard needs growth (or the probe
+  // wrapped), which requires the EXCLUSIVE lock. PR 4's "never-nested"
+  // invariant covered cross-SHARD sequencing only; with CAS registration the
+  // hazard is same-shard — upgrading shared→exclusive in place self-deadlocks
+  // on shared_mutex, so the shared lock is released first (the scope above)
+  // and the exclusive path re-probes for a duplicate before inserting.
+  return register_exclusive(v);
 }
 
 void Rct::bump_if_present(VertexId u) {
   Shard& shard = shard_of(u);
-  std::lock_guard lock(shard.mutex);
+  Guard guard(*this, shard, /*exclusive=*/false);
   const std::size_t i = find_locked(shard, u);
-  if (i == shard.table.size()) return;
-  if (shard.table[i].counter == 0) {
-    nonzero_count_.fetch_add(1, std::memory_order_relaxed);
-  }
-  ++shard.table[i].counter;
+  if (i == shard.table_size) return;
+  // Exactly one fetch_add observes the 0→nonzero transition (prev == 0), so
+  // the threshold stats stay exact under concurrent bumps.
+  const std::uint32_t prev =
+      shard.table[i].counter.fetch_add(1, std::memory_order_relaxed);
+  if (prev == 0) nonzero_count_.fetch_add(1, std::memory_order_relaxed);
   nonzero_sum_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint32_t Rct::count(VertexId v) const {
   const Shard& shard = shard_of(v);
-  std::lock_guard lock(shard.mutex);
+  Guard guard(*this, shard, /*exclusive=*/false);
   const std::size_t i = find_locked(shard, v);
-  return i == shard.table.size() ? 0 : shard.table[i].counter;
+  return i == shard.table_size
+             ? 0
+             : shard.table[i].counter.load(std::memory_order_relaxed);
 }
 
 double Rct::mean_nonzero_count() const {
@@ -153,10 +288,10 @@ bool Rct::should_delay(VertexId v) const {
   std::uint32_t counter;
   {
     const Shard& shard = shard_of(v);
-    std::lock_guard lock(shard.mutex);
+    Guard guard(*this, shard, /*exclusive=*/false);
     const std::size_t i = find_locked(shard, v);
-    if (i == shard.table.size()) return false;
-    counter = shard.table[i].counter;
+    if (i == shard.table_size) return false;
+    counter = shard.table[i].counter.load(std::memory_order_relaxed);
   }
   if (counter == 0) return false;
   return static_cast<double>(counter) >= std::max(1.0, mean_nonzero_count());
@@ -171,9 +306,11 @@ bool Rct::park(OwnedVertexRecord&& record) {
     return false;
   }
   Shard& shard = shard_of(record.id);
-  std::lock_guard lock(shard.mutex);
+  // Exclusive in both modes: park mutates the parked flag and the parked
+  // vector, both of which shared holders rely on being writer-excluded.
+  Guard guard(*this, shard, /*exclusive=*/true);
   const std::size_t i = find_locked(shard, record.id);
-  if (i == shard.table.size() || shard.table[i].parked) {
+  if (i == shard.table_size || shard.table[i].parked) {
     // Untracked vertices cannot park; a double-park would lose a record.
     parked_count_.fetch_sub(1, std::memory_order_relaxed);
     return false;
@@ -186,14 +323,32 @@ bool Rct::park(OwnedVertexRecord&& record) {
 std::vector<OwnedVertexRecord> Rct::on_placed(VertexId v,
                                               std::span<const VertexId> out) {
   std::vector<OwnedVertexRecord> ready;
+  // Helper for the moment a counter drains to zero with the record parked:
+  // hand the record back for immediate placement. Caller holds the shard
+  // lock EXCLUSIVE and has already cleared/validated the parked flag.
+  auto unpark_locked = [&](Shard& shard, VertexId u) {
+    auto it = std::find_if(shard.parked.begin(), shard.parked.end(),
+                           [&](const auto& r) { return r.id == u; });
+    if (it != shard.parked.end()) {
+      ready.push_back(std::move(*it));
+      shard.parked.erase(it);
+      parked_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
   {
     Shard& shard = shard_of(v);
-    std::lock_guard lock(shard.mutex);
+    // Exclusive: erase rewrites the probe chain (backward shift), which
+    // would invalidate concurrent shared-side probes. Holding it also
+    // excludes every shared-side bump/decrement on this shard, so the
+    // residual counter subtracted below cannot move mid-erase.
+    Guard guard(*this, shard, /*exclusive=*/true);
     const std::size_t i = find_locked(shard, v);
-    if (i != shard.table.size()) {
-      if (shard.table[i].counter > 0) {
-        nonzero_sum_.fetch_sub(shard.table[i].counter,
-                               std::memory_order_relaxed);
+    if (i != shard.table_size) {
+      const std::uint32_t residual =
+          shard.table[i].counter.exchange(0, std::memory_order_relaxed);
+      if (residual > 0) {
+        nonzero_sum_.fetch_sub(residual, std::memory_order_relaxed);
         nonzero_count_.fetch_sub(1, std::memory_order_relaxed);
       }
       // If the caller force-placed a still-parked vertex, drop the orphaned
@@ -211,27 +366,57 @@ std::vector<OwnedVertexRecord> Rct::on_placed(VertexId v,
     }
   }
   // One shard lock at a time: the self shard above is released before any
-  // neighbor shard is taken, so there is no lock-ordering hazard.
+  // neighbor shard is taken, so there is no cross-shard ordering hazard.
   for (VertexId u : out) {
     Shard& shard = shard_of(u);
-    std::lock_guard lock(shard.mutex);
-    const std::size_t i = find_locked(shard, u);
-    if (i == shard.table.size() || shard.table[i].counter == 0) continue;
-    --shard.table[i].counter;
-    nonzero_sum_.fetch_sub(1, std::memory_order_relaxed);
-    if (shard.table[i].counter == 0) {
-      nonzero_count_.fetch_sub(1, std::memory_order_relaxed);
-      if (shard.table[i].parked) {
-        // Counter drained: release the parked record for immediate placement.
-        // The entry stays (counter 0, parked=false) until u's own on_placed.
-        shard.table[i].parked = false;
-        auto it = std::find_if(shard.parked.begin(), shard.parked.end(),
-                               [&](const auto& r) { return r.id == u; });
-        if (it != shard.parked.end()) {
-          ready.push_back(std::move(*it));
-          shard.parked.erase(it);
-          parked_count_.fetch_sub(1, std::memory_order_relaxed);
+    bool need_unpark = false;
+    {
+      Guard guard(*this, shard, /*exclusive=*/false);
+      const std::size_t i = find_locked(shard, u);
+      if (i == shard.table_size) continue;
+      // CAS-loop decrement that never goes below zero: exactly one CAS
+      // installs the 1→0 transition, so that winner owns the stats update
+      // and the unpark handoff.
+      std::uint32_t c = shard.table[i].counter.load(std::memory_order_relaxed);
+      while (c != 0) {
+        if (shard.table[i].counter.compare_exchange_weak(
+                c, c - 1, std::memory_order_relaxed,
+                std::memory_order_relaxed)) {
+          nonzero_sum_.fetch_sub(1, std::memory_order_relaxed);
+          if (c == 1) {
+            nonzero_count_.fetch_sub(1, std::memory_order_relaxed);
+            if (guard.exclusive()) {
+              // Striped mode: already writer-excluded, unpark inline.
+              if (shard.table[i].parked) {
+                shard.table[i].parked = false;
+                unpark_locked(shard, u);
+              }
+            } else if (shard.table[i].parked) {
+              // Reading the flag under the shared lock is race-free (it is
+              // only written under exclusive), but clearing it is not:
+              // divert to the exclusive reacquisition below.
+              need_unpark = true;
+            }
+          }
+          break;
         }
+        decrement_cas_retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (need_unpark) {
+      // AUDIT (PR 9, lock-free decrement): same-shard shared→exclusive
+      // upgrade self-deadlocks, so the shared lock is RELEASED first (scope
+      // above) and the slot re-validated here — another placer may have
+      // unparked u, or u may have been force-placed and erased, in the
+      // window between our 1→0 CAS and this reacquisition. We own that 1→0
+      // transition, so if the record is still parked it is released now even
+      // if the counter has been re-bumped meanwhile (eager semantics:
+      // release happens at the drain instant).
+      Guard guard(*this, shard, /*exclusive=*/true);
+      const std::size_t i = find_locked(shard, u);
+      if (i != shard.table_size && shard.table[i].parked) {
+        shard.table[i].parked = false;
+        unpark_locked(shard, u);
       }
     }
   }
@@ -241,10 +426,10 @@ std::vector<OwnedVertexRecord> Rct::on_placed(VertexId v,
 std::vector<OwnedVertexRecord> Rct::drain_parked() {
   std::vector<OwnedVertexRecord> rest;
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    Guard guard(*this, shard, /*exclusive=*/true);
     for (OwnedVertexRecord& record : shard.parked) {
       const std::size_t i = find_locked(shard, record.id);
-      if (i != shard.table.size()) shard.table[i].parked = false;
+      if (i != shard.table_size) shard.table[i].parked = false;
       rest.push_back(std::move(record));
     }
     parked_count_.fetch_sub(shard.parked.size(), std::memory_order_relaxed);
@@ -258,11 +443,13 @@ std::vector<OwnedVertexRecord> Rct::drain_parked() {
 std::vector<Rct::ParkedState> Rct::snapshot_parked() const {
   std::vector<ParkedState> parked;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    Guard guard(*this, shard, /*exclusive=*/true);
     for (const OwnedVertexRecord& record : shard.parked) {
       const std::size_t i = find_locked(shard, record.id);
       const std::uint32_t counter =
-          i == shard.table.size() ? 0 : shard.table[i].counter;
+          i == shard.table_size
+              ? 0
+              : shard.table[i].counter.load(std::memory_order_relaxed);
       parked.push_back({record.id, counter, record.out});
     }
   }
@@ -278,12 +465,12 @@ void Rct::restore_parked(std::vector<ParkedState> parked) {
   }
   for (auto& p : parked) {
     Shard& shard = shard_of(p.id);
-    std::lock_guard lock(shard.mutex);
+    Guard guard(*this, shard, /*exclusive=*/true);
     // Deliberately no shard_capacity_ check: a snapshot taken by a run with
     // more workers (larger ε·M table) must restore losslessly; the table
     // grows as needed.
     const std::size_t i = insert_locked(shard, p.id);
-    shard.table[i].counter = p.counter;
+    shard.table[i].counter.store(p.counter, std::memory_order_relaxed);
     shard.table[i].parked = true;
     entry_count_.fetch_add(1, std::memory_order_relaxed);
     if (p.counter > 0) {
@@ -295,11 +482,19 @@ void Rct::restore_parked(std::vector<ParkedState> parked) {
   }
 }
 
+void Rct::merge_contention_into(PerfStats& perf) const {
+  perf.add_count(PerfCounter::kRctSharedContended, shared_contended());
+  perf.add_count(PerfCounter::kRctExclusiveContended, exclusive_contended());
+  perf.add_count(PerfCounter::kRctExclusiveAcquires, exclusive_acquires());
+  perf.add_count(PerfCounter::kRctClaimCasRetries, claim_cas_retries());
+  perf.add_count(PerfCounter::kRctDecrementCasRetries, decrement_cas_retries());
+}
+
 std::size_t Rct::memory_footprint_bytes() const {
   std::size_t bytes = shards_.size() * sizeof(Shard);
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
-    bytes += shard.table.capacity() * sizeof(Slot);
+    Guard guard(*this, shard, /*exclusive=*/true);
+    bytes += shard.table_size * sizeof(Slot);
     bytes += shard.parked.capacity() * sizeof(OwnedVertexRecord);
     for (const OwnedVertexRecord& record : shard.parked) {
       bytes += record.out.capacity() * sizeof(VertexId);

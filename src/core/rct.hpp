@@ -13,31 +13,72 @@
 // registration fails and the vertex simply proceeds untracked (counted in
 // untracked_overflow() so silent degradation is observable).
 //
-// Concurrency: the table is lock-striped into `num_shards` shards (pass
-// recommended_shards(M) = next_pow2(M) from the parallel driver; the default
-// of 1 preserves the original single-lock semantics exactly). A vertex lives
-// in shard v mod S; each shard is a cache-line-aligned open-addressed flat
-// table (linear probing, backward-shift deletion) behind its own mutex, so
-// workers bumping disjoint neighbors take disjoint locks and the O(1) probe
-// touches one cache line instead of chasing unordered_map nodes. The delay
-// threshold is maintained as relaxed atomics of the global non-zero
-// counter sum and count, updated under the owning shard's lock, so
-// mean_nonzero_count() is O(1) and lock-free. on_placed locks shards one at
-// a time (self shard, then each neighbor's shard) — never two locks at once,
-// so there is no lock-ordering hazard.
+// Concurrency: the table is striped into `num_shards` shards (pass
+// recommended_shards(M) = next_pow2(M) from the parallel driver). A vertex
+// lives in shard v mod S; each shard is a cache-line-aligned open-addressed
+// flat table (linear probing, backward-shift deletion) behind a
+// shared_mutex. Two hot-path disciplines, selected at construction:
+//
+//  * RctMode::kLockFree (default) — the per-record operations (register,
+//    bump, count, should_delay, decrement) take the shard lock SHARED and
+//    mutate slots with atomics: registration claims an empty slot with a
+//    CAS on the id, bumps are fetch_adds, decrements are CAS loops that
+//    never go below zero. Workers on the same shard no longer serialize;
+//    the exclusive side is reserved for structural mutation (table growth,
+//    erase + backward-shift, park/unpark, snapshot/restore), which is
+//    exactly what the shared/exclusive split exists to protect: probe
+//    chains and the parked vector are only rewritten under exclusive, so
+//    shared-side probes are stable.
+//  * RctMode::kStriped — every operation takes the shard lock EXCLUSIVE;
+//    this is PR 4's striped behavior, kept as the measurable baseline for
+//    the contention counters.
+//
+//  Counter-accounting exactness (both modes): a 0→nonzero transition is
+//  observed by exactly one fetch_add (the one whose previous value was 0)
+//  and a nonzero→0 transition by exactly one CAS (the one that installed
+//  0), so nonzero_sum_/nonzero_count_ stay exact under concurrency. Erase
+//  runs under the exclusive lock, which excludes all shared-side bumps and
+//  decrements on that shard, so the residual counter it subtracts cannot
+//  change mid-erase.
+//
+//  Lock nesting: at most one shard lock is ever held, and never shared and
+//  exclusive on the same shard simultaneously. The lock-free claim and the
+//  1→0 unpark handoff both RELEASE the shared lock before taking the
+//  exclusive one (upgrading in place would self-deadlock on shared_mutex)
+//  and re-validate the slot after reacquisition — see register_vertex and
+//  on_placed for the audit notes.
+//
+//  Out of contract: concurrently registering the SAME vertex id from two
+//  threads. The driver registers each vertex exactly once, from the worker
+//  that popped it; duplicate registration is only detected sequentially.
+//
+// The delay threshold is maintained as relaxed atomics of the global
+// non-zero counter sum and count, so mean_nonzero_count() is O(1) and
+// lock-free. Contention is counted in always-on relaxed atomics
+// (contended/total exclusive acquisitions, contended shared acquisitions,
+// claim/decrement CAS retries); merge_contention_into() folds them into a
+// PerfStats after the pipeline joins.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "graph/adjacency_stream.hpp"
 #include "graph/types.hpp"
+#include "util/perf_stats.hpp"
 
 namespace spnl {
+
+/// Hot-path locking discipline for the RCT shards (see file header).
+enum class RctMode {
+  kLockFree,  ///< shared lock + atomic slots on the per-record path
+  kStriped,   ///< exclusive lock for every operation (PR 4 baseline)
+};
 
 class Rct {
  public:
@@ -48,11 +89,14 @@ class Rct {
   /// nearly empty (the M=4 overflow spike documented in
   /// docs/performance.md). Shard tables grow on demand, so capacity only
   /// caps the count, not the distribution.
-  explicit Rct(std::size_t capacity, std::uint32_t num_shards = 1);
+  explicit Rct(std::size_t capacity, std::uint32_t num_shards = 1,
+               RctMode mode = RctMode::kLockFree);
 
   /// Shard count matched to the worker count: the smallest power of two
   /// >= num_threads, so the stripe mask is a single AND.
   static std::uint32_t recommended_shards(unsigned num_threads);
+
+  RctMode mode() const { return mode_; }
 
   /// Track v as in-flight. Returns false (vertex proceeds untracked) when
   /// the table is full or v is somehow already present.
@@ -130,42 +174,87 @@ class Rct {
     return untracked_overflow_.load(std::memory_order_relaxed);
   }
 
+  /// Always-on contention tallies (relaxed atomics; exact totals after the
+  /// pipeline joins). exclusive_acquires in particular gives a DETERMINISTIC
+  /// lockfree-vs-striped comparison: striped mode pays one exclusive
+  /// acquisition per operation, lock-free mode only on structural slow
+  /// paths — regardless of how many cores actually contend.
+  std::uint64_t shared_contended() const {
+    return shared_contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t exclusive_contended() const {
+    return exclusive_contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t exclusive_acquires() const {
+    return exclusive_acquires_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t claim_cas_retries() const {
+    return claim_cas_retries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decrement_cas_retries() const {
+    return decrement_cas_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// Fold the contention tallies into a PerfStats (caller synchronizes —
+  /// the driver does this once, after join).
+  void merge_contention_into(PerfStats& perf) const;
+
   /// Approximate bytes held by the tables and parked records — part of the
   /// parallel driver's governor-sampled footprint.
   std::size_t memory_footprint_bytes() const;
 
  private:
+  /// Slot fields are atomics so the lock-free mode can claim/bump/decrement
+  /// under the SHARED lock; `parked` is a plain bool because it is only
+  /// written under the exclusive lock (shared holders may read it — writer
+  /// exclusion makes that race-free). Invariant: an empty slot
+  /// (id == kInvalidVertex) always has counter == 0 and parked == false, so
+  /// a freshly claimed slot needs no counter initialization.
   struct Slot {
-    VertexId id = kInvalidVertex;  // kInvalidVertex marks an empty slot
-    std::uint32_t counter = 0;
+    std::atomic<VertexId> id{kInvalidVertex};
+    std::atomic<std::uint32_t> counter{0};
     bool parked = false;
   };
 
   // Cache-line aligned so two shards' mutexes never share a line (the whole
   // point of striping is that workers on different shards do not ping-pong).
   struct alignas(64) Shard {
-    mutable std::mutex mutex;
-    std::vector<Slot> table;  // power-of-two open-addressed flat table
+    mutable std::shared_mutex mutex;
+    std::unique_ptr<Slot[]> table;  // power-of-two open-addressed flat table
+    std::size_t table_size = 0;
     std::size_t table_mask = 0;
-    std::size_t entries = 0;
+    /// Atomic because lock-free claims increment it under the shared lock.
+    std::atomic<std::size_t> entries{0};
     std::vector<OwnedVertexRecord> parked;  // tiny: linear search by id
   };
+
+  /// RAII shard guard implementing the mode split: "shared intent" acquires
+  /// the lock shared in kLockFree mode and exclusive in kStriped mode;
+  /// "exclusive intent" is always exclusive. Contended acquisitions are
+  /// detected with a try_lock-first pattern and tallied.
+  class Guard;
 
   Shard& shard_of(VertexId v) { return shards_[v & shard_mask_]; }
   const Shard& shard_of(VertexId v) const { return shards_[v & shard_mask_]; }
 
   static std::size_t probe_home(const Shard& shard, VertexId v);
-  /// Index of v's slot, or table.size() if absent. Caller holds shard.mutex.
+  /// Index of v's slot, or table_size if absent. Caller holds the shard lock
+  /// (shared suffices: probe chains only change under exclusive).
   static std::size_t find_locked(const Shard& shard, VertexId v);
-  /// Inserts v (must be absent); grows the table when past half full (only
-  /// reachable via restore_parked — register_vertex refuses first). Returns
-  /// the slot index. Caller holds shard.mutex.
+  /// Inserts v (must be absent); grows the table when past half full.
+  /// Returns the slot index. Caller holds the shard lock EXCLUSIVE.
   std::size_t insert_locked(Shard& shard, VertexId v);
-  /// Backward-shift deletion at `hole`. Caller holds shard.mutex.
+  /// Backward-shift deletion at `hole`. Caller holds the lock EXCLUSIVE.
   static void erase_locked(Shard& shard, std::size_t hole);
   static void grow_locked(Shard& shard);
+  static void alloc_table(Shard& shard, std::size_t size);
+
+  /// Slow path of register_vertex: exclusive insert with growth, used by the
+  /// striped mode and by the lock-free claim when it runs out of room.
+  bool register_exclusive(VertexId v);
 
   const std::size_t capacity_;
+  const RctMode mode_;
   std::size_t shard_capacity_ = 0;  // initial table-sizing hint only
   std::uint32_t shard_mask_ = 0;
   std::vector<Shard> shards_;
@@ -174,6 +263,13 @@ class Rct {
   std::atomic<std::size_t> entry_count_{0};
   std::atomic<std::size_t> parked_count_{0};
   std::atomic<std::uint64_t> untracked_overflow_{0};
+  // mutable: const operations (count, should_delay, snapshot) still acquire
+  // shard locks and must tally their contention.
+  mutable std::atomic<std::uint64_t> shared_contended_{0};
+  mutable std::atomic<std::uint64_t> exclusive_contended_{0};
+  mutable std::atomic<std::uint64_t> exclusive_acquires_{0};
+  mutable std::atomic<std::uint64_t> claim_cas_retries_{0};
+  mutable std::atomic<std::uint64_t> decrement_cas_retries_{0};
 };
 
 }  // namespace spnl

@@ -26,11 +26,22 @@
 //    or lost wakeups under multiple producers/consumers.
 //  * notify_all is reserved for close() and abort(), the only transitions
 //    that must wake EVERY waiter on both condvars.
+//
+// Contention accounting: attach a QueueStats (set_stats) and every push/pop
+// path records mutex wait time (blocked acquisitions only), mutex hold time
+// (condvar-wait spans excluded — the mutex is released inside cv.wait), and
+// contended/total acquisition counts. With no sink attached each operation
+// pays exactly one null-pointer branch and touches no clock — the same
+// zero-overhead-when-disabled discipline as PerfStats. QueueStats cells are
+// relaxed atomics (producers and consumers record concurrently);
+// merge_into() folds the totals into a PerfStats after the pipeline joins.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -38,7 +49,32 @@
 #include <utility>
 #include <vector>
 
+#include "util/perf_stats.hpp"
+
 namespace spnl {
+
+/// Shared contention tally for one BoundedQueue. Thread-safe (relaxed
+/// atomics); lives outside the queue so the driver can keep it on its own
+/// cache line and fold it into the run's PerfStats after join.
+struct QueueStats {
+  std::atomic<std::uint64_t> lock_wait_nanos{0};
+  std::atomic<std::uint64_t> lock_hold_nanos{0};
+  std::atomic<std::uint64_t> contended_acquires{0};
+  std::atomic<std::uint64_t> acquires{0};
+
+  void merge_into(PerfStats& perf) const {
+    perf.add(PerfStage::kQueueLockWait,
+             lock_wait_nanos.load(std::memory_order_relaxed),
+             contended_acquires.load(std::memory_order_relaxed));
+    perf.add(PerfStage::kQueueLockHold,
+             lock_hold_nanos.load(std::memory_order_relaxed),
+             acquires.load(std::memory_order_relaxed));
+    perf.add_count(PerfCounter::kQueueLockContended,
+                   contended_acquires.load(std::memory_order_relaxed));
+    perf.add_count(PerfCounter::kQueueLockAcquires,
+                   acquires.load(std::memory_order_relaxed));
+  }
+};
 
 template <typename T>
 class BoundedQueue {
@@ -48,14 +84,18 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Attach (or detach with nullptr) the contention tally. Not synchronized
+  /// against concurrent queue operations — set it before the pipeline starts.
+  void set_stats(QueueStats* stats) { stats_ = stats; }
+
   /// Blocks while the queue is full. Returns false if the queue was closed
   /// (the item is dropped — pushing after close is a caller bug but must not
   /// deadlock).
   bool push(T item) {
     bool chain;
     {
-      std::unique_lock lock(mutex_);
-      not_full_.wait(lock, [&] { return items_.size() < capacity_ || done_(); });
+      Guard g(*this);
+      g.wait(not_full_, [&] { return items_.size() < capacity_ || done_(); });
       if (done_()) return false;
       items_.push_back(std::move(item));
       chain = items_.size() < capacity_;
@@ -74,9 +114,9 @@ class BoundedQueue {
   bool push_for(T& item, std::chrono::duration<Rep, Period> timeout) {
     bool chain;
     {
-      std::unique_lock lock(mutex_);
-      if (!not_full_.wait_for(lock, timeout,
-                              [&] { return items_.size() < capacity_ || done_(); })) {
+      Guard g(*this);
+      if (!g.wait_for(not_full_, timeout,
+                      [&] { return items_.size() < capacity_ || done_(); })) {
         return false;  // timed out while full
       }
       if (done_()) return false;
@@ -99,8 +139,8 @@ class BoundedQueue {
     }
     bool chain;
     {
-      std::unique_lock lock(mutex_);
-      not_full_.wait(lock, [&] {
+      Guard g(*this);
+      g.wait(not_full_, [&] {
         return items_.size() + batch.size() <= capacity_ || done_();
       });
       if (done_()) return false;
@@ -127,8 +167,8 @@ class BoundedQueue {
     }
     bool chain;
     {
-      std::unique_lock lock(mutex_);
-      if (!not_full_.wait_for(lock, timeout, [&] {
+      Guard g(*this);
+      if (!g.wait_for(not_full_, timeout, [&] {
             return items_.size() + batch.size() <= capacity_ || done_();
           })) {
         return false;  // timed out while full
@@ -149,8 +189,8 @@ class BoundedQueue {
     std::optional<T> item;
     bool chain;
     {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
+      Guard g(*this);
+      g.wait(not_empty_, [&] { return !items_.empty() || closed_ || aborted_; });
       if (aborted_ || items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
@@ -172,8 +212,8 @@ class BoundedQueue {
     if (max_items == 0) max_items = 1;
     bool more;
     {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_ || aborted_; });
+      Guard g(*this);
+      g.wait(not_empty_, [&] { return !items_.empty() || closed_ || aborted_; });
       if (aborted_ || items_.empty()) return 0;
       const std::size_t take = items_.size() < max_items ? items_.size() : max_items;
       out.reserve(take);
@@ -193,7 +233,7 @@ class BoundedQueue {
     std::optional<T> item;
     bool chain;
     {
-      std::unique_lock lock(mutex_);
+      Guard g(*this);
       if (aborted_ || items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
@@ -211,9 +251,9 @@ class BoundedQueue {
     std::optional<T> item;
     bool chain;
     {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait_for(lock, timeout,
-                          [&] { return !items_.empty() || closed_ || aborted_; });
+      Guard g(*this);
+      g.wait_for(not_empty_, timeout,
+                 [&] { return !items_.empty() || closed_ || aborted_; });
       if (aborted_ || items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
@@ -272,6 +312,76 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Instrumented unique_lock: records acquisition wait (blocked mutex
+  /// acquisitions only — condvar blocking is the caller-visible kQueueWait,
+  /// not lock contention) and hold time with the cv-wait spans excluded
+  /// (cv.wait releases the mutex, so counting them as "held" would be a
+  /// lie). With no stats attached every path collapses to plain lock/wait.
+  class Guard {
+   public:
+    explicit Guard(BoundedQueue& q)
+        : q_(q), lock_(q.mutex_, std::defer_lock) {
+      if (q_.stats_ == nullptr) {
+        lock_.lock();
+        return;
+      }
+      q_.stats_->acquires.fetch_add(1, std::memory_order_relaxed);
+      if (!lock_.try_lock()) {
+        q_.stats_->contended_acquires.fetch_add(1, std::memory_order_relaxed);
+        const auto t0 = Clock::now();
+        lock_.lock();
+        q_.stats_->lock_wait_nanos.fetch_add(nanos_since(t0),
+                                             std::memory_order_relaxed);
+      }
+      held_since_ = Clock::now();
+    }
+
+    ~Guard() {
+      if (q_.stats_ != nullptr) flush_hold();
+    }
+
+    template <typename Pred>
+    void wait(std::condition_variable& cv, Pred pred) {
+      if (q_.stats_ == nullptr) {
+        cv.wait(lock_, pred);
+        return;
+      }
+      flush_hold();
+      cv.wait(lock_, pred);
+      held_since_ = Clock::now();
+    }
+
+    template <typename Rep, typename Period, typename Pred>
+    bool wait_for(std::condition_variable& cv,
+                  std::chrono::duration<Rep, Period> timeout, Pred pred) {
+      if (q_.stats_ == nullptr) return cv.wait_for(lock_, timeout, pred);
+      flush_hold();
+      const bool satisfied = cv.wait_for(lock_, timeout, pred);
+      held_since_ = Clock::now();
+      return satisfied;
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    static std::uint64_t nanos_since(Clock::time_point t0) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+              .count());
+    }
+    void flush_hold() {
+      q_.stats_->lock_hold_nanos.fetch_add(nanos_since(held_since_),
+                                           std::memory_order_relaxed);
+    }
+
+    BoundedQueue& q_;
+    std::unique_lock<std::mutex> lock_;
+    Clock::time_point held_since_{};
+  };
+
   bool done_() const { return closed_ || aborted_; }
 
   const std::size_t capacity_;
@@ -279,6 +389,7 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  QueueStats* stats_ = nullptr;
   bool closed_ = false;
   bool aborted_ = false;
 };

@@ -465,6 +465,48 @@ TEST_F(CheckpointTest, KillAndResumeParallelDriverIsByteIdentical) {
   }
 }
 
+TEST_F(CheckpointTest, KillAndResumeMidEpochDeltaIsByteIdentical) {
+  // Lock-free hot path with a deliberately awkward cadence: epoch length 10
+  // does not divide checkpoint_every=512 and the 8-row delta buffer also
+  // publishes on fullness, so every checkpoint quiesce lands MID-EPOCH with
+  // a part-full delta buffer. The quiesce drain must publish every worker's
+  // buffer (worker-index order) before the snapshot, or the resumed run
+  // starts from an under-counted Γ window and diverges.
+  const Graph g = test_graph();
+  const PartitionConfig config{.num_partitions = 8};
+  ParallelOptions base;
+  base.num_threads = 1;
+  base.hot_path = HotPathMode::kLockFree;
+  base.gamma_epoch_records = 10;
+  base.gamma_delta_rows = 8;
+
+  std::vector<PartitionId> reference;
+  {
+    InMemoryStream stream(g);
+    reference = run_parallel(stream, config, base).route;
+  }
+  validate_route(reference, 8, g.num_vertices());
+
+  for (const std::uint64_t kill_at : {std::uint64_t{700}, std::uint64_t{1600},
+                                      std::uint64_t{2700}}) {
+    {
+      ParallelOptions opts = base;
+      opts.checkpoint_path = path("par-epoch.ckpt");
+      opts.checkpoint_every = 512;
+      InMemoryStream inner(g);
+      TruncatedStream stream(inner, kill_at);
+      const auto partial = run_parallel(stream, config, opts);
+      EXPECT_GE(partial.checkpoints_written, kill_at / 512);
+    }
+    ParallelOptions opts = base;
+    opts.resume_from = path("par-epoch.ckpt");
+    InMemoryStream stream(g);
+    const auto resumed = run_parallel(stream, config, opts);
+    EXPECT_EQ(resumed.route, reference)
+        << "mid-epoch resume diverged at kill point " << kill_at;
+  }
+}
+
 TEST_F(CheckpointTest, KillAndResumeParallelOddBatchStrideIsByteIdentical) {
   // Batch size 7 does not divide checkpoint_every=512, so `produced` steps
   // OVER the exact multiples and the crossing-aware Checkpointer::due must

@@ -265,6 +265,108 @@ TEST(Rct, RestoreIntoNonEmptyTableThrows) {
   EXPECT_THROW(rct.restore_parked(std::move(parked)), std::logic_error);
 }
 
+TEST(Rct, StripedModeMatchesLockFreeSemantics) {
+  // The hot-path locking discipline (lock-free CAS claims vs exclusive
+  // stripe locks) must be invisible to the dependency protocol: the Fig. 6
+  // park/release scenario behaves identically in both modes.
+  for (const RctMode mode : {RctMode::kLockFree, RctMode::kStriped}) {
+    Rct rct(32, 4, mode);
+    EXPECT_EQ(rct.mode(), mode);
+    for (VertexId v : {1u, 2u, 3u, 4u}) ASSERT_TRUE(rct.register_vertex(v));
+    EXPECT_FALSE(rct.register_vertex(1));  // duplicate
+    rct.bump_if_present(1);
+    rct.bump_if_present(1);
+    rct.bump_if_present(1);
+    EXPECT_EQ(rct.count(1), 3u);
+    ASSERT_TRUE(rct.should_delay(1));
+    ASSERT_TRUE(rct.park(record(1, {})));
+    EXPECT_TRUE(rct.on_placed(2, std::vector<VertexId>{1}).empty());
+    EXPECT_TRUE(rct.on_placed(3, std::vector<VertexId>{1}).empty());
+    const auto released = rct.on_placed(4, std::vector<VertexId>{1});
+    ASSERT_EQ(released.size(), 1u) << "mode=" << static_cast<int>(mode);
+    EXPECT_EQ(released[0].id, 1u);
+    rct.on_placed(1, std::vector<VertexId>{});
+    EXPECT_EQ(rct.size(), 0u);
+    EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 0.0);
+  }
+}
+
+TEST(Rct, LockFreeClaimGrowsTableAndStaysFindable) {
+  // Regression for the claim-path growth handoff: capacity 64 over 4 shards
+  // sizes each table at 32 slots, and every id below hashes to shard 0
+  // (v % 4 == 0), so past 16 entries the CAS claim hits the load limit and
+  // must fall to the exclusive grow path — RELEASING the shared lock first
+  // (upgrading in place would self-deadlock) and re-probing for a duplicate
+  // after reacquisition. Every entry must survive the rehash with its
+  // counter intact.
+  Rct rct(64, 4, RctMode::kLockFree);
+  for (VertexId i = 0; i < 64; ++i) {
+    ASSERT_TRUE(rct.register_vertex(i * 4)) << "i=" << i;
+  }
+  EXPECT_EQ(rct.size(), 64u);
+  for (VertexId i = 0; i < 64; ++i) {
+    rct.bump_if_present(i * 4);
+    EXPECT_EQ(rct.count(i * 4), 1u) << "i=" << i;
+  }
+  // Re-registration of grown-in entries must still be rejected as duplicate.
+  EXPECT_EQ(rct.untracked_overflow(), 0u);
+  for (VertexId i = 0; i < 64; ++i) {
+    rct.on_placed(i * 4, std::vector<VertexId>{});
+  }
+  EXPECT_EQ(rct.size(), 0u);
+  EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 0.0);
+}
+
+TEST(Rct, ConcurrentLockFreeClaimStormRegistersEveryId) {
+  // 8 threads CAS-claim 128 distinct ids each into a 4-shard table; every
+  // claim must succeed exactly once (capacity equals the id count) and the
+  // entry count must land exactly — a lost claim or a double count shows up
+  // directly. Interleaved bumps exercise the freshly claimed slots' empty-
+  // slot invariant (counter starts at 0, no stale residue from prior
+  // occupancy).
+  constexpr int kThreads = 8;
+  constexpr VertexId kPerThread = 128;
+  Rct rct(kThreads * kPerThread, 4, RctMode::kLockFree);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const VertexId base = static_cast<VertexId>(t) * kPerThread;
+      for (VertexId i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(rct.register_vertex(base + i));
+        rct.bump_if_present(base + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(rct.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rct.untracked_overflow(), 0u);
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < kThreads * kPerThread; ++v) total += rct.count(v);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(rct.mean_nonzero_count(), 1.0);
+}
+
+TEST(Rct, ContentionCountersDistinguishModes) {
+  // Deterministic structural property, independent of core count: striped
+  // mode pays one exclusive acquisition per operation, lock-free mode only
+  // on the structural slow paths (insert fallback, erase, park).
+  auto run_ops = [](RctMode mode) {
+    Rct rct(64, 1, mode);
+    for (VertexId v = 0; v < 32; ++v) rct.register_vertex(v);
+    for (VertexId v = 0; v < 32; ++v) rct.bump_if_present(v);
+    for (VertexId v = 0; v < 32; ++v) rct.on_placed(v, std::vector<VertexId>{});
+    return rct.exclusive_acquires();
+  };
+  const std::uint64_t lockfree = run_ops(RctMode::kLockFree);
+  const std::uint64_t striped = run_ops(RctMode::kStriped);
+  EXPECT_LT(lockfree, striped);
+  PerfStats perf;
+  Rct rct(8, 1, RctMode::kStriped);
+  rct.register_vertex(1);
+  rct.merge_contention_into(perf);
+  EXPECT_GT(perf.count(PerfCounter::kRctExclusiveAcquires), 0u);
+}
+
 TEST(Rct, ShardedConcurrentRegisterBumpPlaceStress) {
   // 4 threads churn register/bump/park/place over a sharded table; the
   // relaxed-atomic statistics must drain back to exactly zero when every

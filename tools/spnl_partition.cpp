@@ -113,7 +113,8 @@ int usage() {
                "[--out=route.txt]\n"
                "  [--lambda=0.5] [--shards=0] [--balance=vertex|edge] "
                "[--slack=1.1]\n"
-               "  [--threads=1] [--batch-size=64] [--passes=1] [--buffer=0] "
+               "  [--threads=1] [--batch-size=64] [--hot-path=lockfree|striped]"
+               " [--passes=1] [--buffer=0] "
                "[--window=0] [--format=adj|edgelist|binary|sadj]\n"
                "  [--reader=buffered|mmap] [--stream] [--quiet]\n"
                "  [--checkpoint=ckpt.bin] [--checkpoint-every=N] "
@@ -291,6 +292,10 @@ int main(int argc, char** argv) {
     // Parsed eagerly (not just on the --threads>1 path) so a malformed
     // --batch-size fails fast in every mode.
     const auto batch_size = args.get_int("batch-size", 64);
+    const std::string hot_path = args.get("hot-path", "lockfree");
+    if (hot_path != "lockfree" && hot_path != "striped") {
+      throw std::runtime_error("--hot-path: want lockfree|striped");
+    }
     const int passes = static_cast<int>(args.get_int("passes", 1));
     const auto buffer = static_cast<VertexId>(args.get_int("buffer", 0));
     const auto window = static_cast<VertexId>(args.get_int("window", 0));
@@ -411,6 +416,7 @@ int main(int argc, char** argv) {
     std::uint64_t delayed_vertices = 0;
     std::uint64_t forced_vertices = 0;
     std::uint64_t untracked_overflow = 0;
+    ContentionReport contention;
 
     ParsedFaults faults;
     if (args.has("inject-faults")) {
@@ -495,6 +501,8 @@ int main(int argc, char** argv) {
       // than a failure deep inside run_parallel.
       options.batch_size =
           validated_batch_size(batch_size, options.queue_capacity);
+      options.hot_path = hot_path == "striped" ? HotPathMode::kStriped
+                                               : HotPathMode::kLockFree;
       options.spnl.lambda = lambda;
       options.spnl.num_shards = shards;
       options.checkpoint_path = checkpoint_path;
@@ -523,6 +531,7 @@ int main(int argc, char** argv) {
       delayed_vertices = result.delayed_vertices;
       forced_vertices = result.forced_vertices;
       untracked_overflow = result.untracked_overflow;
+      contention = result.contention;
       if (!quiet && untracked_overflow > 0) {
         std::printf("rct: untracked_overflow=%llu (table full; consider a "
                     "larger epsilon)\n",
@@ -675,10 +684,42 @@ int main(int argc, char** argv) {
       }
       if (ran_parallel && !json.empty() && json.back() == '}') {
         json.pop_back();
+        const ContentionReport& c = contention;
         json += ",\"parallel\":{\"delayed\":" + std::to_string(delayed_vertices) +
                 ",\"forced\":" + std::to_string(forced_vertices) +
                 ",\"untracked_overflow\":" + std::to_string(untracked_overflow) +
-                "}}";
+                ",\"hot_path\":\"" + hot_path + "\"" +
+                ",\"contention\":{" +
+                "\"rct_shared_contended\":" +
+                std::to_string(c.rct_shared_contended) +
+                ",\"rct_exclusive_contended\":" +
+                std::to_string(c.rct_exclusive_contended) +
+                ",\"rct_exclusive_acquires\":" +
+                std::to_string(c.rct_exclusive_acquires) +
+                ",\"rct_claim_cas_retries\":" +
+                std::to_string(c.rct_claim_cas_retries) +
+                ",\"rct_decrement_cas_retries\":" +
+                std::to_string(c.rct_decrement_cas_retries) +
+                ",\"queue_lock_contended\":" +
+                std::to_string(c.queue_lock_contended) +
+                ",\"queue_lock_acquires\":" +
+                std::to_string(c.queue_lock_acquires) +
+                ",\"queue_lock_wait_nanos\":" +
+                std::to_string(c.queue_lock_wait_nanos) +
+                ",\"queue_lock_hold_nanos\":" +
+                std::to_string(c.queue_lock_hold_nanos) +
+                ",\"gamma_delta_publishes\":" +
+                std::to_string(c.gamma_delta_publishes) +
+                ",\"gamma_delta_cells\":" +
+                std::to_string(c.gamma_delta_cells) +
+                ",\"gamma_delta_dropped\":" +
+                std::to_string(c.gamma_delta_dropped) +
+                ",\"gamma_head_cas_retries\":" +
+                std::to_string(c.gamma_head_cas_retries) +
+                ",\"gamma_advance_contended\":" +
+                std::to_string(c.gamma_advance_contended) +
+                ",\"watermark_cas_retries\":" +
+                std::to_string(c.watermark_cas_retries) + "}}}";
       }
       if (perf_report) {
         std::printf("%s", perf.report().c_str());
