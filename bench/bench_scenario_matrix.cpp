@@ -1,0 +1,263 @@
+// bench_scenario_matrix — the adversarial scenario grid: every streaming
+// partitioner x every stream order x every graph family, with planted
+// ground truth where the family has one.
+//
+// Axes:
+//   algo   — spnl, spnl+2ps (the 2PS clustering prepass feeding SPNL's
+//            logical table), fennel, ldg, hash
+//   order  — id (the numbering the generator produced), random, degree
+//            (descending), temporal (seeded BFS re-crawl), adversarial
+//            (community-interleaved round-robin: consecutive ids almost
+//            never share a community)
+//   graph  — crawl (BFS-locality web model), planted-mu{0.1,0.3,0.5}
+//            (symmetric planted partition with ground-truth labels),
+//            powerlaw (R-MAT: communities but no id locality)
+//
+// Stream orders are realized by RELABELING (graph/reorder.hpp) and streaming
+// in ascending new-id order, so every partitioner sees the identical stream
+// contract; planted labels are permuted alongside. Each cell reports ECR,
+// the balance factors, and — on planted graphs — the ground-truth recovery
+// rate (partition/metrics.hpp: recovery_rate).
+//
+//   bench_scenario_matrix [--k=8] [--reps unused] [--json=FILE] [--smoke]
+//
+// The gate runs in BOTH modes (this is a quality property, not a throughput
+// one): on each planted graph with mu <= 0.3, mean recovery across the five
+// orders must satisfy spnl+2ps >= spnl - eps and spnl >= hash + margin —
+// i.e. the prepass never costs SPNL recovery on recoverable graphs, and
+// SPNL's knowledge terms beat blind hashing even averaged over hostile
+// orders. Per-cell losses (e.g. plain SPNL at hash level under the
+// adversarial order) are expected and documented in docs/scenarios.md; the
+// gate is on the means. --smoke shrinks the graphs; the full-size run's
+// JSON is committed as BENCH_scenario.json.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "prepass/two_phase.hpp"
+
+using namespace spnl;
+using namespace spnl::bench;
+
+namespace {
+
+constexpr std::uint64_t kOrderSeed = 42;
+
+struct Scenario {
+  std::string name;
+  Graph graph;
+  std::vector<PartitionId> labels;  // empty = no ground truth
+  PartitionId num_communities = 0;
+};
+
+struct Cell {
+  std::string graph, order, algo;
+  QualityMetrics quality;
+  double recovery = -1.0;  // < 0 = no ground truth for this graph
+  double seconds = 0.0;
+  std::uint32_t prepass_clusters = 0;
+  bool prepass_degraded = false;
+};
+
+Cell run_cell(const Scenario& scenario, const Graph& graph,
+              const std::vector<PartitionId>& labels, StreamOrder order,
+              const std::string& algo, const PartitionConfig& config) {
+  Cell cell;
+  cell.graph = scenario.name;
+  cell.order = stream_order_name(order);
+  cell.algo = algo;
+  std::vector<PartitionId> route;
+  if (algo == "spnl+2ps") {
+    InMemoryStream stream(graph);
+    const TwoPhaseRunResult result = two_phase_spnl_partition(stream, config);
+    route = result.run.route;
+    cell.seconds = result.run.partition_seconds + result.prepass.seconds;
+    cell.prepass_clusters = result.prepass.num_clusters;
+    cell.prepass_degraded = result.prepass.degraded;
+  } else {
+    const std::map<std::string, std::string> factory_name = {
+        {"spnl", "SPNL"}, {"fennel", "FENNEL"}, {"ldg", "LDG"}, {"hash", "Hash"}};
+    const Outcome outcome = run_one(graph, factory_name.at(algo), config);
+    route = outcome.route;
+    cell.seconds = outcome.seconds;
+  }
+  cell.quality = evaluate_partition(graph, route, config.num_partitions);
+  if (!labels.empty()) {
+    cell.recovery = recovery_rate(labels, scenario.num_communities, route,
+                                  config.num_partitions);
+  }
+  return cell;
+}
+
+std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const auto k = static_cast<PartitionId>(args.get_int("k", 8));
+  PartitionConfig config;
+  config.num_partitions = k;
+
+  // Graph families. Planted communities == K so the id numbering is the
+  // friendliest possible input for SPNL's range table under the id order —
+  // which is exactly what the hostile orders then take away.
+  const VertexId planted_n = smoke ? 6'000 : 30'000;
+  const VertexId crawl_n = smoke ? 10'000 : 50'000;
+  const unsigned rmat_scale = smoke ? 12 : 14;
+
+  std::vector<Scenario> scenarios;
+  {
+    WebCrawlParams params;
+    params.num_vertices = crawl_n;
+    scenarios.push_back({"crawl", generate_webcrawl(params), {}, 0});
+  }
+  for (const double mu : {0.1, 0.3, 0.5}) {
+    PlantedPartitionParams params;
+    params.num_vertices = planted_n;
+    params.num_communities = k;
+    params.mixing = mu;
+    PlantedGraph planted = generate_planted_partition(params);
+    char name[32];
+    std::snprintf(name, sizeof(name), "planted-mu%.1f", mu);
+    scenarios.push_back({name, std::move(planted.graph),
+                         std::move(planted.labels), planted.num_communities});
+  }
+  {
+    RmatParams params;
+    params.scale = rmat_scale;
+    scenarios.push_back({"powerlaw", generate_rmat(params), {}, 0});
+  }
+
+  const std::vector<StreamOrder> orders = {
+      StreamOrder::kId, StreamOrder::kRandom, StreamOrder::kDegree,
+      StreamOrder::kTemporal, StreamOrder::kAdversarial};
+  const std::vector<std::string> algos = {"spnl", "spnl+2ps", "fennel", "ldg",
+                                          "hash"};
+
+  std::vector<Cell> cells;
+  // mean recovery per (planted graph, algo) across orders — the gate input.
+  std::map<std::string, std::map<std::string, double>> mean_recovery;
+
+  for (const Scenario& scenario : scenarios) {
+    print_header(scenario.name.c_str());
+    for (const StreamOrder order : orders) {
+      const std::vector<VertexId> new_id = make_stream_order(
+          scenario.graph, order,
+          scenario.labels.empty() ? nullptr : &scenario.labels,
+          scenario.labels.empty() ? k : scenario.num_communities, kOrderSeed);
+      const Graph permuted = apply_permutation(scenario.graph, new_id);
+      std::vector<PartitionId> permuted_labels;
+      if (!scenario.labels.empty()) {
+        permuted_labels.resize(scenario.labels.size());
+        for (VertexId v = 0; v < scenario.graph.num_vertices(); ++v) {
+          permuted_labels[new_id[v]] = scenario.labels[v];
+        }
+      }
+      for (const std::string& algo : algos) {
+        Cell cell =
+            run_cell(scenario, permuted, permuted_labels, order, algo, config);
+        if (cell.recovery >= 0.0) {
+          mean_recovery[scenario.name][algo] +=
+              cell.recovery / static_cast<double>(orders.size());
+        }
+        std::printf("%-14s %-11s %-9s ECR=%.4f dv=%.3f de=%.3f%s%s\n",
+                    scenario.name.c_str(), cell.order.c_str(), algo.c_str(),
+                    cell.quality.ecr, cell.quality.delta_v,
+                    cell.quality.delta_e,
+                    cell.recovery >= 0.0
+                        ? (" recovery=" + json_number(cell.recovery)).c_str()
+                        : "",
+                    cell.prepass_degraded ? " (prepass degraded)" : "");
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // Gate: on recoverable planted graphs (mu <= 0.3), averaged over all five
+  // stream orders, the prepass must not cost SPNL recovery and SPNL must
+  // beat blind hashing. Runs in smoke mode too — quality, not throughput.
+  constexpr double kEps = 0.02;
+  bool pass = true;
+  std::string gate_report;
+  for (const char* graph : {"planted-mu0.1", "planted-mu0.3"}) {
+    const auto& means = mean_recovery.at(graph);
+    const double spnl2ps = means.at("spnl+2ps");
+    const double spnl = means.at("spnl");
+    const double hash = means.at("hash");
+    const bool prepass_ok = spnl2ps >= spnl - kEps;
+    const bool spnl_ok = spnl >= hash + kEps;
+    if (!prepass_ok || !spnl_ok) pass = false;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: mean recovery spnl+2ps=%.4f spnl=%.4f hash=%.4f "
+                  "[2ps>=spnl-eps: %s] [spnl>hash: %s]\n",
+                  graph, spnl2ps, spnl, hash, prepass_ok ? "ok" : "FAIL",
+                  spnl_ok ? "ok" : "FAIL");
+    gate_report += buf;
+  }
+  std::printf("\n%s", gate_report.c_str());
+
+  std::string json = "{\"bench\":\"scenario_matrix\",\"k\":" + std::to_string(k) +
+                     ",\"smoke\":" + (smoke ? "true" : "false") + ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (i > 0) json += ",";
+    json += "{\"graph\":\"" + cell.graph + "\",\"order\":\"" + cell.order +
+            "\",\"algo\":\"" + cell.algo +
+            "\",\"ecr\":" + json_number(cell.quality.ecr) +
+            ",\"dv\":" + json_number(cell.quality.delta_v) +
+            ",\"de\":" + json_number(cell.quality.delta_e) + ",\"recovery\":" +
+            (cell.recovery >= 0.0 ? json_number(cell.recovery) : "null") +
+            ",\"seconds\":" + json_number(cell.seconds);
+    if (cell.algo == "spnl+2ps") {
+      json += ",\"prepass_clusters\":" + std::to_string(cell.prepass_clusters) +
+              ",\"prepass_degraded\":" +
+              (cell.prepass_degraded ? "true" : "false");
+    }
+    json += "}";
+  }
+  json += "],\"mean_recovery\":{";
+  bool first_graph = true;
+  for (const auto& [graph, means] : mean_recovery) {
+    if (!first_graph) json += ",";
+    first_graph = false;
+    json += "\"" + graph + "\":{";
+    bool first_algo = true;
+    for (const auto& [algo, mean] : means) {
+      if (!first_algo) json += ",";
+      first_algo = false;
+      json += "\"" + algo + "\":" + json_number(mean);
+    }
+    json += "}";
+  }
+  json += "},\"gate_skip_reason\":\"\",\"pass\":";
+  json += pass ? "true" : "false";
+  json += "}";
+  std::printf("bench-json: %s\n", json.c_str());
+  if (args.has("json")) {
+    std::ofstream out(args.get("json", ""));
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("json", "").c_str());
+      return 1;
+    }
+    out << json << "\n";
+  }
+
+  if (!pass) {
+    std::printf("FAIL: recovery ordering gate\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

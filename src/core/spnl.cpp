@@ -26,8 +26,21 @@ SpnlPartitioner::SpnlPartitioner(VertexId num_vertices, EdgeId num_edges,
   if (options_.lambda < 0.0 || options_.lambda > 1.0) {
     throw std::invalid_argument("SPNL: lambda must be in [0,1]");
   }
-  for (PartitionId i = 0; i < config.num_partitions; ++i) {
-    logical_counts_[i] = logical_.range_size(i);
+  if (options_.logical_hints != nullptr) {
+    const std::vector<PartitionId>& hints = *options_.logical_hints;
+    if (hints.size() != num_vertices) {
+      throw std::invalid_argument("SPNL: logical hint table size != |V|");
+    }
+    for (PartitionId hint : hints) {
+      if (hint >= config.num_partitions) {
+        throw std::invalid_argument("SPNL: logical hint partition out of range");
+      }
+      ++logical_counts_[hint];
+    }
+  } else {
+    for (PartitionId i = 0; i < config.num_partitions; ++i) {
+      logical_counts_[i] = logical_.range_size(i);
+    }
   }
 }
 
@@ -70,7 +83,7 @@ PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
     }
     PerfScope t(perf_, PerfStage::kCommit);
     commit(v, out, pid);
-    const PartitionId lp = logical_.partition_of(v);
+    const PartitionId lp = logical_partition_of(v);
     if (logical_counts_[lp] > 0) --logical_counts_[lp];
     ++placed_total_;
     return pid;
@@ -116,7 +129,7 @@ PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
         if (route[u] != kUnassigned) {
           physical_[route[u]] += 1.0;
         } else {
-          logical_hits_[logical_.partition_of(u)] += 1.0;
+          logical_hits_[logical_partition_of(u)] += 1.0;
         }
       }
     }
@@ -152,7 +165,7 @@ PartitionId SpnlPartitioner::place(VertexId v, std::span<const VertexId> out) {
     commit(v, out, pid);
 
     // v leaves its logical partition the moment it is physically placed.
-    const PartitionId lp = logical_.partition_of(v);
+    const PartitionId lp = logical_partition_of(v);
     if (logical_counts_[lp] > 0) --logical_counts_[lp];
     ++placed_total_;
   }
@@ -219,9 +232,15 @@ void SpnlPartitioner::restore_state(StateReader& in) {
 }
 
 std::size_t SpnlPartitioner::memory_footprint_bytes() const {
+  // An injected hint table replaces the O(2K) range bounds with O(|V|)
+  // borrowed state that is nonetheless required to run — charge it.
+  const std::size_t logical_bytes =
+      options_.logical_hints != nullptr
+          ? options_.logical_hints->size() * sizeof(PartitionId)
+          : 2 * sizeof(VertexId) * num_partitions();
   return GreedyStreamingBase::memory_footprint_bytes() +
          gamma_.memory_footprint_bytes() + vector_bytes(logical_counts_) +
-         2 * sizeof(VertexId) * num_partitions();  // the O(2K) range bounds
+         logical_bytes;
 }
 
 }  // namespace spnl

@@ -46,6 +46,16 @@ struct SpnlOptions {
   SlideMode slide = SlideMode::kFine;
   EtaPolicy eta_policy = EtaPolicy::kPaper;
   double eta0 = 0.5;  ///< only for kConstant
+  /// Optional per-vertex logical pre-assignment replacing the contiguous
+  /// range table in Eq. 6 (the 2PS clustering prepass feeds cluster-derived
+  /// placement hints through here — see prepass/two_phase.hpp). Borrowed:
+  /// must outlive the partitioner, have size |V|, and every value < K.
+  /// Trades the paper's O(2K) logical table for an O(|V|) one, which is
+  /// charged to memory_footprint_bytes; nullptr keeps the paper behavior. A
+  /// checkpointed run must be restored with the same hint table it was
+  /// constructed with (the prepass is deterministic, so re-running it
+  /// reproduces the table).
+  const std::vector<PartitionId>* logical_hints = nullptr;
 };
 
 class SpnlPartitioner final : public GreedyStreamingBase {
@@ -71,6 +81,13 @@ class SpnlPartitioner final : public GreedyStreamingBase {
 
   /// Current η for partition i (exposed for tests).
   double eta(PartitionId i) const;
+
+  /// Logical pre-assignment of v: the hint table when one was injected, the
+  /// contiguous range table otherwise (exposed for tests).
+  PartitionId logical_partition_of(VertexId v) const {
+    return options_.logical_hints != nullptr ? (*options_.logical_hints)[v]
+                                             : logical_.partition_of(v);
+  }
 
  private:
   SpnlOptions options_;

@@ -203,6 +203,79 @@ Graph generate_hostgraph(const HostGraphParams& params) {
   return Graph(std::move(offsets), std::move(targets));
 }
 
+PlantedGraph generate_planted_partition(const PlantedPartitionParams& params) {
+  const VertexId n = params.num_vertices;
+  const PartitionId c = params.num_communities;
+  if (c == 0) {
+    throw std::invalid_argument(
+        "generate_planted_partition: need >= 1 community");
+  }
+  if (params.mixing < 0.0 || params.mixing > 1.0) {
+    throw std::invalid_argument(
+        "generate_planted_partition: mixing must be in [0,1]");
+  }
+  PlantedGraph result;
+  result.num_communities = c;
+  if (n == 0) return result;
+
+  // Contiguous near-equal blocks, exactly the RangeTable split: the first
+  // n % C communities get one extra vertex.
+  const VertexId base = n / c;
+  const PartitionId big = static_cast<PartitionId>(n % c);
+  const VertexId split = static_cast<VertexId>(big) * (base + 1);
+  std::vector<VertexId> begin(static_cast<std::size_t>(c) + 1, 0);
+  for (PartitionId i = 0; i < c; ++i) {
+    begin[i + 1] = begin[i] + (i < big ? base + 1 : base);
+  }
+  result.labels.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.labels[v] =
+        v < split ? static_cast<PartitionId>(v / (base + 1))
+                  : static_cast<PartitionId>(big + (v - split) / base);
+  }
+
+  Rng rng(params.seed);
+  std::vector<EdgeId> offsets;
+  offsets.reserve(static_cast<std::size_t>(n) + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<std::size_t>(n * params.avg_out_degree));
+  std::vector<VertexId> adj;
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId home = result.labels[v];
+    const VertexId home_begin = begin[home];
+    const VertexId home_size = begin[home + 1] - home_begin;
+    // Near-uniform degree (uniform in [avg/2, 3·avg/2]): the planted model
+    // has no degree skew — that axis belongs to the webcrawl/R-MAT cells.
+    auto degree = static_cast<EdgeId>(
+        std::llround(params.avg_out_degree * (0.5 + rng.next_double())));
+    if (degree < 1) degree = 1;
+    if (degree > n - 1) degree = n - 1;
+    adj.clear();
+    while (n > 1 && adj.size() < degree) {
+      VertexId u;
+      if ((home_size > 1 && !rng.next_bool(params.mixing)) ||
+          home_size == n) {
+        // Intra-community: uniform in the home block, skipping v without
+        // rejection sampling.
+        u = home_begin + static_cast<VertexId>(rng.next_below(home_size - 1));
+        if (u >= v) ++u;
+      } else {
+        // Inter-community: uniform over every vertex outside the home block.
+        u = static_cast<VertexId>(rng.next_below(n - home_size));
+        if (u >= home_begin) u += home_size;
+      }
+      adj.push_back(u);
+    }
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    targets.insert(targets.end(), adj.begin(), adj.end());
+    offsets.push_back(targets.size());
+  }
+  result.graph = Graph(std::move(offsets), std::move(targets));
+  return result;
+}
+
 Graph generate_rmat(const RmatParams& params) {
   const double d = 1.0 - params.a - params.b - params.c;
   if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {

@@ -88,6 +88,41 @@ struct HostGraphParams {
 /// graph size (see bench_scaletrend).
 Graph generate_hostgraph(const HostGraphParams& params);
 
+/// Parameters of the planted-partition (symmetric stochastic block) model.
+struct PlantedPartitionParams {
+  VertexId num_vertices = 0;
+  /// Number of planted communities; ids are carved into contiguous blocks of
+  /// near-equal size (the first n % C blocks get one extra vertex), matching
+  /// the RangeTable split so that with C == K the id numbering is the
+  /// friendliest possible input for SPNL's logical table — the adversarial
+  /// stream orders in graph/reorder.hpp then destroy exactly that property.
+  PartitionId num_communities = 8;
+  /// Target mean out-degree.
+  double avg_out_degree = 16.0;
+  /// Mixing parameter μ: expected fraction of edges whose target lies
+  /// OUTSIDE the source's community. μ = 0 gives disconnected cliques-ish
+  /// blocks; μ = (C-1)/C erases the planted structure entirely.
+  double mixing = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// A generated graph together with its planted ground-truth labels, so
+/// benches can score recovery (partition/metrics.hpp: recovery_rate).
+struct PlantedGraph {
+  Graph graph;
+  /// labels[v] = community of v, in [0, num_communities).
+  std::vector<PartitionId> labels;
+  PartitionId num_communities = 0;
+};
+
+/// Planted-partition graph (Condon & Karp; the streaming analysis is
+/// Tsourakakis's "Streaming Graph Partitioning in the Planted Partition
+/// Model"): each vertex draws ~avg_out_degree targets, each one uniform
+/// inside its own community with probability 1-μ and uniform over the other
+/// communities with probability μ. Adjacency lists are sorted and
+/// de-duplicated; no self-loops. Fully deterministic given the seed.
+PlantedGraph generate_planted_partition(const PlantedPartitionParams& params);
+
 /// Parameters of the R-MAT recursive matrix model (Chakrabarti et al.).
 struct RmatParams {
   /// |V| = 2^scale.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -108,6 +109,146 @@ std::vector<VertexId> degree_order(const Graph& graph) {
   std::vector<VertexId> new_id(n);
   for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
   return new_id;
+}
+
+std::vector<VertexId> degree_ascending_order(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    return graph.out_degree(a) < graph.out_degree(b);
+  });
+  std::vector<VertexId> new_id(n);
+  for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
+  return new_id;
+}
+
+std::vector<VertexId> temporal_order(const Graph& graph, std::uint64_t seed) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return {};
+  const Graph sym = graph.symmetrized();
+  Rng rng(seed);
+  const auto root = static_cast<VertexId>(rng.next_below(n));
+  std::vector<VertexId> queue, frontier;
+  queue.reserve(n);
+  return traversal_order(
+      sym, root, [&](VertexId start, std::vector<VertexId>& new_id, VertexId& next) {
+        queue.clear();
+        queue.push_back(start);
+        new_id[start] = next++;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+          frontier.clear();
+          for (VertexId u : sym.out_neighbors(queue[head])) {
+            if (new_id[u] == kInvalidVertex) {
+              new_id[u] = next++;  // claim now so duplicates are skipped
+              frontier.push_back(u);
+            }
+          }
+          // Shuffle this vertex's newly discovered neighbors: the re-crawl
+          // visits links in an order uncorrelated with the stored lists.
+          for (std::size_t i = frontier.size(); i > 1; --i) {
+            std::swap(frontier[i - 1], frontier[rng.next_below(i)]);
+          }
+          // Re-stamp in shuffled order (claims above were provisional).
+          VertexId stamp = next - static_cast<VertexId>(frontier.size());
+          for (VertexId u : frontier) new_id[u] = stamp++;
+          queue.insert(queue.end(), frontier.begin(), frontier.end());
+        }
+      });
+}
+
+std::vector<VertexId> community_interleaved_order(
+    const std::vector<PartitionId>& labels, PartitionId num_communities) {
+  const auto n = static_cast<VertexId>(labels.size());
+  if (num_communities == 0 && n > 0) {
+    throw std::invalid_argument(
+        "community_interleaved_order: need >= 1 community");
+  }
+  std::vector<VertexId> group_size(num_communities, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (labels[v] >= num_communities) {
+      throw std::invalid_argument(
+          "community_interleaved_order: label out of range");
+    }
+    ++group_size[labels[v]];
+  }
+  // Rank within the group decides the round; rounds are emitted in order,
+  // each visiting the communities 0..C-1 that still have members left. The
+  // new id of the r-th member of community c is (number of members emitted
+  // in rounds 0..r-1) + (members of communities < c that reach round r).
+  // Computed by bucketing: counting sort by (round, community).
+  std::vector<VertexId> rank_in_group(num_communities, 0);
+  std::vector<std::pair<VertexId, VertexId>> keyed(n);  // (round, old id)
+  for (VertexId v = 0; v < n; ++v) {
+    keyed[v] = {rank_in_group[labels[v]]++, v};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // stable sort by round keeps ids (and thus communities) ascending inside a
+  // round, which is exactly round-robin c0, c1, ..., c0, c1, ...
+  std::vector<VertexId> new_id(n);
+  for (VertexId pos = 0; pos < n; ++pos) new_id[keyed[pos].second] = pos;
+  return new_id;
+}
+
+const char* stream_order_name(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kId: return "id";
+    case StreamOrder::kRandom: return "random";
+    case StreamOrder::kDegree: return "degree";
+    case StreamOrder::kDegreeAsc: return "degree-asc";
+    case StreamOrder::kTemporal: return "temporal";
+    case StreamOrder::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
+
+StreamOrder stream_order_by_name(const std::string& name) {
+  if (name == "id") return StreamOrder::kId;
+  if (name == "random") return StreamOrder::kRandom;
+  if (name == "degree") return StreamOrder::kDegree;
+  if (name == "degree-asc") return StreamOrder::kDegreeAsc;
+  if (name == "temporal") return StreamOrder::kTemporal;
+  if (name == "adversarial") return StreamOrder::kAdversarial;
+  throw std::invalid_argument("unknown stream order '" + name + "'");
+}
+
+std::vector<VertexId> make_stream_order(const Graph& graph, StreamOrder order,
+                                        const std::vector<PartitionId>* labels,
+                                        PartitionId num_communities,
+                                        std::uint64_t seed) {
+  const VertexId n = graph.num_vertices();
+  switch (order) {
+    case StreamOrder::kId: {
+      std::vector<VertexId> identity(n);
+      std::iota(identity.begin(), identity.end(), VertexId{0});
+      return identity;
+    }
+    case StreamOrder::kRandom:
+      return random_order(n, seed);
+    case StreamOrder::kDegree:
+      return degree_order(graph);
+    case StreamOrder::kDegreeAsc:
+      return degree_ascending_order(graph);
+    case StreamOrder::kTemporal:
+      return temporal_order(graph, seed);
+    case StreamOrder::kAdversarial: {
+      if (labels != nullptr) {
+        return community_interleaved_order(*labels, num_communities);
+      }
+      // Unlabeled graphs: contiguous-block pseudo-communities (the
+      // communities a crawl numbering actually embeds).
+      if (num_communities == 0) num_communities = 1;
+      std::vector<PartitionId> blocks(n);
+      const VertexId base = std::max<VertexId>(1, n / num_communities);
+      for (VertexId v = 0; v < n; ++v) {
+        blocks[v] = static_cast<PartitionId>(
+            std::min<VertexId>(v / base, num_communities - 1));
+      }
+      return community_interleaved_order(blocks, num_communities);
+    }
+  }
+  throw std::invalid_argument("make_stream_order: unknown order");
 }
 
 Graph bfs_renumber(const Graph& graph, VertexId root) {

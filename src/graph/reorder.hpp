@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,6 +33,53 @@ std::vector<VertexId> random_order(VertexId num_vertices, std::uint64_t seed);
 
 /// Decreasing out-degree order (ties by old id).
 std::vector<VertexId> degree_order(const Graph& graph);
+
+/// Increasing out-degree order (ties by old id): the streaming-greedy worst
+/// case where every early decision is made on a near-empty neighborhood.
+std::vector<VertexId> degree_ascending_order(const Graph& graph);
+
+/// BFS-temporal "re-crawl" order: BFS over the symmetrized graph from a
+/// seeded root, visiting each frontier's neighbors in seeded-shuffled order
+/// (a fresh crawl of the same graph — BFS-shaped locality, but decorrelated
+/// from the original numbering). Unreached components follow in id order.
+std::vector<VertexId> temporal_order(const Graph& graph, std::uint64_t seed);
+
+/// Worst-case community-interleaved order: round-robin across the label
+/// groups (members in id order), so consecutive new ids almost never share a
+/// community. Designed to defeat both of SPNL's local-knowledge structures
+/// at once: every contiguous logical-table range straddles all communities,
+/// and the sliding Γ window only ever holds a community-interleaved slice.
+/// labels[v] must be < num_communities; groups may be empty.
+std::vector<VertexId> community_interleaved_order(
+    const std::vector<PartitionId>& labels, PartitionId num_communities);
+
+/// The scenario-matrix stream-order axis (docs/scenarios.md). Orders are
+/// applied by renumbering (apply_permutation) and streaming the renumbered
+/// graph in id order, so every partitioner keeps its ascending-id stream
+/// contract while the crawl numbering is preserved or destroyed.
+enum class StreamOrder {
+  kId,           ///< original numbering (crawl order — SPNL's home turf)
+  kRandom,       ///< uniform random permutation
+  kDegree,       ///< decreasing out-degree
+  kDegreeAsc,    ///< increasing out-degree
+  kTemporal,     ///< seeded BFS re-crawl
+  kAdversarial,  ///< community-interleaved (see above)
+};
+
+const char* stream_order_name(StreamOrder order);
+/// Throws std::invalid_argument for unknown names
+/// (id|random|degree|degree-asc|temporal|adversarial).
+StreamOrder stream_order_by_name(const std::string& name);
+
+/// new_id permutation for `order`. kAdversarial interleaves the given labels
+/// when present; without labels it synthesizes contiguous-block
+/// pseudo-communities (num_communities blocks — for crawl-numbered graphs
+/// those ARE the communities, so block interleaving is the same attack).
+/// `seed` feeds kRandom and kTemporal; kId returns the identity.
+std::vector<VertexId> make_stream_order(const Graph& graph, StreamOrder order,
+                                        const std::vector<PartitionId>* labels,
+                                        PartitionId num_communities,
+                                        std::uint64_t seed);
 
 /// Convenience: graph renumbered by BFS / randomly.
 Graph bfs_renumber(const Graph& graph, VertexId root = 0);

@@ -107,6 +107,75 @@ bool is_complete_assignment(const std::vector<PartitionId>& route, PartitionId k
   return true;
 }
 
+double recovery_rate(const std::vector<PartitionId>& truth,
+                     PartitionId num_communities,
+                     const std::vector<PartitionId>& route, PartitionId k) {
+  if (truth.size() != route.size()) {
+    throw std::invalid_argument("recovery_rate: truth size != route size");
+  }
+  if (num_communities == 0 || k == 0) {
+    throw std::invalid_argument("recovery_rate: need >= 1 community/partition");
+  }
+  const std::size_t n = truth.size();
+  if (n == 0) return 1.0;
+
+  // C x K confusion matrix.
+  std::vector<std::uint64_t> cells(static_cast<std::size_t>(num_communities) * k,
+                                   0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (truth[v] >= num_communities) {
+      throw std::invalid_argument("recovery_rate: truth label out of range");
+    }
+    if (route[v] >= k) {
+      throw std::invalid_argument("recovery_rate: partition id out of range");
+    }
+    ++cells[static_cast<std::size_t>(truth[v]) * k + route[v]];
+  }
+
+  // Greedy matching: take the largest remaining cell, retire its community
+  // row and partition column, repeat min(C, K) times. Ties break toward the
+  // lowest (community, partition) pair, keeping the metric deterministic.
+  std::uint64_t matched = 0;
+  std::vector<bool> row_done(num_communities, false), col_done(k, false);
+  const PartitionId rounds = std::min(num_communities, k);
+  for (PartitionId round = 0; round < rounds; ++round) {
+    std::uint64_t best = 0;
+    PartitionId best_row = 0, best_col = 0;
+    bool found = false;
+    for (PartitionId r = 0; r < num_communities; ++r) {
+      if (row_done[r]) continue;
+      for (PartitionId col = 0; col < k; ++col) {
+        if (col_done[col]) continue;
+        const std::uint64_t cell = cells[static_cast<std::size_t>(r) * k + col];
+        if (!found || cell > best) {
+          best = cell;
+          best_row = r;
+          best_col = col;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    matched += best;
+    row_done[best_row] = true;
+    col_done[best_col] = true;
+  }
+
+  // Cyclic-shift floor (C == K only): greedy matching is a 1/2-approximation
+  // of the optimal assignment, which can dip below n/K on adversarial
+  // confusion matrices; the best of the K cyclic shifts cannot.
+  if (num_communities == k) {
+    for (PartitionId shift = 0; shift < k; ++shift) {
+      std::uint64_t agree = 0;
+      for (PartitionId r = 0; r < k; ++r) {
+        agree += cells[static_cast<std::size_t>(r) * k + (r + shift) % k];
+      }
+      if (agree > matched) matched = agree;
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(n);
+}
+
 std::string summarize(const QualityMetrics& metrics) {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "ECR=%.4f dv=%.2f de=%.2f cut=%llu", metrics.ecr,

@@ -49,6 +49,21 @@ EdgeId communication_volume(const Graph& graph, const std::vector<PartitionId>& 
 /// True iff every vertex has a partition id < k.
 bool is_complete_assignment(const std::vector<PartitionId>& route, PartitionId k);
 
+/// Ground-truth recovery rate against planted labels: the fraction of
+/// vertices whose assigned partition maps onto their true community under
+/// the best label matching found. Partition labels are arbitrary, so the
+/// metric matches communities to partitions over the C x K confusion matrix
+/// by greedy matching (repeatedly take the largest remaining cell, retiring
+/// its row and column); when C == K the best cyclic label shift is taken as
+/// a floor, which guarantees rate >= 1/K (for every vertex exactly one of
+/// the K shifts agrees, so the best shift covers >= n/K vertices). Range is
+/// therefore [1/K, 1] for C == K and [0, 1] otherwise; 1.0 means the
+/// partition is the planted one up to label renaming. Empty inputs score 1.
+/// Throws if sizes mismatch or any label is out of range.
+double recovery_rate(const std::vector<PartitionId>& truth,
+                     PartitionId num_communities,
+                     const std::vector<PartitionId>& route, PartitionId k);
+
 /// Compact "ECR=0.12 dv=1.05 de=2.31" summary for logs.
 std::string summarize(const QualityMetrics& metrics);
 

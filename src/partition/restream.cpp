@@ -102,10 +102,16 @@ std::vector<PartitionId> restream_partition(AdjacencyStream& stream,
 
   std::vector<PartitionId> route;
   if (options.seed_with_spnl) {
-    SpnlPartitioner seed(n, m, config);
+    SpnlOptions spnl_options;
+    spnl_options.logical_hints = options.spnl_hints;
+    SpnlPartitioner seed(n, m, config, spnl_options);
     drain(stream, seed);
     route = seed.route();
   } else {
+    if (options.spnl_hints != nullptr) {
+      throw std::invalid_argument(
+          "restream_partition: spnl_hints requires seed_with_spnl");
+    }
     LdgPartitioner seed(n, m, config);
     drain(stream, seed);
     route = seed.route();

@@ -31,6 +31,10 @@ struct RestreamOptions {
   /// refinement pass; the rest keep their previous assignment. 1.0 = full.
   double restream_fraction = 1.0;
   std::uint64_t selection_seed = 1;
+  /// Optional logical-hint table for the SPNL seed pass (requires
+  /// seed_with_spnl; see SpnlOptions::logical_hints for the contract).
+  /// Borrowed — must outlive the call. Typically the 2PS prepass output.
+  const std::vector<PartitionId>* spnl_hints = nullptr;
 };
 
 /// Runs `passes` scans over the stream (reset() between passes) and returns

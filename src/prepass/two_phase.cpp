@@ -1,0 +1,216 @@
+#include "prepass/two_phase.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "partition/range_partitioner.hpp"
+#include "util/timer.hpp"
+
+namespace spnl {
+
+namespace {
+
+constexpr std::uint32_t kNoCluster = ~0u;
+
+/// Sparse per-record vote tally over cluster ids: O(out-degree) per record,
+/// cleared through the touched list so the dense array is paid for once.
+class VoteCounter {
+ public:
+  explicit VoteCounter(std::uint32_t budget) : votes_(budget, 0) {}
+
+  void add(std::uint32_t cluster) {
+    if (votes_[cluster]++ == 0) touched_.push_back(cluster);
+  }
+
+  std::uint32_t count(std::uint32_t cluster) const { return votes_[cluster]; }
+
+  /// Highest-vote cluster passing `admit`; ties to the lower cluster id.
+  /// kNoCluster when nothing passes.
+  template <typename Admit>
+  std::uint32_t best(Admit admit) const {
+    std::uint32_t best_cluster = kNoCluster;
+    std::uint32_t best_votes = 0;
+    for (const std::uint32_t c : touched_) {
+      if (!admit(c)) continue;
+      const std::uint32_t v = votes_[c];
+      if (v > best_votes || (v == best_votes && c < best_cluster)) {
+        best_votes = v;
+        best_cluster = c;
+      }
+    }
+    return best_cluster;
+  }
+
+  void clear() {
+    for (const std::uint32_t c : touched_) votes_[c] = 0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<std::uint32_t> votes_;
+  std::vector<std::uint32_t> touched_;
+};
+
+}  // namespace
+
+PrepassResult cluster_prepass(AdjacencyStream& stream,
+                              const PartitionConfig& config,
+                              const TwoPhaseOptions& options) {
+  if (config.num_partitions == 0) {
+    throw std::invalid_argument("cluster_prepass: K must be >= 1");
+  }
+  if (options.cluster_cap_factor <= 0.0) {
+    throw std::invalid_argument("cluster_prepass: cap factor must be > 0");
+  }
+  if (options.refine_passes < 0) {
+    throw std::invalid_argument("cluster_prepass: refine_passes must be >= 0");
+  }
+  const Timer timer;
+  const VertexId n = stream.num_vertices();
+  const PartitionId k = config.num_partitions;
+  PrepassResult result;
+  if (n == 0) {
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  const std::uint32_t budget =
+      options.max_clusters != 0
+          ? options.max_clusters
+          : std::max<std::uint32_t>(64, n / 4 + k);
+  const auto cap = std::max<VertexId>(
+      2, static_cast<VertexId>(options.cluster_cap_factor * n / k));
+
+  std::vector<std::uint32_t> cluster_of(n, kNoCluster);
+  std::vector<VertexId> cluster_size;
+  cluster_size.reserve(std::min<std::uint32_t>(budget, 1 << 16));
+  VoteCounter votes(budget);
+
+  // Initial scan: join the majority cluster of the already-clustered
+  // out-neighbors (respecting the cap), else found a new cluster; then seed
+  // still-unclustered out-neighbors into the decided cluster.
+  while (auto record = stream.next()) {
+    const VertexId v = record->id;
+    if (v >= n) {
+      throw std::invalid_argument("cluster_prepass: stream record " +
+                                  std::to_string(v) + " out of range");
+    }
+    std::uint32_t home = cluster_of[v];
+    if (home == kNoCluster) {
+      for (const VertexId u : record->out) {
+        if (u < n && cluster_of[u] != kNoCluster) votes.add(cluster_of[u]);
+      }
+      home = votes.best(
+          [&](std::uint32_t c) { return cluster_size[c] < cap; });
+      votes.clear();
+      if (home == kNoCluster) {
+        if (cluster_size.size() >= budget) {
+          // Cluster-id budget overflow: declare the prepass degraded and let
+          // the caller fall back to plain SPNL — never crash, never return a
+          // half-built hint table.
+          result.degraded = true;
+          result.num_clusters = static_cast<std::uint32_t>(cluster_size.size());
+          result.seconds = timer.seconds();
+          return result;
+        }
+        home = static_cast<std::uint32_t>(cluster_size.size());
+        cluster_size.push_back(0);
+      }
+      cluster_of[v] = home;
+      ++cluster_size[home];
+    }
+    for (const VertexId u : record->out) {
+      if (u < n && u != v && cluster_of[u] == kNoCluster &&
+          cluster_size[home] < cap) {
+        cluster_of[u] = home;
+        ++cluster_size[home];
+      }
+    }
+  }
+
+  // Refinement restreams: move each vertex to its majority cluster when that
+  // strictly beats the current one (cap still enforced). Damps the damage
+  // hostile stream orders do to the first scan's early, vote-less decisions.
+  for (int pass = 0; pass < options.refine_passes; ++pass) {
+    stream.reset();
+    while (auto record = stream.next()) {
+      const VertexId v = record->id;
+      const std::uint32_t home = cluster_of[v];
+      for (const VertexId u : record->out) {
+        if (u < n && cluster_of[u] != kNoCluster) votes.add(cluster_of[u]);
+      }
+      const std::uint32_t target = votes.best([&](std::uint32_t c) {
+        return c == home || cluster_size[c] < cap;
+      });
+      if (target != kNoCluster && target != home &&
+          votes.count(target) > votes.count(home)) {
+        --cluster_size[home];
+        ++cluster_size[target];
+        cluster_of[v] = target;
+        ++result.reassigned;
+      }
+      votes.clear();
+    }
+  }
+
+  // Cluster packing: largest cluster first onto the least-loaded partition
+  // (ties to the lower partition id) — the standard 2PS phase-2 seed.
+  const auto num_clusters = static_cast<std::uint32_t>(cluster_size.size());
+  std::vector<std::uint32_t> by_size(num_clusters);
+  std::iota(by_size.begin(), by_size.end(), 0u);
+  std::stable_sort(by_size.begin(), by_size.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return cluster_size[a] > cluster_size[b];
+                   });
+  std::vector<VertexId> partition_load(k, 0);
+  std::vector<PartitionId> partition_of_cluster(num_clusters, 0);
+  for (const std::uint32_t c : by_size) {
+    PartitionId target = 0;
+    for (PartitionId i = 1; i < k; ++i) {
+      if (partition_load[i] < partition_load[target]) target = i;
+    }
+    partition_of_cluster[c] = target;
+    partition_load[target] += cluster_size[c];
+  }
+
+  // Emit per-vertex hints. A vertex the stream never mentioned (possible on
+  // hardened streams that quarantined its record) keeps the range default so
+  // the hint table is always total.
+  const RangeTable fallback(n, k);
+  result.hints.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.hints[v] = cluster_of[v] == kNoCluster
+                          ? fallback.partition_of(v)
+                          : partition_of_cluster[cluster_of[v]];
+  }
+  result.num_clusters = num_clusters;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+TwoPhaseRunResult two_phase_spnl_partition(
+    AdjacencyStream& stream, const PartitionConfig& config,
+    const TwoPhaseOptions& prepass_options, SpnlOptions spnl_options,
+    const StreamingCheckpointOptions& checkpoint,
+    const std::string& resume_from, PerfStats* perf,
+    ResourceGovernor* governor, const std::atomic<bool>* stop) {
+  TwoPhaseRunResult result;
+  result.prepass = cluster_prepass(stream, config, prepass_options);
+  stream.reset();
+
+  const bool use_hints =
+      !result.prepass.degraded && !result.prepass.hints.empty();
+  if (use_hints) spnl_options.logical_hints = &result.prepass.hints;
+  SpnlPartitioner partitioner(stream.num_vertices(), stream.num_edges(),
+                              config, spnl_options);
+  result.run =
+      resume_from.empty()
+          ? run_streaming(stream, partitioner, checkpoint, perf, governor, stop)
+          : resume_streaming(stream, partitioner, resume_from, checkpoint, perf,
+                             governor, stop);
+  result.run.partitioner_name = use_hints ? "SPNL+2PS" : "SPNL";
+  return result;
+}
+
+}  // namespace spnl

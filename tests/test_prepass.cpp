@@ -1,0 +1,164 @@
+// 2PS clustering-prepass edge cases: empty inputs, single-community graphs,
+// pathological all-singleton streams, and cluster-budget overflow — the
+// degraded path must always fall back to exactly plain SPNL, never crash or
+// emit a half-built hint table.
+#include "prepass/two_phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "partition/metrics.hpp"
+#include "partition/restream.hpp"
+
+namespace spnl {
+namespace {
+
+PartitionConfig make_config(PartitionId k) {
+  PartitionConfig config;
+  config.num_partitions = k;
+  return config;
+}
+
+std::vector<PartitionId> plain_spnl_route(const Graph& graph, PartitionId k) {
+  SpnlPartitioner partitioner(graph.num_vertices(), graph.num_edges(),
+                              make_config(k));
+  InMemoryStream stream(graph);
+  return run_streaming(stream, partitioner).route;
+}
+
+TEST(Prepass, EmptyGraph) {
+  const Graph empty = GraphBuilder(0).finish();
+  InMemoryStream stream(empty);
+  const PrepassResult result = cluster_prepass(stream, make_config(4));
+  EXPECT_TRUE(result.hints.empty());
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.num_clusters, 0u);
+
+  stream.reset();
+  const TwoPhaseRunResult run =
+      two_phase_spnl_partition(stream, make_config(4));
+  EXPECT_TRUE(run.run.route.empty());
+  EXPECT_EQ(run.run.partitioner_name, "SPNL");  // no hints -> plain fallback
+}
+
+TEST(Prepass, ValidatesOptions) {
+  const Graph g = generate_ring_lattice(16, 2);
+  InMemoryStream stream(g);
+  EXPECT_THROW(cluster_prepass(stream, make_config(0)), std::invalid_argument);
+  EXPECT_THROW(
+      cluster_prepass(stream, make_config(2), {.cluster_cap_factor = 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(cluster_prepass(stream, make_config(2), {.refine_passes = -1}),
+               std::invalid_argument);
+}
+
+TEST(Prepass, SingleCommunityGraph) {
+  // One planted community: every edge is internal; the cap forces the single
+  // community to split across clusters but every hint must stay valid and
+  // the pipeline must run as SPNL+2PS.
+  PlantedPartitionParams params;
+  params.num_vertices = 400;
+  params.num_communities = 1;
+  params.mixing = 0.0;
+  params.seed = 7;
+  const PlantedGraph planted = generate_planted_partition(params);
+  const PartitionId k = 4;
+  InMemoryStream stream(planted.graph);
+  const PrepassResult result = cluster_prepass(stream, make_config(k));
+  ASSERT_FALSE(result.degraded);
+  ASSERT_EQ(result.hints.size(), 400u);
+  for (const PartitionId hint : result.hints) EXPECT_LT(hint, k);
+  // The cap (1.1 * n/k) makes at least k clusters inevitable.
+  EXPECT_GE(result.num_clusters, k);
+
+  stream.reset();
+  const TwoPhaseRunResult run = two_phase_spnl_partition(stream, make_config(k));
+  EXPECT_EQ(run.run.partitioner_name, "SPNL+2PS");
+  EXPECT_TRUE(is_complete_assignment(run.run.route, k));
+}
+
+TEST(Prepass, AllSingletonClustersDegradesToPlainSpnl) {
+  // Edgeless graph: no votes ever, every vertex founds its own cluster, and
+  // the default budget (max(64, n/4 + k)) overflows well before n singletons
+  // are created. The pipeline must notice, drop the hints, and produce the
+  // exact plain-SPNL route.
+  const Graph edgeless = GraphBuilder(500).finish();
+  const PartitionId k = 4;
+  InMemoryStream stream(edgeless);
+  const PrepassResult result = cluster_prepass(stream, make_config(k));
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.hints.empty());
+
+  stream.reset();
+  const TwoPhaseRunResult run = two_phase_spnl_partition(stream, make_config(k));
+  EXPECT_EQ(run.run.partitioner_name, "SPNL");
+  EXPECT_TRUE(run.prepass.degraded);
+  EXPECT_EQ(run.run.route, plain_spnl_route(edgeless, k));
+}
+
+TEST(Prepass, BudgetOverflowDegradesGracefully) {
+  // A connected graph with an artificially tiny cluster budget: the overflow
+  // is asserted (flagged, empty hints), not crashed, and the fallback route
+  // is byte-identical to plain SPNL.
+  WebCrawlParams params;
+  params.num_vertices = 2'000;
+  params.seed = 11;
+  const Graph g = generate_webcrawl(params);
+  const PartitionId k = 8;
+  TwoPhaseOptions options;
+  options.max_clusters = 2;  // cap (1.1 * n/k) * 2 clusters < n -> overflow
+  InMemoryStream stream(g);
+  const PrepassResult result = cluster_prepass(stream, make_config(k), options);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.hints.empty());
+  EXPECT_LE(result.num_clusters, 2u);
+
+  stream.reset();
+  const TwoPhaseRunResult run =
+      two_phase_spnl_partition(stream, make_config(k), options);
+  EXPECT_EQ(run.run.partitioner_name, "SPNL");
+  EXPECT_EQ(run.run.route, plain_spnl_route(g, k));
+}
+
+TEST(Prepass, DeterministicAcrossRuns) {
+  WebCrawlParams params;
+  params.num_vertices = 3'000;
+  params.seed = 3;
+  const Graph g = generate_webcrawl(params);
+  InMemoryStream stream(g);
+  const PrepassResult a = cluster_prepass(stream, make_config(8));
+  stream.reset();
+  const PrepassResult b = cluster_prepass(stream, make_config(8));
+  EXPECT_EQ(a.hints, b.hints);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.reassigned, b.reassigned);
+}
+
+TEST(Prepass, SpnlRejectsMalformedHintTables) {
+  const Graph g = generate_ring_lattice(32, 2);
+  const PartitionConfig config = make_config(4);
+  const std::vector<PartitionId> wrong_size(31, 0);
+  const std::vector<PartitionId> out_of_range(32, 4);
+  SpnlOptions options;
+  options.logical_hints = &wrong_size;
+  EXPECT_THROW(SpnlPartitioner(32, g.num_edges(), config, options),
+               std::invalid_argument);
+  options.logical_hints = &out_of_range;
+  EXPECT_THROW(SpnlPartitioner(32, g.num_edges(), config, options),
+               std::invalid_argument);
+}
+
+TEST(Prepass, RestreamHintsRequireSpnlSeed) {
+  const Graph g = generate_ring_lattice(64, 2);
+  InMemoryStream stream(g);
+  const std::vector<PartitionId> hints(64, 0);
+  RestreamOptions options;
+  options.seed_with_spnl = false;
+  options.spnl_hints = &hints;
+  EXPECT_THROW(restream_partition(stream, make_config(2), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spnl

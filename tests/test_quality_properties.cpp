@@ -1,0 +1,150 @@
+// Metamorphic quality properties:
+//  * ECR / balance / recovery are invariant under renaming partition ids
+//    (the metrics must not care what a partition is called),
+//  * SPNL routes are equivariant under vertex relabeling when the id-keyed
+//    knowledge is neutralized (Γ term off via lambda=1, logical table off
+//    via EtaPolicy::kZero) and the presentation sequence is held fixed —
+//    the windowed/logical default config is deliberately NOT invariant
+//    (topology locality in the numbering is the paper's whole premise),
+//  * recovery_rate lands in [1/K, 1] for C == K on arbitrary routes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/spnl.hpp"
+#include "graph/adjacency_stream.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "partition/driver.hpp"
+#include "partition/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace spnl {
+namespace {
+
+std::vector<PartitionId> random_partition_permutation(PartitionId k,
+                                                      std::uint64_t seed) {
+  std::vector<PartitionId> sigma(k);
+  std::iota(sigma.begin(), sigma.end(), PartitionId{0});
+  Rng rng(seed);
+  for (PartitionId i = k; i > 1; --i) {
+    std::swap(sigma[i - 1], sigma[rng.next_below(i)]);
+  }
+  return sigma;
+}
+
+TEST(QualityProperties, MetricsInvariantUnderPartitionRenaming) {
+  PlantedPartitionParams params;
+  params.num_vertices = 4'000;
+  params.num_communities = 8;
+  params.mixing = 0.2;
+  const PartitionId k = 8;
+  for (const std::uint64_t seed : {1u, 5u, 9u}) {
+    params.seed = seed;
+    const PlantedGraph planted = generate_planted_partition(params);
+    PartitionConfig config;
+    config.num_partitions = k;
+    SpnlPartitioner partitioner(planted.graph.num_vertices(),
+                                planted.graph.num_edges(), config);
+    InMemoryStream stream(planted.graph);
+    const std::vector<PartitionId> route =
+        run_streaming(stream, partitioner).route;
+
+    const auto sigma = random_partition_permutation(k, seed * 31 + 7);
+    std::vector<PartitionId> renamed(route.size());
+    for (std::size_t v = 0; v < route.size(); ++v) renamed[v] = sigma[route[v]];
+
+    const QualityMetrics original = evaluate_partition(planted.graph, route, k);
+    const QualityMetrics permuted =
+        evaluate_partition(planted.graph, renamed, k);
+    EXPECT_EQ(original.cut_edges, permuted.cut_edges);
+    EXPECT_DOUBLE_EQ(original.ecr, permuted.ecr);
+    EXPECT_DOUBLE_EQ(original.delta_v, permuted.delta_v);
+    EXPECT_DOUBLE_EQ(original.delta_e, permuted.delta_e);
+    EXPECT_DOUBLE_EQ(
+        recovery_rate(planted.labels, planted.num_communities, route, k),
+        recovery_rate(planted.labels, planted.num_communities, renamed, k));
+    // Renaming the TRUTH labels instead of the route must not matter either.
+    std::vector<PartitionId> renamed_truth(planted.labels.size());
+    for (std::size_t v = 0; v < planted.labels.size(); ++v) {
+      renamed_truth[v] = sigma[planted.labels[v]];
+    }
+    EXPECT_DOUBLE_EQ(
+        recovery_rate(planted.labels, planted.num_communities, route, k),
+        recovery_rate(renamed_truth, planted.num_communities, route, k));
+  }
+}
+
+TEST(QualityProperties, SpnlRouteEquivariantUnderVertexRelabeling) {
+  // Neutralize the id-keyed knowledge: lambda=1 drops the windowed Γ term
+  // (its window base tracks the arriving id, so it is id-keyed BY DESIGN —
+  // even at shards=1 an out-of-order presentation sheds rows), and kZero
+  // turns the contiguous-range logical term off. What remains — physical
+  // out-neighbor scoring, capacity weighting, tie-breaking — must be
+  // name-blind: with the presentation sequence held fixed the route must
+  // commute with the relabeling, route2[pi(v)] == route1[v].
+  WebCrawlParams params;
+  params.num_vertices = 2'000;
+  params.avg_out_degree = 6.0;
+  params.seed = 13;
+  const Graph g = generate_webcrawl(params);
+  const VertexId n = g.num_vertices();
+  const std::vector<VertexId> pi = random_order(n, 99);
+  const Graph relabeled = apply_permutation(g, pi);
+
+  PartitionConfig config;
+  config.num_partitions = 8;
+  SpnlOptions options;
+  options.lambda = 1.0;
+  options.num_shards = 1;
+  options.eta_policy = EtaPolicy::kZero;
+  SpnlPartitioner original(n, g.num_edges(), config, options);
+  SpnlPartitioner renamed(n, relabeled.num_edges(), config, options);
+
+  std::vector<VertexId> mapped_out;
+  for (VertexId v = 0; v < n; ++v) {
+    const PartitionId p1 = original.place(v, g.out_neighbors(v));
+    // Present pi(v) with the SAME out-list content under new names. The
+    // relabeled graph stores exactly these targets; sort to match the
+    // canonical order an InMemoryStream of `relabeled` would hand over.
+    const auto out = relabeled.out_neighbors(pi[v]);
+    mapped_out.assign(out.begin(), out.end());
+    std::sort(mapped_out.begin(), mapped_out.end());
+    const PartitionId p2 = renamed.place(pi[v], mapped_out);
+    ASSERT_EQ(p1, p2) << "diverged at vertex " << v;
+  }
+}
+
+TEST(QualityProperties, RecoveryBoundsFuzzed) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto k = static_cast<PartitionId>(2 + rng.next_below(9));
+    const auto n = static_cast<VertexId>(1 + rng.next_below(500));
+    std::vector<PartitionId> truth(n), route(n);
+    for (VertexId v = 0; v < n; ++v) {
+      truth[v] = static_cast<PartitionId>(rng.next_below(k));
+      route[v] = static_cast<PartitionId>(rng.next_below(k));
+    }
+    const double rate = recovery_rate(truth, k, route, k);
+    EXPECT_GE(rate, 1.0 / k) << "k=" << k << " n=" << n;
+    EXPECT_LE(rate, 1.0);
+    // Perfect recovery up to renaming scores exactly 1.
+    std::vector<PartitionId> shifted(n);
+    for (VertexId v = 0; v < n; ++v) {
+      shifted[v] = static_cast<PartitionId>((truth[v] + 1) % k);
+    }
+    EXPECT_DOUBLE_EQ(recovery_rate(truth, k, shifted, k), 1.0);
+  }
+}
+
+TEST(QualityProperties, RecoveryValidatesInput) {
+  const std::vector<PartitionId> truth = {0, 1, 0, 1};
+  EXPECT_THROW(recovery_rate(truth, 2, {0, 1, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(recovery_rate(truth, 2, {0, 1, 0, 2}, 2), std::invalid_argument);
+  EXPECT_THROW(recovery_rate({0, 2, 0, 1}, 2, truth, 2), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(recovery_rate({}, 4, {}, 4), 1.0);
+}
+
+}  // namespace
+}  // namespace spnl

@@ -1,0 +1,165 @@
+// Seed-determinism goldens for every generator and stream-reorder mode:
+//  * same seed -> byte-identical output (checked structurally via a 64-bit
+//    FNV-1a digest over the CSR arrays / permutation),
+//  * different seed -> different output for every seeded model,
+//  * pinned digests for fixed seeds, snapshotted from a known-good build —
+//    any change to a generator's draw sequence or a reorder's tie-breaking
+//    shows up here immediately. Re-snapshot deliberately, never loosen.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/reorder.hpp"
+
+namespace spnl {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h = (h ^ ((word >> (8 * byte)) & 0xff)) * kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t digest_graph(const Graph& g) {
+  std::uint64_t h = mix(mix(kFnvOffset, g.num_vertices()), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    h = mix(h, g.out_degree(v));
+    for (const VertexId u : g.out_neighbors(v)) h = mix(h, u);
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t digest_vector(const std::vector<T>& values) {
+  std::uint64_t h = mix(kFnvOffset, values.size());
+  for (const T value : values) h = mix(h, static_cast<std::uint64_t>(value));
+  return h;
+}
+
+Graph small_webcrawl(std::uint64_t seed) {
+  WebCrawlParams params;
+  params.num_vertices = 2'000;
+  params.avg_out_degree = 6.0;
+  params.seed = seed;
+  return generate_webcrawl(params);
+}
+
+Graph small_hostgraph(std::uint64_t seed) {
+  HostGraphParams params;
+  params.num_vertices = 2'000;
+  params.seed = seed;
+  return generate_hostgraph(params);
+}
+
+PlantedGraph small_planted(std::uint64_t seed) {
+  PlantedPartitionParams params;
+  params.num_vertices = 2'000;
+  params.num_communities = 8;
+  params.mixing = 0.3;
+  params.seed = seed;
+  return generate_planted_partition(params);
+}
+
+Graph small_rmat(std::uint64_t seed) {
+  RmatParams params;
+  params.scale = 11;
+  params.num_edges = 1 << 14;
+  params.seed = seed;
+  return generate_rmat(params);
+}
+
+TEST(ScenarioGolden, GeneratorsDeterministicPerSeed) {
+  EXPECT_EQ(digest_graph(small_webcrawl(1)), digest_graph(small_webcrawl(1)));
+  EXPECT_EQ(digest_graph(small_hostgraph(1)), digest_graph(small_hostgraph(1)));
+  EXPECT_EQ(digest_graph(small_rmat(1)), digest_graph(small_rmat(1)));
+  const PlantedGraph a = small_planted(1);
+  const PlantedGraph b = small_planted(1);
+  EXPECT_EQ(digest_graph(a.graph), digest_graph(b.graph));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(digest_graph(generate_erdos_renyi(2'000, 8'000, 1)),
+            digest_graph(generate_erdos_renyi(2'000, 8'000, 1)));
+}
+
+TEST(ScenarioGolden, GeneratorsVaryAcrossSeeds) {
+  EXPECT_NE(digest_graph(small_webcrawl(1)), digest_graph(small_webcrawl(2)));
+  EXPECT_NE(digest_graph(small_hostgraph(1)), digest_graph(small_hostgraph(2)));
+  EXPECT_NE(digest_graph(small_rmat(1)), digest_graph(small_rmat(2)));
+  EXPECT_NE(digest_graph(small_planted(1).graph),
+            digest_graph(small_planted(2).graph));
+  EXPECT_NE(digest_graph(generate_erdos_renyi(2'000, 8'000, 1)),
+            digest_graph(generate_erdos_renyi(2'000, 8'000, 2)));
+}
+
+TEST(ScenarioGolden, PinnedGeneratorDigests) {
+  EXPECT_EQ(digest_graph(small_webcrawl(1)), 9930915293332024375ull);
+  EXPECT_EQ(digest_graph(small_hostgraph(1)), 9541351001865483596ull);
+  EXPECT_EQ(digest_graph(small_rmat(1)), 17149640425590869417ull);
+  EXPECT_EQ(digest_graph(generate_erdos_renyi(2'000, 8'000, 1)),
+            14253902972038839274ull);
+  EXPECT_EQ(digest_graph(generate_ring_lattice(100, 3)),
+            14364960841846734866ull);
+  EXPECT_EQ(digest_graph(generate_grid(10, 12)), 11140272906695448158ull);
+  const PlantedGraph planted = small_planted(1);
+  EXPECT_EQ(digest_graph(planted.graph), 10735278665924693522ull);
+  EXPECT_EQ(digest_vector(planted.labels), 1640253142316826136ull);
+}
+
+TEST(ScenarioGolden, ReorderModesDeterministicPerSeed) {
+  const PlantedGraph planted = small_planted(1);
+  for (const StreamOrder order :
+       {StreamOrder::kId, StreamOrder::kRandom, StreamOrder::kDegree,
+        StreamOrder::kDegreeAsc, StreamOrder::kTemporal,
+        StreamOrder::kAdversarial}) {
+    const auto a = make_stream_order(planted.graph, order, &planted.labels,
+                                     planted.num_communities, 42);
+    const auto b = make_stream_order(planted.graph, order, &planted.labels,
+                                     planted.num_communities, 42);
+    EXPECT_EQ(a, b) << stream_order_name(order);
+  }
+  // The seeded modes must actually respond to the seed.
+  for (const StreamOrder order : {StreamOrder::kRandom, StreamOrder::kTemporal}) {
+    EXPECT_NE(digest_vector(make_stream_order(planted.graph, order, nullptr, 0,
+                                              42)),
+              digest_vector(make_stream_order(planted.graph, order, nullptr, 0,
+                                              43)))
+        << stream_order_name(order);
+  }
+}
+
+TEST(ScenarioGolden, PinnedReorderDigests) {
+  const PlantedGraph planted = small_planted(1);
+  const auto digest_of = [&](StreamOrder order) {
+    return digest_vector(make_stream_order(
+        planted.graph, order, &planted.labels, planted.num_communities, 42));
+  };
+  EXPECT_EQ(digest_of(StreamOrder::kId), 2506521288887829720ull);
+  EXPECT_EQ(digest_of(StreamOrder::kRandom), 6299030529805478988ull);
+  EXPECT_EQ(digest_of(StreamOrder::kDegree), 6242840175029298372ull);
+  EXPECT_EQ(digest_of(StreamOrder::kDegreeAsc), 2909987752306560860ull);
+  EXPECT_EQ(digest_of(StreamOrder::kTemporal), 9406316596579017432ull);
+  EXPECT_EQ(digest_of(StreamOrder::kAdversarial), 15622068164204735624ull);
+  // Unlabeled adversarial: contiguous-block pseudo-communities. The planted
+  // labels ARE equal contiguous blocks (n divisible by C here), so this
+  // matches the labeled digest by construction — pinned to lock that in.
+  EXPECT_EQ(digest_vector(make_stream_order(planted.graph,
+                                            StreamOrder::kAdversarial, nullptr,
+                                            8, 42)),
+            15622068164204735624ull);
+}
+
+TEST(ScenarioGolden, StreamOrderNamesRoundTrip) {
+  for (const StreamOrder order :
+       {StreamOrder::kId, StreamOrder::kRandom, StreamOrder::kDegree,
+        StreamOrder::kDegreeAsc, StreamOrder::kTemporal,
+        StreamOrder::kAdversarial}) {
+    EXPECT_EQ(stream_order_by_name(stream_order_name(order)), order);
+  }
+  EXPECT_THROW(stream_order_by_name("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spnl

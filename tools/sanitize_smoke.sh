@@ -219,6 +219,20 @@ fi
   --inject-io-faults=seed:3,eintr:write@1@4,short:write@r2@2 --quiet
 cmp "${smoke_dir}/route_text.txt" "${smoke_dir}/route_storm.txt"
 
+# One adversarial scenario-matrix cell under the sanitizers: a planted-
+# partition graph relabeled by the community-interleaving attack order, then
+# partitioned with the 2PS clustering prepass. This walks the prepass's
+# vote/refine/pack loops and the hint-table injection into SPNL — the code
+# paths the quality plane gates — with ASan/UBSan (or TSan) watching.
+"${build_dir}/tools/spnl_gen" --out="${smoke_dir}/planted_adv.adj" \
+  --model=planted --vertices=6000 --communities=8 --mu=0.3 \
+  --order=adversarial --labels="${smoke_dir}/planted_adv_labels.txt" --seed=5
+"${build_dir}/tools/spnl_partition" "${smoke_dir}/planted_adv.adj" --k=8 \
+  --prepass=2ps --out="${smoke_dir}/route_prepass.txt"
+# The prepass must not have degraded on a healthy planted graph, and the
+# route must be a complete assignment (one line per vertex plus header).
+[[ "$(tail -n +2 "${smoke_dir}/route_prepass.txt" | wc -l)" == "6000" ]]
+
 # Kill-9 crash torture over the instrumented tools: SIGKILL mid-publish in
 # convert/checkpoint/drain must never leave a torn artifact that a fresh
 # (sanitized) process accepts.

@@ -4,7 +4,7 @@
 //   spnl_partition <graph-file> --k=32 [--algo=spnl] [--out=route.txt]
 //                  [--lambda=0.5] [--shards=0] [--balance=vertex|edge]
 //                  [--slack=1.1] [--threads=1] [--batch-size=64] [--passes=1]
-//                  [--buffer=0]
+//                  [--buffer=0] [--prepass=none|2ps]
 //                  [--format=adj|edgelist|binary|sadj] [--reader=buffered|mmap]
 //                  [--stream] [--window=0] [--quiet]
 //                  [--checkpoint=ckpt.bin] [--checkpoint-every=N]
@@ -25,7 +25,11 @@
 // micro-batched queue handoff (clamped to the queue capacity; < 1 is a typed
 // error); --passes > 1 wraps streaming algos in re-streaming; --buffer > 0
 // uses the hybrid buffered mode; --window > 0 uses WSGP-style
-// most-confident-first selection.
+// most-confident-first selection. --prepass=2ps (SPNL only, sequential and
+// --passes paths) runs the two-phase streaming clustering prepass and feeds
+// its cluster-derived placement hints into SPNL's logical table — one extra
+// scan that buys order-robustness (see prepass/two_phase.hpp); a degraded
+// prepass (cluster budget overflow) falls back to plain SPNL.
 //
 // Ingestion: --format=sadj reads the delta-compressed binary adjacency
 // format written by spnl_convert (always mmap-backed); --reader=mmap swaps
@@ -95,6 +99,7 @@
 #include "partition/range_partitioner.hpp"
 #include "partition/restream.hpp"
 #include "partition/stanton_kliot.hpp"
+#include "prepass/two_phase.hpp"
 #include "partition/window_stream.hpp"
 #include "util/cli.hpp"
 #include "util/fault_fs.hpp"
@@ -114,7 +119,7 @@ int usage() {
                "  [--lambda=0.5] [--shards=0] [--balance=vertex|edge] "
                "[--slack=1.1]\n"
                "  [--threads=1] [--batch-size=64] [--hot-path=lockfree|striped]"
-               " [--passes=1] [--buffer=0] "
+               " [--passes=1] [--buffer=0] [--prepass=none|2ps] "
                "[--window=0] [--format=adj|edgelist|binary|sadj]\n"
                "  [--reader=buffered|mmap] [--stream] [--quiet]\n"
                "  [--checkpoint=ckpt.bin] [--checkpoint-every=N] "
@@ -299,12 +304,26 @@ int main(int argc, char** argv) {
     const int passes = static_cast<int>(args.get_int("passes", 1));
     const auto buffer = static_cast<VertexId>(args.get_int("buffer", 0));
     const auto window = static_cast<VertexId>(args.get_int("window", 0));
+    const std::string prepass = args.get("prepass", "none");
+    if (prepass != "none" && prepass != "2ps") {
+      throw std::runtime_error("--prepass: want none|2ps");
+    }
+    const bool use_prepass = prepass == "2ps";
 
     const std::string checkpoint_path = args.get("checkpoint", "");
     const auto checkpoint_every =
         static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
     const std::string resume_from = args.get("resume-from", "");
     const auto workers = static_cast<unsigned>(args.get_int("workers", 0));
+    if (use_prepass) {
+      if (algo != "spnl") {
+        throw std::runtime_error("--prepass=2ps requires --algo=spnl");
+      }
+      if (workers > 0 || threads > 1 || window > 0 || buffer > 0) {
+        throw std::runtime_error(
+            "--prepass=2ps supports the sequential and --passes paths only");
+      }
+    }
 
     const bool perf_report = args.get_bool("perf-report", false);
     const std::string perf_json_path = args.get("perf-json", "");
@@ -423,6 +442,27 @@ int main(int argc, char** argv) {
       faults = parse_fault_plan(args.get("inject-faults", ""));
     }
 
+    // 2PS clustering prepass: one extra scan before the scoring pass. A
+    // resumed run re-derives the identical hint table here (the prepass is
+    // deterministic), so snapshots stay byte-compatible.
+    PrepassResult prepass_result;
+    const std::vector<PartitionId>* spnl_hints = nullptr;
+    if (use_prepass) {
+      prepass_result = cluster_prepass(stream, config);
+      stream.reset();
+      if (!prepass_result.degraded && !prepass_result.hints.empty()) {
+        spnl_hints = &prepass_result.hints;
+      }
+      if (!quiet) {
+        std::printf("prepass: clusters=%u reassigned=%llu degraded=%s "
+                    "seconds=%.3f\n",
+                    prepass_result.num_clusters,
+                    static_cast<unsigned long long>(prepass_result.reassigned),
+                    prepass_result.degraded ? "yes (plain SPNL fallback)" : "no",
+                    prepass_result.seconds);
+      }
+    }
+
     if (workers > 0) {
       // Distributed simulation with optional seeded fault injection.
       DistributedSimOptions options;
@@ -492,6 +532,7 @@ int main(int argc, char** argv) {
       RestreamOptions options;
       options.passes = passes;
       options.seed_with_spnl = algo == "spnl";
+      options.spnl_hints = spnl_hints;
       route = restream_partition(stream, config, options);
     } else if (threads > 1 && (algo == "spnl" || algo == "spn")) {
       ParallelOptions options;
@@ -564,7 +605,10 @@ int main(int argc, char** argv) {
             n, m, config, SpnOptions{.lambda = lambda, .num_shards = shards});
       } else if (algo == "spnl") {
         partitioner = std::make_unique<SpnlPartitioner>(
-            n, m, config, SpnlOptions{.lambda = lambda, .num_shards = shards});
+            n, m, config,
+            SpnlOptions{.lambda = lambda,
+                        .num_shards = shards,
+                        .logical_hints = spnl_hints});
       } else if (algo == "balanced") {
         partitioner = std::make_unique<SkPartitioner>(n, m, config,
                                                       SkHeuristic::kBalanced);
